@@ -1,0 +1,60 @@
+"""Ablation of OUR implementation choices (not in the paper's tables).
+
+DESIGN.md records one deliberate deviation inside HIM: each attention layer
+is wrapped with a residual connection and pre-layer-norm, the standard
+transformer-block structure that keeps a K = 3 stack optimisable under
+LAMB.  This bench quantifies that choice by training four variants —
+{residual on/off} × {layer-norm on/off} — on the user cold-start scenario.
+
+Expected shape: the full wrapping (residual + norm) trains to the lowest
+loss / best NDCG; removing both degrades or destabilises training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HIREConfig, TrainerConfig
+from repro.eval import build_eval_tasks, evaluate_model
+from repro.experiments import EXPERIMENTS, HIREModel, prepare_workload
+
+
+@pytest.mark.benchmark(group="ablation-residual")
+def test_ablation_residual_and_layernorm(benchmark, save):
+    def run():
+        from repro.experiments.runner import _sweep_settings
+
+        dataset, split = prepare_workload(EXPERIMENTS["table6"], scale="fast", seed=0)
+        tasks = build_eval_tasks(split, "user", min_query=8, seed=0, max_tasks=8)
+        rows = []
+        for residual in (True, False):
+            for norm in (True, False):
+                config, trainer_config = _sweep_settings(
+                    "fast", seed=0,
+                    flags={"use_residual": residual, "use_layer_norm": norm},
+                )
+                model = HIREModel(dataset, config=config,
+                                  trainer_config=trainer_config, seed=0)
+                result = evaluate_model(model, split, "user", ks=(5,), tasks=tasks)
+                rows.append({
+                    "residual": residual,
+                    "layer_norm": norm,
+                    **result.metrics[5],
+                })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'residual':>9s} | {'layernorm':>9s} | {'Pre@5':>7s} | "
+             f"{'NDCG@5':>7s} | {'MAP@5':>7s}"]
+    lines.append("-" * len(lines[0]))
+    for r in rows:
+        lines.append(f"{str(r['residual']):>9s} | {str(r['layer_norm']):>9s} | "
+                     f"{r['precision']:7.4f} | {r['ndcg']:7.4f} | {r['map']:7.4f}")
+    text = "\n".join(lines)
+    save("ablation_residual", text)
+    print("\nImplementation-choice ablation (residual / layer-norm)\n" + text)
+
+    assert len(rows) == 4
+    full = next(r for r in rows if r["residual"] and r["layer_norm"])
+    bare = next(r for r in rows if not r["residual"] and not r["layer_norm"])
+    benchmark.extra_info["full_ndcg5"] = full["ndcg"]
+    benchmark.extra_info["bare_ndcg5"] = bare["ndcg"]

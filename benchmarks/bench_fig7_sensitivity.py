@@ -1,0 +1,36 @@
+"""Fig. 7: sensitivity of HIRE to (a) the number of HIM blocks K ∈ {1..4}
+and (b) the context size ∈ {16, 32, 48, 64}, metrics @5, three scenarios.
+
+Paper shape: performance peaks at K = 3 on MovieLens (more blocks overfit);
+accuracy is non-monotonic in the context size with 32 the sweet spot.
+"""
+
+import pytest
+
+from repro.experiments import render_sweep_table, run_sensitivity
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_sensitivity_blocks_and_context(benchmark, save):
+    rows = benchmark.pedantic(
+        lambda: run_sensitivity(scale="fast", max_tasks=5, seed=0),
+        rounds=1, iterations=1,
+    )
+    assert rows, "fig7 produced no rows"
+
+    block_rows = [r for r in rows if r["sweep"] == "num_him_blocks"]
+    context_rows = [r for r in rows if r["sweep"] == "context_size"]
+    assert {r["value"] for r in block_rows} == {1, 2, 3, 4}
+    assert {r["value"] for r in context_rows} == {16, 32, 48, 64}
+
+    table = ("HIM blocks sweep\n" + render_sweep_table(block_rows, "value")
+             + "\n\nContext size sweep\n" + render_sweep_table(context_rows, "value"))
+    save("fig7_sensitivity", table)
+    from repro.viz import fig7_svg
+    save("fig7_blocks.svg", fig7_svg(block_rows, sweep="num_him_blocks"))
+    save("fig7_context.svg", fig7_svg(context_rows, sweep="context_size"))
+    print("\nFig. 7 (sensitivity)\n" + table)
+
+    for r in rows:
+        for metric in ("precision", "ndcg", "map"):
+            assert 0.0 <= r[metric] <= 1.0

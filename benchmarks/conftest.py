@@ -1,0 +1,32 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper artifact (table or figure) at the
+``fast`` scale and writes the rendered paper-style table to
+``results/<experiment>.txt`` so EXPERIMENTS.md can cite the exact output.
+Benchmarks run once per session (``rounds=1``) — the quantity of interest
+is the artifact itself plus its wall-clock cost, not statistical timing.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    filename = name if name.endswith(".svg") else f"{name}.txt"
+    (results_dir / filename).write_text(text + "\n")
+
+
+@pytest.fixture
+def save(results_dir):
+    def _save(name: str, text: str) -> None:
+        save_result(results_dir, name, text)
+    return _save

@@ -1,0 +1,81 @@
+"""Using HIRE on your own data: build a RatingDataset from raw records.
+
+This example shows the adoption path for a downstream user: wrap existing
+(user, item, rating) records and categorical attributes in a
+:class:`~repro.data.RatingDataset`, then the whole pipeline — splits,
+training, cold-start prediction — works unchanged.  Here the "raw records"
+are a small in-memory books catalogue.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import numpy as np
+
+from repro.data import RatingDataset, make_cold_start_split
+from repro.eval import build_eval_tasks, evaluate_model
+from repro.experiments import HIREModel
+from repro.core import HIREConfig, TrainerConfig
+
+
+def build_bookshop_dataset(seed: int = 0) -> RatingDataset:
+    """A small synthetic book shop: 60 readers, 50 books, 1-5 stars.
+
+    Readers have an age bracket and a favourite genre; books have a genre
+    and a length class.  Readers rate in-genre books higher.
+    """
+    rng = np.random.default_rng(seed)
+    num_users, num_items = 60, 50
+    num_genres = 6
+
+    user_age = rng.integers(0, 5, size=num_users)
+    user_genre = rng.integers(0, num_genres, size=num_users)
+    item_genre = rng.integers(0, num_genres, size=num_items)
+    item_length = rng.integers(0, 3, size=num_items)
+
+    triples = []
+    for user in range(num_users):
+        for item in rng.choice(num_items, size=12, replace=False):
+            base = 3.0 + 1.5 * (user_genre[user] == item_genre[item])
+            rating = np.clip(round(base + rng.normal(0, 0.7)), 1, 5)
+            triples.append((user, int(item), float(rating)))
+
+    return RatingDataset(
+        name="bookshop",
+        num_users=num_users,
+        num_items=num_items,
+        user_attributes=np.stack([user_age, user_genre], axis=1),
+        item_attributes=np.stack([item_genre, item_length], axis=1),
+        user_attribute_cards=(5, num_genres),
+        item_attribute_cards=(num_genres, 3),
+        user_attribute_names=("age_bracket", "favourite_genre"),
+        item_attribute_names=("genre", "length_class"),
+        ratings=np.asarray(triples),
+        rating_range=(1.0, 5.0),
+    )
+
+
+def main():
+    dataset = build_bookshop_dataset()
+    print(f"custom dataset: {dataset.profile()}\n")
+
+    split = make_cold_start_split(dataset, 0.25, 0.25, seed=0)
+    tasks = build_eval_tasks(split, "user", min_query=4, seed=0)
+    print(f"{len(tasks)} cold readers to evaluate\n")
+
+    model = HIREModel(
+        dataset,
+        config=HIREConfig(num_blocks=2, num_heads=4, attr_dim=8, seed=0),
+        trainer_config=TrainerConfig(steps=60, batch_size=2, context_users=12,
+                                     context_items=12, seed=0),
+    )
+    result = evaluate_model(model, split, "user", ks=(5,), tasks=tasks)
+    print(f"HIRE on the bookshop (user cold-start, {result.num_tasks} tasks):")
+    print(f"  Precision@5 {result.metrics[5]['precision']:.3f}")
+    print(f"  NDCG@5      {result.metrics[5]['ndcg']:.3f}")
+    print(f"  MAP@5       {result.metrics[5]['map']:.3f}")
+    print(f"  fit {result.fit_seconds:.1f}s, "
+          f"predict {result.predict_seconds:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: train HIRE on a MovieLens-like workload and predict ratings
+for a cold-start user.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import HIRE, HIREConfig, HIREPredictor, HIRETrainer, TrainerConfig
+from repro.data import make_cold_start_split, movielens_like
+from repro.eval import build_eval_tasks, rank_metrics
+
+
+def main():
+    # 1. A dataset with the MovieLens-1M attribute schema (Table II),
+    #    generated from a seeded latent-factor model.
+    dataset = movielens_like(num_users=150, num_items=100, seed=0)
+    print(f"dataset: {dataset.profile()}\n")
+
+    # 2. Cold-start split: 20% of users and items are held out entirely.
+    split = make_cold_start_split(dataset, 0.2, 0.2, seed=0)
+    print(f"split: {split.summary()}\n")
+
+    # 3. Train HIRE (Algorithm 1): LAMB + Lookahead on masked-rating MSE
+    #    over neighbourhood-sampled prediction contexts.
+    model = HIRE(dataset, HIREConfig(num_blocks=2, num_heads=4, attr_dim=8, seed=0))
+    trainer = HIRETrainer(model, split, config=TrainerConfig(
+        steps=80, batch_size=2, context_users=16, context_items=16, seed=0))
+    print(f"training HIRE ({model.num_parameters():,} parameters)...")
+    history = trainer.fit(log_every=20)
+    print(f"loss: {history[0]:.3f} -> {np.mean(history[-5:]):.3f}\n")
+
+    # 4. Predict for cold users: each task reveals 10% of the cold user's
+    #    ratings as support and ranks the hidden 90%.
+    tasks = build_eval_tasks(split, "user", min_query=5, seed=0)
+    predictor = HIREPredictor(model, split, tasks, context_users=16,
+                              context_items=16, seed=0)
+
+    task = tasks[0]
+    scores = predictor.predict_task(task)
+    metrics = rank_metrics(scores, task.query_ratings, 5, dataset.rating_range)
+    print(f"cold user {task.user}: {len(task.support)} support ratings, "
+          f"{len(task.query)} query items")
+    order = np.argsort(-scores)[:5]
+    print("top-5 recommendations (predicted -> actual):")
+    for idx in order:
+        print(f"  item {int(task.query_items[idx]):>4d}: "
+              f"{scores[idx]:.2f} -> {task.query_ratings[idx]:.0f}")
+    print(f"\nPrecision@5 {metrics['precision']:.3f}  "
+          f"NDCG@5 {metrics['ndcg']:.3f}  MAP@5 {metrics['map']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

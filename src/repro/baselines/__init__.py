@@ -1,0 +1,51 @@
+"""``repro.baselines`` — the ten comparison systems of §VI-A.
+
+* CF family: :class:`NeuMF`, :class:`WideDeep`, :class:`DeepFM`, :class:`AFN`.
+* Social: :class:`GraphRec` (needs a social graph — Douban only).
+* HIN family: :class:`GraphHINGE`, :class:`MetaHIN` (rich attributes —
+  MovieLens only).
+* Meta-learning: :class:`MeLU`, :class:`MAMO`, :class:`TaNP`.
+
+All satisfy the :class:`~repro.baselines.base.RatingModel` contract so the
+evaluation protocol treats every system identically.
+"""
+
+from .afn import AFN
+from .base import PairEncoder, PairwiseNeuralModel, RatingModel, combine_support_ratings
+from .deepfm import DeepFM
+from .graphhinge import GraphHINGE
+from .graphrec import GraphRec
+from .igmc import IGMC
+from .mamo import MAMO
+from .melu import MeLU
+from .meta import Episode, EpisodicMetaModel, group_ratings_by_user
+from .metahin import MetaHIN
+from .neumf import NeuMF
+from .tanp import TaNP
+from .trivial import GlobalMeanScorer, ItemMeanScorer, RandomScorer, UserMeanScorer
+from .widedeep import WideDeep
+
+__all__ = [
+    "RatingModel",
+    "PairEncoder",
+    "PairwiseNeuralModel",
+    "combine_support_ratings",
+    "Episode",
+    "EpisodicMetaModel",
+    "group_ratings_by_user",
+    "NeuMF",
+    "WideDeep",
+    "DeepFM",
+    "AFN",
+    "GraphRec",
+    "GraphHINGE",
+    "IGMC",
+    "MetaHIN",
+    "MeLU",
+    "MAMO",
+    "TaNP",
+    "RandomScorer",
+    "GlobalMeanScorer",
+    "ItemMeanScorer",
+    "UserMeanScorer",
+]

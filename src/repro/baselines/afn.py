@@ -1,0 +1,62 @@
+"""AFN — Adaptive Factorization Network (Cheng et al., AAAI 2020) [27].
+
+AFN's logarithmic transformation layer (LNN) learns arbitrary-order cross
+features: each logarithmic neuron computes ``exp(Σ_j w_j · log e_j)`` — a
+product of field embeddings raised to learned powers.  Embeddings pass
+through ``log`` after an absolute-value floor (the original keeps embeddings
+positive; the floor serves the same purpose), then an MLP scores the stacked
+cross features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.schema import RatingDataset
+from .base import PairEncoder, PairwiseNeuralModel
+
+__all__ = ["AFN"]
+
+
+class _AFNNetwork(nn.Module):
+    def __init__(self, dataset: RatingDataset, attr_dim: int, num_log_neurons: int,
+                 hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.encoder = PairEncoder(dataset, attr_dim, rng)
+        num_fields = self.encoder.num_user_fields + self.encoder.num_item_fields
+        # LNN weights: (fields, neurons) — applied to log-embeddings.
+        self.log_weights = nn.Parameter(
+            nn.init.normal((num_fields, num_log_neurons), rng, std=0.1)
+        )
+        self.mlp = nn.MLP([num_log_neurons * attr_dim, hidden, 1], rng)
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> nn.Tensor:
+        fields = self.encoder.field_embeddings(users, items)  # (b, fields, f)
+        positive = fields.abs().clip(1e-4, 1e4)
+        logged = positive.log()  # (b, fields, f)
+        # (b, f, fields) @ (fields, neurons) -> (b, f, neurons)
+        crossed = logged.swapaxes(1, 2) @ self.log_weights
+        activated = crossed.clip(-15.0, 15.0).exp()
+        b = fields.shape[0]
+        return self.mlp(activated.swapaxes(1, 2).reshape(b, -1))
+
+
+class AFN(PairwiseNeuralModel):
+    """Adaptive-order feature interactions via logarithmic neurons."""
+
+    name = "AFN"
+
+    def __init__(self, dataset: RatingDataset, num_log_neurons: int = 8,
+                 hidden: int = 32, **kwargs):
+        super().__init__(dataset, **kwargs)
+        self.num_log_neurons = num_log_neurons
+        self.hidden = hidden
+
+    def build(self, rng: np.random.Generator) -> nn.Module:
+        self.network = _AFNNetwork(self.dataset, self.attr_dim,
+                                   self.num_log_neurons, self.hidden, rng)
+        return self.network
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> nn.Tensor:
+        return self.network(users, items)

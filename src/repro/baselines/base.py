@@ -1,0 +1,163 @@
+"""Shared infrastructure for the baseline recommenders (§VI-A).
+
+Every baseline implements the :class:`RatingModel` contract:
+
+* ``fit(split, tasks)`` — train on the warm quadrant; per the paper's
+  protocol, non-meta models additionally fold the tasks' 10 % support
+  ratings into their training data ("together with the 10 % unmasked
+  user-item ratings in the test context"), while meta-learning models
+  consume supports only at adaptation time.
+* ``predict_task(task)`` — scores for the task's query items.
+
+:class:`PairEncoder` gives all baselines the same per-attribute embedding
+treatment of users and items that HIRE's encoder uses, so no model is
+advantaged by its input representation.  :class:`PairwiseNeuralModel`
+implements the minibatch regression loop shared by the CF family.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .. import nn
+from ..data.schema import RatingDataset
+from ..data.splits import ColdStartSplit
+from ..eval.tasks import EvalTask
+
+__all__ = ["RatingModel", "PairEncoder", "PairwiseNeuralModel", "combine_support_ratings"]
+
+
+def combine_support_ratings(split: ColdStartSplit, tasks: list[EvalTask]) -> np.ndarray:
+    """Warm training triples plus every task's support triples."""
+    parts = [split.train_ratings()]
+    parts.extend(task.support for task in tasks if task.support.size)
+    return np.concatenate(parts) if parts else np.empty((0, 3))
+
+
+class RatingModel(ABC):
+    """Interface all evaluated systems (HIRE and baselines) satisfy."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def fit(self, split: ColdStartSplit, tasks: list[EvalTask]) -> None:
+        """Train the model for one cold-start scenario."""
+
+    @abstractmethod
+    def predict_task(self, task: EvalTask) -> np.ndarray:
+        """Return predicted scores aligned with ``task.query_items``."""
+
+
+class PairEncoder(nn.Module):
+    """Per-attribute embeddings of users and items (Eq. 7-8 treatment)."""
+
+    def __init__(self, dataset: RatingDataset, attr_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.attr_dim = attr_dim
+        self.user_tables = nn.ModuleList(
+            nn.Embedding(card, attr_dim, rng) for card in dataset.user_attribute_cards
+        )
+        self.item_tables = nn.ModuleList(
+            nn.Embedding(card, attr_dim, rng) for card in dataset.item_attribute_cards
+        )
+        self._user_attributes = dataset.user_attributes
+        self._item_attributes = dataset.item_attributes
+        self.user_dim = len(dataset.user_attribute_cards) * attr_dim
+        self.item_dim = len(dataset.item_attribute_cards) * attr_dim
+        self.num_user_fields = len(dataset.user_attribute_cards)
+        self.num_item_fields = len(dataset.item_attribute_cards)
+
+    def encode_users(self, users: np.ndarray) -> nn.Tensor:
+        """(b, h_u · f) concatenated user attribute embeddings."""
+        parts = [table(self._user_attributes[users, k])
+                 for k, table in enumerate(self.user_tables)]
+        return nn.functional.concatenate(parts, axis=-1)
+
+    def encode_items(self, items: np.ndarray) -> nn.Tensor:
+        """(b, h_i · f) concatenated item attribute embeddings."""
+        parts = [table(self._item_attributes[items, k])
+                 for k, table in enumerate(self.item_tables)]
+        return nn.functional.concatenate(parts, axis=-1)
+
+    def field_embeddings(self, users: np.ndarray, items: np.ndarray) -> nn.Tensor:
+        """(b, h_u + h_i, f) stacked per-field embeddings (for FM-style models)."""
+        parts = [table(self._user_attributes[users, k])
+                 for k, table in enumerate(self.user_tables)]
+        parts += [table(self._item_attributes[items, k])
+                  for k, table in enumerate(self.item_tables)]
+        return nn.functional.stack(parts, axis=1)
+
+
+class PairwiseNeuralModel(RatingModel):
+    """Base class for CF-style models trained on (user, item, rating) rows.
+
+    Subclasses define the network via :meth:`build` (called lazily at fit
+    time) and :meth:`forward`.  Training minimises MSE with Adam; outputs go
+    through a sigmoid scaled by the rating upper bound so every model
+    predicts on the same scale.
+    """
+
+    def __init__(self, dataset: RatingDataset, attr_dim: int = 8,
+                 steps: int = 300, batch_size: int = 128, lr: float = 1e-2,
+                 weight_decay: float = 1e-6, seed: int = 0):
+        self.dataset = dataset
+        self.attr_dim = attr_dim
+        self.steps = steps
+        self.batch_size = batch_size
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.alpha = float(dataset.rating_range[1])
+        self.network: nn.Module | None = None
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Subclass contract
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def build(self, rng: np.random.Generator) -> nn.Module:
+        """Construct and return the network (stored as ``self.network``)."""
+
+    @abstractmethod
+    def forward(self, users: np.ndarray, items: np.ndarray) -> nn.Tensor:
+        """Raw (pre-sigmoid) prediction logits for a batch of pairs."""
+
+    # ------------------------------------------------------------------ #
+    # Shared training loop
+    # ------------------------------------------------------------------ #
+    def predict_scores(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        self.network.eval()
+        with nn.no_grad():
+            out = self.forward(users, items).sigmoid() * self.alpha
+        self.network.train()
+        return out.data.reshape(-1)
+
+    def fit(self, split: ColdStartSplit, tasks: list[EvalTask]) -> None:
+        train = combine_support_ratings(split, tasks)
+        if len(train) == 0:
+            raise ValueError("no training ratings available")
+        self.network = self.build(np.random.default_rng(self.seed))
+        optimizer = nn.Adam(self.network.parameters(), lr=self.lr,
+                            weight_decay=self.weight_decay)
+        users = train[:, 0].astype(np.int64)
+        items = train[:, 1].astype(np.int64)
+        values = train[:, 2]
+        for _ in range(self.steps):
+            batch = self.rng.integers(0, len(train), size=min(self.batch_size, len(train)))
+            optimizer.zero_grad()
+            logits = self.forward(users[batch], items[batch])
+            predicted = logits.sigmoid() * self.alpha
+            loss = nn.functional.mse_loss(predicted.reshape(-1), values[batch])
+            loss.backward()
+            optimizer.step()
+            self.loss_history.append(loss.item())
+
+    def predict_task(self, task: EvalTask) -> np.ndarray:
+        if self.network is None:
+            raise RuntimeError(f"{self.name}: fit() must run before predict_task()")
+        query_items = task.query_items
+        users = np.full(len(query_items), task.user, dtype=np.int64)
+        return self.predict_scores(users, query_items)

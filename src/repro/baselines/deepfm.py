@@ -1,0 +1,69 @@
+"""DeepFM (Guo et al., IJCAI 2017) [26].
+
+Combines a factorisation machine — first-order per-value weights plus
+second-order pairwise interactions of field embeddings, computed with the
+``0.5 · ((Σv)² − Σv²)`` identity — with a deep MLP over the same embeddings,
+sharing the embedding tables between both components as in the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.schema import RatingDataset
+from .base import PairEncoder, PairwiseNeuralModel
+
+__all__ = ["DeepFM"]
+
+
+class _DeepFMNetwork(nn.Module):
+    def __init__(self, dataset: RatingDataset, attr_dim: int, hidden: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.encoder = PairEncoder(dataset, attr_dim, rng)
+        self.first_order_user = nn.ModuleList(
+            nn.Embedding(card, 1, rng) for card in dataset.user_attribute_cards
+        )
+        self.first_order_item = nn.ModuleList(
+            nn.Embedding(card, 1, rng) for card in dataset.item_attribute_cards
+        )
+        self.bias = nn.Parameter(np.zeros(1))
+        num_fields = self.encoder.num_user_fields + self.encoder.num_item_fields
+        self.deep = nn.MLP([num_fields * attr_dim, hidden, hidden // 2, 1], rng)
+        self._user_attributes = dataset.user_attributes
+        self._item_attributes = dataset.item_attributes
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> nn.Tensor:
+        first = self.bias
+        for k, table in enumerate(self.first_order_user):
+            first = first + table(self._user_attributes[users, k])
+        for k, table in enumerate(self.first_order_item):
+            first = first + table(self._item_attributes[items, k])
+
+        fields = self.encoder.field_embeddings(users, items)  # (b, fields, f)
+        summed = fields.sum(axis=1)            # (b, f)
+        squared_sum = summed * summed
+        sum_squared = (fields * fields).sum(axis=1)
+        second = 0.5 * (squared_sum - sum_squared).sum(axis=-1, keepdims=True)
+
+        b = fields.shape[0]
+        deep = self.deep(fields.reshape(b, -1))
+        return first + second + deep
+
+
+class DeepFM(PairwiseNeuralModel):
+    """Factorisation machine + deep network with shared embeddings."""
+
+    name = "DeepFM"
+
+    def __init__(self, dataset: RatingDataset, hidden: int = 32, **kwargs):
+        super().__init__(dataset, **kwargs)
+        self.hidden = hidden
+
+    def build(self, rng: np.random.Generator) -> nn.Module:
+        self.network = _DeepFMNetwork(self.dataset, self.attr_dim, self.hidden, rng)
+        return self.network
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> nn.Tensor:
+        return self.network(users, items)

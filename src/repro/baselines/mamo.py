@@ -1,0 +1,127 @@
+"""MAMO — Memory-Augmented Meta-Optimization (Dong et al., KDD 2020) [24].
+
+Extends MAML with two memories: a *feature-specific* memory whose attention
+over the user's profile embedding produces a personalised initialisation
+offset for the decision layers' first bias (so atypical users do not start
+adaptation from the global average), and the profile-key memory itself.
+Both memory matrices are meta-parameters updated by the outer loop.  The
+inner loop then adapts the decision layers as in MeLU (first-order).
+
+The original's second, task-specific memory caches full fast weights per
+user cluster; its effect — personalised initialisation — is captured by the
+bias memory here, keeping the numpy implementation tractable (noted in
+DESIGN.md).  MAMO remains the slowest model at test time (Fig. 6) because
+of the per-task memory addressing plus adaptation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.schema import RatingDataset
+from .base import PairEncoder
+from .meta import Episode, EpisodicMetaModel
+
+__all__ = ["MAMO"]
+
+
+class _MAMONetwork(nn.Module):
+    def __init__(self, dataset: RatingDataset, attr_dim: int, hidden: int,
+                 num_slots: int, rng: np.random.Generator):
+        super().__init__()
+        self.encoder = PairEncoder(dataset, attr_dim, rng)
+        in_dim = self.encoder.user_dim + self.encoder.item_dim
+        self.layer1 = nn.Linear(in_dim, hidden, rng)
+        self.layer2 = nn.Linear(hidden, hidden // 2, rng)
+        self.layer3 = nn.Linear(hidden // 2, 1, rng)
+        # Feature-specific memory: profile keys and bias values.
+        self.memory_keys = nn.Parameter(nn.init.normal((num_slots, self.encoder.user_dim), rng, std=0.1))
+        self.memory_values = nn.Parameter(nn.init.normal((num_slots, hidden), rng, std=0.01))
+        self.hidden = hidden
+
+    def personalized_bias(self, user: int) -> nn.Tensor:
+        """Attention read of the bias memory keyed by the user profile."""
+        profile = self.encoder.encode_users(np.array([user]))  # (1, user_dim)
+        scores = profile @ self.memory_keys.T  # (1, slots)
+        weights = nn.functional.softmax(scores, axis=-1)
+        return (weights @ self.memory_values).reshape(self.hidden)
+
+    def forward(self, users: np.ndarray, items: np.ndarray,
+                bias: nn.Tensor | None = None) -> nn.Tensor:
+        features = nn.functional.concatenate(
+            [self.encoder.encode_users(users), self.encoder.encode_items(items)], axis=-1
+        )
+        h = self.layer1(features)
+        if bias is not None:
+            h = h + bias
+        h = h.relu()
+        h = self.layer2(h).relu()
+        return self.layer3(h)
+
+    def decision_parameters(self) -> list[nn.Parameter]:
+        return (list(self.layer1.parameters()) + list(self.layer2.parameters())
+                + list(self.layer3.parameters()))
+
+
+class MAMO(EpisodicMetaModel):
+    """Memory-augmented MAML for cold-start."""
+
+    name = "MAMO"
+
+    def __init__(self, dataset: RatingDataset, attr_dim: int = 8, hidden: int = 32,
+                 num_slots: int = 8, inner_steps: int = 3, inner_lr: float = 5e-2,
+                 **kwargs):
+        super().__init__(dataset, **kwargs)
+        self.attr_dim = attr_dim
+        self.hidden = hidden
+        self.num_slots = num_slots
+        self.inner_steps = inner_steps
+        self.inner_lr = inner_lr
+
+    def build(self, rng: np.random.Generator) -> nn.Module:
+        self.network = _MAMONetwork(self.dataset, self.attr_dim, self.hidden,
+                                    self.num_slots, rng)
+        return self.network
+
+    # ------------------------------------------------------------------ #
+    def _loss_on(self, triples: np.ndarray, bias: nn.Tensor | None) -> nn.Tensor:
+        users = triples[:, 0].astype(np.int64)
+        items = triples[:, 1].astype(np.int64)
+        predicted = self.network(users, items, bias=bias).sigmoid() * self.alpha
+        return nn.functional.mse_loss(predicted.reshape(-1), triples[:, 2])
+
+    def episode_update(self, episode: Episode, optimizer: nn.Optimizer) -> float:
+        decision = self.network.decision_parameters()
+        saved = self.save_params(decision)
+        self.inner_adapt(
+            decision,
+            lambda: self._loss_on(episode.support, self.network.personalized_bias(episode.user)),
+            self.inner_steps, self.inner_lr,
+        )
+        optimizer.zero_grad()
+        # The memory read participates in the query loss, so the outer step
+        # trains the memories alongside the initialisation.
+        bias = self.network.personalized_bias(episode.user)
+        query_loss = self._loss_on(episode.query, bias)
+        query_loss.backward()
+        self.restore_params(decision, saved)
+        optimizer.step()
+        return query_loss.item()
+
+    def adapt_and_score(self, support: np.ndarray, user: int,
+                        query_items: np.ndarray) -> np.ndarray:
+        decision = self.network.decision_parameters()
+        saved = self.save_params(decision)
+        if support.size:
+            self.inner_adapt(
+                decision,
+                lambda: self._loss_on(support, self.network.personalized_bias(user)),
+                self.inner_steps, self.inner_lr,
+            )
+        users = np.full(len(query_items), user, dtype=np.int64)
+        with nn.no_grad():
+            bias = self.network.personalized_bias(user)
+            scores = (self.network(users, query_items, bias=bias).sigmoid() * self.alpha).data
+        self.restore_params(decision, saved)
+        return scores.reshape(-1)

@@ -1,0 +1,90 @@
+"""MeLU — Meta-Learned User preference estimator (Lee et al., KDD 2019) [23].
+
+MAML applied to cold-start recommendation: a global initialisation of a
+preference network is meta-learned such that a handful of inner gradient
+steps on a user's support ratings personalises it.  Following the original,
+only the *decision layers* (the MLP head) adapt in the inner loop while the
+embedding layers stay global.  We use the first-order approximation
+(FOMAML); see :mod:`repro.baselines.meta`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.schema import RatingDataset
+from .base import PairEncoder
+from .meta import Episode, EpisodicMetaModel
+
+__all__ = ["MeLU"]
+
+
+class _MeLUNetwork(nn.Module):
+    def __init__(self, dataset: RatingDataset, attr_dim: int, hidden: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.encoder = PairEncoder(dataset, attr_dim, rng)
+        in_dim = self.encoder.user_dim + self.encoder.item_dim
+        self.head = nn.MLP([in_dim, hidden, hidden // 2, 1], rng)
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> nn.Tensor:
+        features = nn.functional.concatenate(
+            [self.encoder.encode_users(users), self.encoder.encode_items(items)], axis=-1
+        )
+        return self.head(features)
+
+    def decision_parameters(self) -> list[nn.Parameter]:
+        return list(self.head.parameters())
+
+
+class MeLU(EpisodicMetaModel):
+    """MAML-personalised preference estimation."""
+
+    name = "MeLU"
+
+    def __init__(self, dataset: RatingDataset, attr_dim: int = 8, hidden: int = 32,
+                 inner_steps: int = 2, inner_lr: float = 5e-2, **kwargs):
+        super().__init__(dataset, **kwargs)
+        self.attr_dim = attr_dim
+        self.hidden = hidden
+        self.inner_steps = inner_steps
+        self.inner_lr = inner_lr
+
+    def build(self, rng: np.random.Generator) -> nn.Module:
+        self.network = _MeLUNetwork(self.dataset, self.attr_dim, self.hidden, rng)
+        return self.network
+
+    # ------------------------------------------------------------------ #
+    def _loss_on(self, triples: np.ndarray) -> nn.Tensor:
+        users = triples[:, 0].astype(np.int64)
+        items = triples[:, 1].astype(np.int64)
+        predicted = self.network(users, items).sigmoid() * self.alpha
+        return nn.functional.mse_loss(predicted.reshape(-1), triples[:, 2])
+
+    def episode_update(self, episode: Episode, optimizer: nn.Optimizer) -> float:
+        decision = self.network.decision_parameters()
+        saved = self.save_params(decision)
+        self.inner_adapt(decision, lambda: self._loss_on(episode.support),
+                         self.inner_steps, self.inner_lr)
+        # Query loss at the adapted parameters; its gradients drive the
+        # meta-update of the *initial* parameters (first-order MAML).
+        optimizer.zero_grad()
+        query_loss = self._loss_on(episode.query)
+        query_loss.backward()
+        self.restore_params(decision, saved)
+        optimizer.step()
+        return query_loss.item()
+
+    def adapt_and_score(self, support: np.ndarray, user: int,
+                        query_items: np.ndarray) -> np.ndarray:
+        decision = self.network.decision_parameters()
+        saved = self.save_params(decision)
+        if support.size:
+            self.inner_adapt(decision, lambda: self._loss_on(support),
+                             self.inner_steps, self.inner_lr)
+        users = np.full(len(query_items), user, dtype=np.int64)
+        with nn.no_grad():
+            scores = (self.network(users, query_items).sigmoid() * self.alpha).data
+        self.restore_params(decision, saved)
+        return scores.reshape(-1)

@@ -1,0 +1,145 @@
+"""Shared machinery for the meta-learning baselines (MeLU, MAMO, TaNP).
+
+Meta-training treats each *user* as a task (§II, "Meta-learning for
+cold-start recommendation"): an episode samples a warm user, splits their
+warm ratings into a support and a query set, adapts on the support, and
+meta-updates from the query loss.  At test time the same adaptation runs on
+a cold user's 10 % support ratings.
+
+MeLU and MAMO use first-order MAML (FOMAML): the inner loop updates the
+decision layers in place, the query-loss gradients taken at the adapted
+parameters are applied to the restored initial parameters.  (The original
+papers backpropagate through the inner loop; the first-order approximation
+is standard practice and keeps the numpy substrate tractable — recorded in
+DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+
+import numpy as np
+
+from .. import nn
+from ..data.splits import ColdStartSplit
+from ..eval.tasks import EvalTask
+from .base import RatingModel
+
+__all__ = ["group_ratings_by_user", "Episode", "EpisodicMetaModel"]
+
+
+def group_ratings_by_user(triples: np.ndarray) -> dict[int, np.ndarray]:
+    """Map user id → their rating rows, keeping only users with ≥ 2 rows."""
+    triples = np.asarray(triples, dtype=np.float64)
+    grouped: dict[int, np.ndarray] = {}
+    if triples.size == 0:
+        return grouped
+    users = triples[:, 0].astype(np.int64)
+    for user in np.unique(users):
+        rows = triples[users == user]
+        if len(rows) >= 2:
+            grouped[int(user)] = rows
+    return grouped
+
+
+class Episode:
+    """One meta-training task: a user's support/query rating split."""
+
+    __slots__ = ("user", "support", "query")
+
+    def __init__(self, user: int, support: np.ndarray, query: np.ndarray):
+        self.user = user
+        self.support = support
+        self.query = query
+
+
+class EpisodicMetaModel(RatingModel):
+    """Base class running the episodic meta-training loop."""
+
+    def __init__(self, dataset, episodes: int = 200, support_fraction: float = 0.1,
+                 max_support: int = 8, max_query: int = 24, outer_lr: float = 5e-3,
+                 seed: int = 0):
+        self.dataset = dataset
+        self.episodes = episodes
+        self.support_fraction = support_fraction
+        self.max_support = max_support
+        self.max_query = max_query
+        self.outer_lr = outer_lr
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.alpha = float(dataset.rating_range[1])
+        self.network: nn.Module | None = None
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Subclass contract
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def build(self, rng: np.random.Generator) -> nn.Module:
+        """Construct the meta-network."""
+
+    @abstractmethod
+    def episode_update(self, episode: Episode, optimizer: nn.Optimizer) -> float:
+        """One meta-update from an episode; returns the episode loss."""
+
+    @abstractmethod
+    def adapt_and_score(self, support: np.ndarray, user: int,
+                        query_items: np.ndarray) -> np.ndarray:
+        """Adapt to a task's support set and score its query items."""
+
+    # ------------------------------------------------------------------ #
+    # Meta-training
+    # ------------------------------------------------------------------ #
+    def sample_episode(self, grouped: dict[int, np.ndarray]) -> Episode:
+        users = list(grouped)
+        user = users[self.rng.integers(len(users))]
+        rows = grouped[user]
+        perm = self.rng.permutation(len(rows))
+        rows = rows[perm]
+        support_count = max(1, int(round(self.support_fraction * len(rows))))
+        support_count = min(support_count, self.max_support, len(rows) - 1)
+        support = rows[:support_count]
+        query = rows[support_count:support_count + self.max_query]
+        return Episode(user, support, query)
+
+    def fit(self, split: ColdStartSplit, tasks: list[EvalTask]) -> None:
+        grouped = group_ratings_by_user(split.train_ratings())
+        if not grouped:
+            raise ValueError("no warm users with enough ratings for episodes")
+        self.network = self.build(np.random.default_rng(self.seed))
+        optimizer = nn.Adam(self.network.parameters(), lr=self.outer_lr)
+        for _ in range(self.episodes):
+            episode = self.sample_episode(grouped)
+            loss = self.episode_update(episode, optimizer)
+            self.loss_history.append(loss)
+
+    def predict_task(self, task: EvalTask) -> np.ndarray:
+        if self.network is None:
+            raise RuntimeError(f"{self.name}: fit() must run before predict_task()")
+        return self.adapt_and_score(task.support, task.user, task.query_items)
+
+    # ------------------------------------------------------------------ #
+    # FOMAML helpers shared by MeLU and MAMO
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def save_params(params: list[nn.Parameter]) -> list[np.ndarray]:
+        return [p.data.copy() for p in params]
+
+    @staticmethod
+    def restore_params(params: list[nn.Parameter], saved: list[np.ndarray]) -> None:
+        for p, data in zip(params, saved):
+            p.data = data.copy()
+
+    def inner_adapt(self, params: list[nn.Parameter], loss_fn, steps: int,
+                    inner_lr: float) -> None:
+        """In-place SGD on ``params`` against ``loss_fn()`` (the inner loop)."""
+        for _ in range(steps):
+            for p in self.network.parameters():
+                p.grad = None
+            loss = loss_fn()
+            loss.backward()
+            for p in params:
+                if p.grad is not None:
+                    p.data = p.data - inner_lr * p.grad
+        for p in self.network.parameters():
+            p.grad = None

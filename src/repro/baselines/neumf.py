@@ -1,0 +1,55 @@
+"""NeuMF — Neural Collaborative Filtering (He et al., WWW 2017) [8].
+
+Fuses a generalised matrix factorisation (GMF) branch — the element-wise
+product of user and item latent vectors — with an MLP branch over their
+concatenation, combined by a final linear layer.  Latent vectors derive from
+the shared per-attribute :class:`~repro.baselines.base.PairEncoder` so the
+model can score cold entities through their attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.schema import RatingDataset
+from .base import PairEncoder, PairwiseNeuralModel
+
+__all__ = ["NeuMF"]
+
+
+class _NeuMFNetwork(nn.Module):
+    def __init__(self, dataset: RatingDataset, attr_dim: int, latent_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.encoder = PairEncoder(dataset, attr_dim, rng)
+        self.user_proj = nn.Linear(self.encoder.user_dim, latent_dim, rng)
+        self.item_proj = nn.Linear(self.encoder.item_dim, latent_dim, rng)
+        self.mlp = nn.MLP([2 * latent_dim, latent_dim, latent_dim // 2], rng,
+                          final_activation=True)
+        self.head = nn.Linear(latent_dim + latent_dim // 2, 1, rng)
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> nn.Tensor:
+        p = self.user_proj(self.encoder.encode_users(users))
+        q = self.item_proj(self.encoder.encode_items(items))
+        gmf = p * q
+        mlp = self.mlp(nn.functional.concatenate([p, q], axis=-1))
+        fused = nn.functional.concatenate([gmf, mlp], axis=-1)
+        return self.head(fused)
+
+
+class NeuMF(PairwiseNeuralModel):
+    """GMF ⊕ MLP collaborative filtering."""
+
+    name = "NeuMF"
+
+    def __init__(self, dataset: RatingDataset, latent_dim: int = 16, **kwargs):
+        super().__init__(dataset, **kwargs)
+        self.latent_dim = latent_dim
+
+    def build(self, rng: np.random.Generator) -> nn.Module:
+        self.network = _NeuMFNetwork(self.dataset, self.attr_dim, self.latent_dim, rng)
+        return self.network
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> nn.Tensor:
+        return self.network(users, items)

@@ -1,0 +1,114 @@
+"""Trivial reference scorers: the floors every real model must clear.
+
+These are not paper baselines; they calibrate the metric scale of a
+workload (EXPERIMENTS.md reports them alongside the real systems):
+
+* :class:`RandomScorer` — the chance floor of the ranking metrics, which is
+  far above zero for graded NDCG on short lists.
+* :class:`GlobalMeanScorer` — predicts the training mean everywhere
+  (ties ⇒ ranking is input order).
+* :class:`ItemMeanScorer` — each item's training mean rating (popularity /
+  quality prior); a surprisingly strong floor for user cold-start, where
+  query items are warm.
+* :class:`UserMeanScorer` — the user's mean over support + warm ratings;
+  a per-user constant, so it only calibrates pointwise error, not ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.splits import ColdStartSplit
+from ..eval.tasks import EvalTask
+from .base import RatingModel, combine_support_ratings
+
+__all__ = ["RandomScorer", "GlobalMeanScorer", "ItemMeanScorer", "UserMeanScorer"]
+
+
+class RandomScorer(RatingModel):
+    """Uniform random scores — the chance floor."""
+
+    name = "Random"
+
+    def __init__(self, dataset=None, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    def fit(self, split: ColdStartSplit, tasks: list[EvalTask]) -> None:
+        pass
+
+    def predict_task(self, task: EvalTask) -> np.ndarray:
+        return self.rng.random(len(task.query_items))
+
+
+class GlobalMeanScorer(RatingModel):
+    """The training-set mean rating for every pair."""
+
+    name = "GlobalMean"
+
+    def __init__(self, dataset=None, seed: int = 0):
+        self.mean: float | None = None
+
+    def fit(self, split: ColdStartSplit, tasks: list[EvalTask]) -> None:
+        values = combine_support_ratings(split, tasks)[:, 2]
+        if values.size == 0:
+            raise ValueError("no ratings to average")
+        self.mean = float(values.mean())
+
+    def predict_task(self, task: EvalTask) -> np.ndarray:
+        if self.mean is None:
+            raise RuntimeError("GlobalMean: fit() must run before predict_task()")
+        return np.full(len(task.query_items), self.mean)
+
+
+class ItemMeanScorer(RatingModel):
+    """Each item's mean training rating; unseen items get the global mean."""
+
+    name = "ItemMean"
+
+    def __init__(self, dataset=None, seed: int = 0):
+        self.item_means: dict[int, float] | None = None
+        self.global_mean: float = 0.0
+
+    def fit(self, split: ColdStartSplit, tasks: list[EvalTask]) -> None:
+        triples = combine_support_ratings(split, tasks)
+        if triples.size == 0:
+            raise ValueError("no ratings to average")
+        self.global_mean = float(triples[:, 2].mean())
+        items = triples[:, 1].astype(np.int64)
+        self.item_means = {}
+        for item in np.unique(items):
+            self.item_means[int(item)] = float(triples[items == item, 2].mean())
+
+    def predict_task(self, task: EvalTask) -> np.ndarray:
+        if self.item_means is None:
+            raise RuntimeError("ItemMean: fit() must run before predict_task()")
+        return np.array([
+            self.item_means.get(int(item), self.global_mean)
+            for item in task.query_items
+        ])
+
+
+class UserMeanScorer(RatingModel):
+    """The task user's mean rating over everything known about them."""
+
+    name = "UserMean"
+
+    def __init__(self, dataset=None, seed: int = 0):
+        self.user_means: dict[int, float] | None = None
+        self.global_mean: float = 0.0
+
+    def fit(self, split: ColdStartSplit, tasks: list[EvalTask]) -> None:
+        triples = combine_support_ratings(split, tasks)
+        if triples.size == 0:
+            raise ValueError("no ratings to average")
+        self.global_mean = float(triples[:, 2].mean())
+        users = triples[:, 0].astype(np.int64)
+        self.user_means = {}
+        for user in np.unique(users):
+            self.user_means[int(user)] = float(triples[users == user, 2].mean())
+
+    def predict_task(self, task: EvalTask) -> np.ndarray:
+        if self.user_means is None:
+            raise RuntimeError("UserMean: fit() must run before predict_task()")
+        value = self.user_means.get(task.user, self.global_mean)
+        return np.full(len(task.query_items), value)

@@ -1,0 +1,65 @@
+"""Wide&Deep (Cheng et al., DLRS 2016) [25].
+
+The *wide* component is a linear model over the raw one-hot attribute
+encodings (implemented as rank-1 embedding lookups summed per field, which
+is exactly a sparse linear layer); the *deep* component is an MLP over the
+dense attribute embeddings.  Their logits are summed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.schema import RatingDataset
+from .base import PairEncoder, PairwiseNeuralModel
+
+__all__ = ["WideDeep"]
+
+
+class _WideDeepNetwork(nn.Module):
+    def __init__(self, dataset: RatingDataset, attr_dim: int, hidden: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.encoder = PairEncoder(dataset, attr_dim, rng)
+        # Wide part: one scalar weight per attribute value.
+        self.wide_user = nn.ModuleList(
+            nn.Embedding(card, 1, rng) for card in dataset.user_attribute_cards
+        )
+        self.wide_item = nn.ModuleList(
+            nn.Embedding(card, 1, rng) for card in dataset.item_attribute_cards
+        )
+        self.wide_bias = nn.Parameter(np.zeros(1))
+        self.deep = nn.MLP(
+            [self.encoder.user_dim + self.encoder.item_dim, hidden, hidden // 2, 1], rng
+        )
+        self._user_attributes = dataset.user_attributes
+        self._item_attributes = dataset.item_attributes
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> nn.Tensor:
+        wide = self.wide_bias
+        for k, table in enumerate(self.wide_user):
+            wide = wide + table(self._user_attributes[users, k])
+        for k, table in enumerate(self.wide_item):
+            wide = wide + table(self._item_attributes[items, k])
+        dense = nn.functional.concatenate(
+            [self.encoder.encode_users(users), self.encoder.encode_items(items)], axis=-1
+        )
+        return wide + self.deep(dense)
+
+
+class WideDeep(PairwiseNeuralModel):
+    """Wide linear memorisation + deep generalisation."""
+
+    name = "Wide&Deep"
+
+    def __init__(self, dataset: RatingDataset, hidden: int = 32, **kwargs):
+        super().__init__(dataset, **kwargs)
+        self.hidden = hidden
+
+    def build(self, rng: np.random.Generator) -> nn.Module:
+        self.network = _WideDeepNetwork(self.dataset, self.attr_dim, self.hidden, rng)
+        return self.network
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> nn.Tensor:
+        return self.network(users, items)

@@ -1,0 +1,111 @@
+"""Context encoder: Eq. 6-9 — attributes and ratings to the tensor ``H``.
+
+Every categorical attribute has its own linear transformation from one-hot
+space to an ``f``-dimensional embedding (an :class:`~repro.nn.Embedding`
+lookup, which is exactly a linear map applied to a one-hot vector).  Ratings
+are discretised to their scale's levels and embedded the same way; masked
+ratings contribute a zero vector.  The cell feature is the concatenation
+
+    H[k, j] = [x_{u_k} ‖ x_{i_j} ‖ x_r]   ∈ R^e,  e = (h_u + h_i + 1) · f.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.schema import RatingDataset
+from .context import PredictionContext
+
+__all__ = ["ContextEncoder"]
+
+
+class ContextEncoder(nn.Module):
+    """Maps a :class:`PredictionContext` to the initial tensor ``H``.
+
+    Parameters
+    ----------
+    dataset:
+        Supplies attribute cardinalities and the rating scale.
+    attr_dim:
+        ``f``, the per-attribute embedding width.
+    """
+
+    def __init__(self, dataset: RatingDataset, attr_dim: int, rng: np.random.Generator,
+                 learned_mask_token: bool = True):
+        super().__init__()
+        self.attr_dim = attr_dim
+        self.num_user_attrs = dataset.num_user_attributes
+        self.num_item_attrs = dataset.num_item_attributes
+        self.rating_low, self.rating_high = dataset.rating_range
+        self.num_rating_levels = int(round(self.rating_high - self.rating_low)) + 1
+
+        self.user_transforms = nn.ModuleList(
+            nn.Embedding(card, attr_dim, rng) for card in dataset.user_attribute_cards
+        )
+        self.item_transforms = nn.ModuleList(
+            nn.Embedding(card, attr_dim, rng) for card in dataset.item_attribute_cards
+        )
+        self.rating_transform = nn.Embedding(self.num_rating_levels, attr_dim, rng)
+        # The paper encodes masked ratings as all-zero vectors (Eq. 9); a
+        # learned mask token is the standard masked-modeling refinement that
+        # lets attention distinguish "hidden" from "small" — switchable so
+        # the exact paper encoding remains available (see DESIGN.md).
+        self.mask_token = (
+            nn.Parameter(nn.init.normal((attr_dim,), rng, std=0.05))
+            if learned_mask_token else None
+        )
+
+        self._user_attributes = dataset.user_attributes
+        self._item_attributes = dataset.item_attributes
+
+    @property
+    def num_attributes(self) -> int:
+        """``h`` — total attribute slots per cell (user + item + rating)."""
+        return self.num_user_attrs + self.num_item_attrs + 1
+
+    @property
+    def embed_dim(self) -> int:
+        """``e = h · f``, the cell feature width."""
+        return self.num_attributes * self.attr_dim
+
+    def encode_users(self, users: np.ndarray) -> nn.Tensor:
+        """Eq. 7 — ``x_u`` for each user: (n, h_u · f)."""
+        parts = [
+            transform(self._user_attributes[users, k])
+            for k, transform in enumerate(self.user_transforms)
+        ]
+        return nn.functional.concatenate(parts, axis=-1)
+
+    def encode_items(self, items: np.ndarray) -> nn.Tensor:
+        """Eq. 8 — ``x_i`` for each item: (m, h_i · f)."""
+        parts = [
+            transform(self._item_attributes[items, k])
+            for k, transform in enumerate(self.item_transforms)
+        ]
+        return nn.functional.concatenate(parts, axis=-1)
+
+    def encode_ratings(self, context: PredictionContext) -> nn.Tensor:
+        """Eq. 9 — ``x_r`` per cell: (n, m, f); zeros where masked/unobserved."""
+        levels = np.rint(context.ratings - self.rating_low).astype(np.int64)
+        levels = np.clip(levels, 0, self.num_rating_levels - 1)
+        embedded = self.rating_transform(levels)  # (n, m, f)
+        visible = nn.Tensor(context.revealed.astype(np.float64)[:, :, None])
+        out = embedded * visible
+        if self.mask_token is not None:
+            out = out + self.mask_token * (1.0 - visible)
+        return out
+
+    def forward(self, context: PredictionContext) -> nn.Tensor:
+        """Eq. 6 — assemble ``H ∈ R^{n×m×e}``."""
+        n, m = context.n, context.m
+        x_users = self.encode_users(context.users)  # (n, hu*f)
+        x_items = self.encode_items(context.items)  # (m, hi*f)
+        x_ratings = self.encode_ratings(context)    # (n, m, f)
+
+        # Broadcast user rows across item columns and vice versa.
+        hu_f = self.num_user_attrs * self.attr_dim
+        hi_f = self.num_item_attrs * self.attr_dim
+        user_block = x_users.reshape(n, 1, hu_f) + nn.Tensor(np.zeros((n, m, hu_f)))
+        item_block = x_items.reshape(1, m, hi_f) + nn.Tensor(np.zeros((n, m, hi_f)))
+        return nn.functional.concatenate([user_block, item_block, x_ratings], axis=-1)

@@ -1,0 +1,148 @@
+"""Test-time inference for HIRE over cold-start evaluation tasks.
+
+For each :class:`~repro.eval.tasks.EvalTask`, the predictor assembles a
+prediction context around the task's cold user: the query items (chunked if
+they exceed the item budget), the support items, and neighbourhood-sampled
+warm entities.  Support ratings are force-revealed (they are the cold
+entity's known interactions), query cells are force-masked, and the
+remaining observed cells follow the 10 %-revealed protocol — mirroring how
+training contexts are built.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.bipartite import RatingGraph
+from ..data.splits import ColdStartSplit
+from ..eval.tasks import EvalTask
+from .context import build_context
+from .model import HIRE
+from .sampling import ContextSampler, NeighborhoodSampler
+
+__all__ = ["HIREPredictor"]
+
+
+class HIREPredictor:
+    """Scores evaluation tasks with a trained HIRE model.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`HIRE`.
+    split:
+        The cold-start split the model was trained on.
+    tasks:
+        All evaluation tasks of the scenario; their support ratings join the
+        warm training ratings to form the visible test-time graph, so the
+        neighbourhood sampler can hop through cold entities.
+    """
+
+    def __init__(self, model: HIRE, split: ColdStartSplit, tasks: list[EvalTask],
+                 sampler: ContextSampler | None = None, context_users: int = 32,
+                 context_items: int = 32, reveal_fraction: float = 0.1,
+                 num_context_samples: int = 1, seed: int = 0):
+        if num_context_samples < 1:
+            raise ValueError("num_context_samples must be >= 1")
+        self.model = model
+        self.split = split
+        self.sampler = sampler or NeighborhoodSampler()
+        self.context_users = context_users
+        self.context_items = context_items
+        self.reveal_fraction = reveal_fraction
+        # Averaging scores over several independently sampled contexts
+        # reduces the variance the context lottery introduces (an extension
+        # beyond the paper's single-context prediction; see DESIGN.md).
+        self.num_context_samples = num_context_samples
+        self.rng = np.random.default_rng(seed)
+
+        dataset = split.dataset
+        visible = [split.train_ratings()]
+        visible.extend(task.support for task in tasks if task.support.size)
+        self.graph = RatingGraph(np.concatenate(visible) if visible else np.empty((0, 3)),
+                                 dataset.num_users, dataset.num_items)
+        # Context candidates may include any entity visible at test time.
+        self.candidate_users = np.union1d(split.train_users,
+                                          np.array([t.user for t in tasks], dtype=np.int64))
+        cold_items = [t.support_items for t in tasks] + [t.query_items for t in tasks]
+        self.candidate_items = np.union1d(
+            split.train_items,
+            np.unique(np.concatenate(cold_items)) if cold_items else np.empty(0, np.int64),
+        )
+
+    def predict_task(self, task: EvalTask) -> np.ndarray:
+        """Predicted scores for ``task.query_items``, in query order.
+
+        With ``num_context_samples > 1`` the returned scores average the
+        predictions from that many independently sampled contexts.
+        """
+        total = self._predict_once(task)
+        for _ in range(self.num_context_samples - 1):
+            total = total + self._predict_once(task)
+        return total / self.num_context_samples
+
+    def _predict_once(self, task: EvalTask) -> np.ndarray:
+        query_items = task.query_items
+        support_items = task.support_items
+        support_values = {int(i): v for i, v in zip(support_items, task.support[:, 2])}
+
+        # Reserve a slice of the item budget for support items so the cold
+        # user always has revealed interactions inside the context.
+        reserve = min(len(support_items), max(self.context_items // 4, 1))
+        chunk_size = max(self.context_items - reserve, 1)
+        scores = np.empty(len(query_items), dtype=np.float64)
+
+        for start in range(0, len(query_items), chunk_size):
+            chunk = query_items[start:start + chunk_size]
+            target_items = np.concatenate([chunk, support_items[:reserve]])
+            users, items = self.sampler.sample(
+                self.graph,
+                target_users=np.array([task.user]),
+                target_items=target_items,
+                n=self.context_users, m=self.context_items,
+                rng=self.rng,
+                candidate_users=self.candidate_users,
+                candidate_items=self.candidate_items,
+            )
+            users, items = self._ensure_targets(users, items, task.user, target_items)
+
+            user_row = int(np.flatnonzero(users == task.user)[0])
+            item_pos = {int(item): col for col, item in enumerate(items)}
+            # Query ratings are absent from the visible graph by construction
+            # (no leakage): their cells are unobserved, hence encoded with a
+            # zero rating vector — already masked from the model's view.
+            forced_reveal = np.zeros((len(users), len(items)), dtype=bool)
+            for item in support_items:
+                col = item_pos.get(int(item))
+                if col is not None and self.graph.has_rating(task.user, int(item)):
+                    forced_reveal[user_row, col] = True
+
+            context = build_context(
+                self.graph, users, items, self.rng,
+                reveal_fraction=self.reveal_fraction,
+                forced_reveal=forced_reveal,
+            )
+            assert not context.observed[user_row, [item_pos[int(i)] for i in chunk]].any(), (
+                "query ratings leaked into the visible test-time graph"
+            )
+            predicted = self.model.predict(context)
+            for offset, item in enumerate(chunk):
+                scores[start + offset] = predicted[user_row, item_pos[int(item)]]
+
+        # Items whose rating is in the support set are already known; keep
+        # the model honest by never letting supports leak into query scores
+        # (they cannot, by construction, but assert the alignment).
+        assert not set(int(i) for i in query_items) & set(support_values), (
+            "query items overlap support items"
+        )
+        return scores
+
+    def _ensure_targets(self, users, items, target_user, target_items):
+        """Samplers put targets first, but defend against budget overflow."""
+        if target_user not in users:
+            users = np.concatenate([[target_user], users[:-1]])
+        missing = [i for i in target_items if i not in items]
+        if missing:
+            keep = [i for i in items if i not in missing[: len(items)]]
+            items = np.asarray((missing + keep)[: len(items)], dtype=np.int64)
+        return users, items

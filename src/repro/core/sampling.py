@@ -1,0 +1,203 @@
+"""Prediction-context samplers (paper §IV-B and the §VI-E ablation).
+
+Given target (possibly cold) users/items and budgets ``n`` users × ``m``
+items, a sampler selects the remaining context entities:
+
+* :class:`NeighborhoodSampler` — the paper's strategy: BFS over the rating
+  bipartite graph starting from the seed set, taking one-hop neighbour
+  entities hop by hop, uniformly subsampling whenever a frontier exceeds the
+  remaining budget (Fig. 5 / Example 1).
+* :class:`RandomSampler` — uniform over the candidate pools.
+* :class:`FeatureSimilaritySampler` — ranks candidates by cosine similarity
+  of one-hot attribute vectors against the targets.
+
+All samplers guarantee exactly ``n`` users and ``m`` items (padding from the
+candidate pools when the graph is exhausted), with the targets always first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.bipartite import RatingGraph
+from ..data.schema import RatingDataset
+
+__all__ = [
+    "ContextSampler",
+    "NeighborhoodSampler",
+    "RandomSampler",
+    "FeatureSimilaritySampler",
+    "sampler_by_name",
+]
+
+
+class ContextSampler:
+    """Interface: produce the (users, items) of one prediction context."""
+
+    name = "base"
+
+    def sample(self, graph: RatingGraph, target_users: np.ndarray, target_items: np.ndarray,
+               n: int, m: int, rng: np.random.Generator,
+               candidate_users: np.ndarray, candidate_items: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _prepare_targets(target_users, target_items, n, m):
+        users = np.unique(np.asarray(target_users, dtype=np.int64))[:n]
+        items = np.unique(np.asarray(target_items, dtype=np.int64))[:m]
+        return users, items
+
+    @staticmethod
+    def _pad_uniform(selected: np.ndarray, budget: int, pool: np.ndarray,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Fill ``selected`` up to ``budget`` with uniform picks from ``pool``."""
+        if len(selected) >= budget:
+            return selected[:budget]
+        remaining = np.setdiff1d(pool, selected, assume_unique=False)
+        need = budget - len(selected)
+        if len(remaining) == 0:
+            return selected
+        take = min(need, len(remaining))
+        extra = rng.choice(remaining, size=take, replace=False)
+        return np.concatenate([selected, extra])
+
+
+class NeighborhoodSampler(ContextSampler):
+    """BFS sampler over the user-item bipartite graph (the paper's default)."""
+
+    name = "neighborhood"
+
+    def sample(self, graph, target_users, target_items, n, m, rng,
+               candidate_users, candidate_items):
+        users, items = self._prepare_targets(target_users, target_items, n, m)
+        chosen_users = list(users)
+        chosen_items = list(items)
+        user_set = set(chosen_users)
+        item_set = set(chosen_items)
+        frontier_users = list(users)
+        frontier_items = list(items)
+        allowed_users = set(np.asarray(candidate_users, dtype=np.int64).tolist()) | user_set
+        allowed_items = set(np.asarray(candidate_items, dtype=np.int64).tolist()) | item_set
+
+        # Hop-by-hop expansion until both budgets fill or frontier dries up.
+        while (len(chosen_users) < n or len(chosen_items) < m) and (frontier_users or frontier_items):
+            next_users: list[int] = []
+            next_items: list[int] = []
+            # Neighbours of frontier items are users; of frontier users, items.
+            if len(chosen_users) < n:
+                neighbor_users: set[int] = set()
+                for item in frontier_items:
+                    neighbor_users.update(
+                        int(u) for u in graph.users_of_item(item)
+                        if u not in user_set and u in allowed_users
+                    )
+                picked = self._take(sorted(neighbor_users), n - len(chosen_users), rng)
+                chosen_users.extend(picked)
+                user_set.update(picked)
+                next_users = picked
+            if len(chosen_items) < m:
+                neighbor_items: set[int] = set()
+                for user in frontier_users:
+                    neighbor_items.update(
+                        int(i) for i in graph.items_of_user(user)
+                        if i not in item_set and i in allowed_items
+                    )
+                picked = self._take(sorted(neighbor_items), m - len(chosen_items), rng)
+                chosen_items.extend(picked)
+                item_set.update(picked)
+                next_items = picked
+            if not next_users and not next_items:
+                break
+            frontier_users = next_users
+            frontier_items = next_items
+
+        users_final = self._pad_uniform(np.asarray(chosen_users, dtype=np.int64), n,
+                                        np.asarray(candidate_users, dtype=np.int64), rng)
+        items_final = self._pad_uniform(np.asarray(chosen_items, dtype=np.int64), m,
+                                        np.asarray(candidate_items, dtype=np.int64), rng)
+        return users_final, items_final
+
+    @staticmethod
+    def _take(pool: list[int], budget: int, rng: np.random.Generator) -> list[int]:
+        if len(pool) <= budget:
+            return list(pool)
+        picks = rng.choice(len(pool), size=budget, replace=False)
+        return [pool[p] for p in picks]
+
+
+class RandomSampler(ContextSampler):
+    """Uniform sampler: targets plus random candidates (ablation baseline)."""
+
+    name = "random"
+
+    def sample(self, graph, target_users, target_items, n, m, rng,
+               candidate_users, candidate_items):
+        users, items = self._prepare_targets(target_users, target_items, n, m)
+        users = self._pad_uniform(users, n, np.asarray(candidate_users, dtype=np.int64), rng)
+        items = self._pad_uniform(items, m, np.asarray(candidate_items, dtype=np.int64), rng)
+        return users, items
+
+
+class FeatureSimilaritySampler(ContextSampler):
+    """Cosine similarity of one-hot attribute vectors (ablation variant).
+
+    Candidates most similar to the targets (in mean one-hot attribute space)
+    fill the context.  On integer attribute codes, the cosine of one-hot
+    encodings reduces to the fraction of matching attributes, which is what
+    we compute directly.
+    """
+
+    name = "feature"
+
+    def __init__(self, dataset: RatingDataset):
+        self.dataset = dataset
+
+    def sample(self, graph, target_users, target_items, n, m, rng,
+               candidate_users, candidate_items):
+        users, items = self._prepare_targets(target_users, target_items, n, m)
+        users = self._fill_by_similarity(
+            users, n, np.asarray(candidate_users, dtype=np.int64),
+            self.dataset.user_attributes, rng,
+        )
+        items = self._fill_by_similarity(
+            items, m, np.asarray(candidate_items, dtype=np.int64),
+            self.dataset.item_attributes, rng,
+        )
+        return users, items
+
+    @staticmethod
+    def _fill_by_similarity(selected, budget, pool, attributes, rng):
+        if len(selected) >= budget:
+            return selected[:budget]
+        remaining = np.setdiff1d(pool, selected)
+        if remaining.size == 0:
+            return selected
+        if len(selected) == 0:
+            order = rng.permutation(len(remaining))
+        else:
+            target_attrs = attributes[selected]  # (t, h)
+            cand_attrs = attributes[remaining]  # (c, h)
+            # Fraction of matching attribute codes against any target, averaged.
+            matches = (cand_attrs[:, None, :] == target_attrs[None, :, :]).mean(axis=(1, 2))
+            # Random tiebreak so equal-similarity candidates are not biased by id.
+            order = np.lexsort((rng.random(len(remaining)), -matches))
+        need = budget - len(selected)
+        return np.concatenate([selected, remaining[order[:need]]])
+
+
+def sampler_by_name(name: str, dataset: RatingDataset | None = None) -> ContextSampler:
+    """Factory for the three sampling strategies of §VI-E."""
+    key = name.lower()
+    if key == "neighborhood":
+        return NeighborhoodSampler()
+    if key == "random":
+        return RandomSampler()
+    if key == "feature":
+        if dataset is None:
+            raise ValueError("feature sampler needs the dataset for attributes")
+        return FeatureSimilaritySampler(dataset)
+    raise KeyError(f"unknown sampler {name!r}; choose neighborhood|random|feature")

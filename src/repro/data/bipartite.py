@@ -1,0 +1,92 @@
+"""User-item bipartite rating graph with fast neighbourhood queries.
+
+HIRE's context sampler (§IV-B) walks this graph hop by hop from the cold
+seed entities, so adjacency lookups must be O(1) per entity.  The graph is
+built once from a rating triple array and kept immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RatingGraph"]
+
+
+class RatingGraph:
+    """Immutable bipartite graph over (user, item, rating) triples."""
+
+    def __init__(self, ratings: np.ndarray, num_users: int, num_items: int):
+        ratings = np.asarray(ratings, dtype=np.float64)
+        if ratings.size and ratings.ndim != 2:
+            raise ValueError("ratings must be (n, 3)")
+        if ratings.size == 0:
+            ratings = ratings.reshape(0, 3)
+        self.num_users = num_users
+        self.num_items = num_items
+        users = ratings[:, 0].astype(np.int64)
+        items = ratings[:, 1].astype(np.int64)
+        values = ratings[:, 2]
+
+        self._user_items: list[np.ndarray] = [None] * num_users
+        self._item_users: list[np.ndarray] = [None] * num_items
+        order_u = np.argsort(users, kind="stable")
+        self._fill_adjacency(self._user_items, users[order_u], items[order_u], num_users)
+        order_i = np.argsort(items, kind="stable")
+        self._fill_adjacency(self._item_users, items[order_i], users[order_i], num_items)
+
+        self._rating_lookup: dict[tuple[int, int], float] = {
+            (int(u), int(i)): float(v) for u, i, v in zip(users, items, values)
+        }
+        self.num_edges = len(self._rating_lookup)
+
+    @staticmethod
+    def _fill_adjacency(slots, keys, neighbors, count):
+        boundaries = np.searchsorted(keys, np.arange(count + 1))
+        empty = np.empty(0, dtype=np.int64)
+        for k in range(count):
+            chunk = neighbors[boundaries[k]:boundaries[k + 1]]
+            slots[k] = np.unique(chunk) if chunk.size else empty
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def items_of_user(self, user: int) -> np.ndarray:
+        """Item ids the user has rated (sorted, deduplicated)."""
+        return self._user_items[user]
+
+    def users_of_item(self, item: int) -> np.ndarray:
+        """User ids who rated the item (sorted, deduplicated)."""
+        return self._item_users[item]
+
+    def user_degree(self, user: int) -> int:
+        return len(self._user_items[user])
+
+    def item_degree(self, item: int) -> int:
+        return len(self._item_users[item])
+
+    def rating(self, user: int, item: int) -> float | None:
+        """Observed rating of (user, item), or None if unobserved."""
+        return self._rating_lookup.get((int(user), int(item)))
+
+    def has_rating(self, user: int, item: int) -> bool:
+        return (int(user), int(item)) in self._rating_lookup
+
+    def rating_matrix(self, users: np.ndarray, items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Dense sub-matrix of observed ratings for a user × item block.
+
+        Returns ``(values, observed)`` where ``observed`` is a boolean mask
+        and ``values`` holds ratings at observed cells (0 elsewhere).
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        values = np.zeros((len(users), len(items)))
+        observed = np.zeros((len(users), len(items)), dtype=bool)
+        for row, user in enumerate(users):
+            rated = self._user_items[user]
+            if rated.size == 0:
+                continue
+            hits = np.isin(items, rated)
+            for col in np.flatnonzero(hits):
+                values[row, col] = self._rating_lookup[(int(user), int(items[col]))]
+                observed[row, col] = True
+        return values, observed

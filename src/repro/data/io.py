@@ -1,0 +1,67 @@
+"""Dataset persistence: save/load a :class:`RatingDataset` as ``.npz``.
+
+Useful for freezing a synthetic workload so experiments across machines and
+sessions run on byte-identical data, and for caching converted real dumps.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .schema import RatingDataset
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_META_KEY = "__meta__"
+
+
+def save_dataset(path: str | Path, dataset: RatingDataset) -> None:
+    """Serialise a dataset (arrays + JSON header) to one ``.npz`` file."""
+    path = Path(path)
+    header = {
+        "name": dataset.name,
+        "num_users": dataset.num_users,
+        "num_items": dataset.num_items,
+        "user_attribute_cards": list(dataset.user_attribute_cards),
+        "item_attribute_cards": list(dataset.item_attribute_cards),
+        "user_attribute_names": list(dataset.user_attribute_names),
+        "item_attribute_names": list(dataset.item_attribute_names),
+        "rating_range": list(dataset.rating_range),
+        "metadata": dataset.metadata,
+        "has_social": dataset.social_edges is not None,
+    }
+    arrays = {
+        "user_attributes": dataset.user_attributes,
+        "item_attributes": dataset.item_attributes,
+        "ratings": dataset.ratings,
+        _META_KEY: np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    }
+    if dataset.social_edges is not None:
+        arrays["social_edges"] = dataset.social_edges
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path: str | Path) -> RatingDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with np.load(Path(path)) as archive:
+        header = json.loads(bytes(archive[_META_KEY].tobytes()).decode())
+        social = archive["social_edges"].copy() if header["has_social"] else None
+        return RatingDataset(
+            name=header["name"],
+            num_users=header["num_users"],
+            num_items=header["num_items"],
+            user_attributes=archive["user_attributes"].copy(),
+            item_attributes=archive["item_attributes"].copy(),
+            user_attribute_cards=tuple(header["user_attribute_cards"]),
+            item_attribute_cards=tuple(header["item_attribute_cards"]),
+            user_attribute_names=tuple(header["user_attribute_names"]),
+            item_attribute_names=tuple(header["item_attribute_names"]),
+            ratings=archive["ratings"].copy(),
+            rating_range=tuple(header["rating_range"]),
+            social_edges=social,
+            metadata=header["metadata"],
+        )

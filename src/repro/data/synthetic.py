@@ -1,0 +1,312 @@
+"""Synthetic rating workloads mirroring the paper's three datasets.
+
+The real MovieLens-1M / Douban / Bookcrossing dumps cannot be downloaded in
+this environment, so this module generates datasets from a *ground-truth
+latent-factor model* whose observable profile matches Table II of the paper
+(attribute schemas, rating ranges, presence of a social graph), scaled down
+so experiments run on CPU:
+
+1. Users and items belong to latent clusters with centers in ``R^d``; an
+   entity's latent vector is its cluster center plus noise.  The true rating
+   is an affine map of ``z_u · z_i`` plus observation noise, rounded to the
+   dataset's rating scale.  Collaborative structure therefore exists for CF
+   and attention models to exploit.
+2. Categorical attributes are sampled conditioned on the cluster with a
+   configurable correlation, so attributes carry genuine preference signal —
+   the property HIRE's attribute-level attention (MBA) and the HIN baselines
+   rely on.
+3. Item exposure follows a log-normal popularity distribution and users
+   preferentially rate items from clusters they like, reproducing the skewed,
+   sparse bipartite graphs of real recommender data.
+4. The Douban-like dataset attaches a homophilous user-user friendship graph
+   (users in the same cluster befriend each other more often), giving the
+   social-recommendation baseline its side information.
+
+Because every generator is seeded, the whole experiment suite is
+deterministic end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .schema import RatingDataset
+
+__all__ = [
+    "AttributeSpec",
+    "SyntheticConfig",
+    "generate",
+    "movielens_like",
+    "bookcrossing_like",
+    "douban_like",
+    "dataset_by_name",
+]
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One categorical attribute column.
+
+    ``cluster_correlation`` is the probability that the attribute code is a
+    fixed function of the entity's latent cluster (signal) rather than drawn
+    uniformly at random (noise).
+    """
+
+    name: str
+    cardinality: int
+    cluster_correlation: float = 0.7
+
+
+@dataclass
+class SyntheticConfig:
+    """Full recipe for one synthetic dataset."""
+
+    name: str
+    num_users: int
+    num_items: int
+    user_attrs: list[AttributeSpec] = field(default_factory=list)
+    item_attrs: list[AttributeSpec] = field(default_factory=list)
+    rating_range: tuple[float, float] = (1.0, 5.0)
+    latent_dim: int = 8
+    num_user_clusters: int = 6
+    num_item_clusters: int = 8
+    ratings_per_user: float = 25.0
+    popularity_sigma: float = 1.0
+    noise_std: float = 0.35
+    # Idiosyncratic per-entity effects: a user's harshness and an item's
+    # intrinsic quality.  These are NOT derivable from attributes — only
+    # observed ratings reveal them — which is precisely the collaborative
+    # signal cold-start models must extract from their context/support.
+    user_bias_std: float = 0.5
+    item_bias_std: float = 1.0
+    # How much of an entity's latent taste comes from its (attribute-
+    # correlated) cluster vs its own individual draw.  Real cold-start data
+    # has weak user-side attribute signal — personal taste dominates — so
+    # user vectors default to individual-dominated; item vectors keep a
+    # stronger cluster share (genre really does describe a movie) but still
+    # carry individual quality that only observed ratings reveal.
+    user_cluster_scale: float = 0.5
+    user_individual_scale: float = 1.0
+    item_cluster_scale: float = 0.7
+    item_individual_scale: float = 0.8
+    social_avg_degree: float = 0.0
+    social_homophily: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_users < 2 or self.num_items < 2:
+            raise ValueError("need at least 2 users and 2 items")
+        if self.rating_range[0] >= self.rating_range[1]:
+            raise ValueError("rating_range must be (low, high) with low < high")
+
+
+def generate(config: SyntheticConfig) -> RatingDataset:
+    """Materialise a :class:`RatingDataset` from a :class:`SyntheticConfig`."""
+    rng = np.random.default_rng(config.seed)
+    d = config.latent_dim
+
+    user_clusters = rng.integers(0, config.num_user_clusters, size=config.num_users)
+    item_clusters = rng.integers(0, config.num_item_clusters, size=config.num_items)
+    user_centers = rng.normal(0.0, 1.0, size=(config.num_user_clusters, d))
+    item_centers = rng.normal(0.0, 1.0, size=(config.num_item_clusters, d))
+    z_users = (config.user_cluster_scale * user_centers[user_clusters]
+               + config.user_individual_scale * rng.normal(0.0, 1.0, size=(config.num_users, d)))
+    z_items = (config.item_cluster_scale * item_centers[item_clusters]
+               + config.item_individual_scale * rng.normal(0.0, 1.0, size=(config.num_items, d)))
+
+    user_attributes, user_cards, user_names = _sample_attributes(
+        config.user_attrs, user_clusters, config.num_users, rng
+    )
+    item_attributes, item_cards, item_names = _sample_attributes(
+        config.item_attrs, item_clusters, config.num_items, rng
+    )
+    # Datasets without side information use the entity id as its unique
+    # attribute (paper §VI-A, Douban handling).
+    if user_attributes is None:
+        user_attributes = np.arange(config.num_users).reshape(-1, 1)
+        user_cards, user_names = (config.num_users,), ("user_id",)
+    if item_attributes is None:
+        item_attributes = np.arange(config.num_items).reshape(-1, 1)
+        item_cards, item_names = (config.num_items,), ("item_id",)
+
+    ratings = _sample_ratings(config, rng, z_users, z_items)
+    social = _sample_social(config, rng, user_clusters) if config.social_avg_degree > 0 else None
+
+    return RatingDataset(
+        name=config.name,
+        num_users=config.num_users,
+        num_items=config.num_items,
+        user_attributes=user_attributes,
+        item_attributes=item_attributes,
+        user_attribute_cards=user_cards,
+        item_attribute_cards=item_cards,
+        user_attribute_names=user_names,
+        item_attribute_names=item_names,
+        ratings=ratings,
+        rating_range=config.rating_range,
+        social_edges=social,
+        metadata={
+            "generator": "latent-factor",
+            "seed": config.seed,
+            "latent_dim": d,
+            "user_clusters": config.num_user_clusters,
+            "item_clusters": config.num_item_clusters,
+        },
+    )
+
+
+def _sample_attributes(specs, clusters, count, rng):
+    if not specs:
+        return None, (), ()
+    columns = []
+    for spec in specs:
+        if spec.cardinality < 1:
+            raise ValueError(f"attribute {spec.name} needs cardinality >= 1")
+        # Fixed random mapping cluster -> code, shared by all entities.
+        mapping = rng.integers(0, spec.cardinality, size=clusters.max() + 1)
+        signal = mapping[clusters]
+        noise = rng.integers(0, spec.cardinality, size=count)
+        use_signal = rng.random(count) < spec.cluster_correlation
+        columns.append(np.where(use_signal, signal, noise))
+    attributes = np.stack(columns, axis=1)
+    cards = tuple(spec.cardinality for spec in specs)
+    names = tuple(spec.name for spec in specs)
+    return attributes, cards, names
+
+
+def _true_scores(config, z_users, z_items, user_bias, item_bias):
+    """Affinity of every user for every item on an unbounded scale.
+
+    ``latent · latent`` carries the cluster/attribute-correlated taste;
+    the bias terms carry entity-level effects invisible to attributes.
+    """
+    return z_users @ z_items.T + user_bias[:, None] + item_bias[None, :]
+
+
+def _sample_ratings(config, rng, z_users, z_items) -> np.ndarray:
+    user_bias = rng.normal(0.0, config.user_bias_std, size=config.num_users)
+    item_bias = rng.normal(0.0, config.item_bias_std, size=config.num_items)
+    scores = _true_scores(config, z_users, z_items, user_bias, item_bias)
+    mean, std = scores.mean(), scores.std() + 1e-9
+    low, high = config.rating_range
+    mid = (low + high) / 2.0
+    spread = (high - low) / 4.0  # +-2 sigma spans the rating scale
+
+    popularity = rng.lognormal(0.0, config.popularity_sigma, size=config.num_items)
+    popularity /= popularity.sum()
+
+    triples: list[tuple[int, int, float]] = []
+    for user in range(config.num_users):
+        count = 1 + rng.poisson(max(config.ratings_per_user - 1, 0.0))
+        count = min(count, config.num_items)
+        # Exposure mixes popularity with the user's own taste, so the
+        # bipartite graph has both hubs and preference locality.
+        taste = scores[user] - scores[user].min() + 1e-6
+        weights = popularity * taste
+        weights /= weights.sum()
+        items = rng.choice(config.num_items, size=count, replace=False, p=weights)
+        standardized = (scores[user, items] - mean) / std
+        values = mid + spread * standardized + rng.normal(0.0, config.noise_std, size=count)
+        values = np.clip(np.rint(values), low, high)
+        triples.extend((user, int(item), float(v)) for item, v in zip(items, values))
+    return np.asarray(triples, dtype=np.float64)
+
+
+def _sample_social(config, rng, user_clusters) -> np.ndarray:
+    """Homophilous friendship graph: same-cluster pairs befriend more often."""
+    n = config.num_users
+    target_edges = int(config.social_avg_degree * n / 2)
+    edges: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(edges) < target_edges and attempts < 50 * target_edges:
+        attempts += 1
+        a = int(rng.integers(0, n))
+        if rng.random() < config.social_homophily:
+            same = np.flatnonzero(user_clusters == user_clusters[a])
+            b = int(same[rng.integers(0, len(same))])
+        else:
+            b = int(rng.integers(0, n))
+        if a == b:
+            continue
+        edges.add((min(a, b), max(a, b)))
+    return np.asarray(sorted(edges), dtype=np.int64).reshape(-1, 2)
+
+
+# ---------------------------------------------------------------------- #
+# Named dataset profiles (Table II, scaled for CPU)
+# ---------------------------------------------------------------------- #
+def movielens_like(num_users: int = 300, num_items: int = 200, seed: int = 0,
+                   ratings_per_user: float = 30.0) -> RatingDataset:
+    """MovieLens-1M profile: rich attributes on both sides, ratings 1-5."""
+    config = SyntheticConfig(
+        name="movielens-like",
+        num_users=num_users,
+        num_items=num_items,
+        user_attrs=[
+            AttributeSpec("age", 7, 0.7),
+            AttributeSpec("occupation", 21, 0.6),
+            AttributeSpec("gender", 2, 0.6),
+            AttributeSpec("zip_region", 10, 0.2),
+        ],
+        item_attrs=[
+            AttributeSpec("rate", 5, 0.5),
+            AttributeSpec("genre", 18, 0.8),
+            AttributeSpec("director", 40, 0.6),
+            AttributeSpec("actor", 60, 0.6),
+        ],
+        rating_range=(1.0, 5.0),
+        ratings_per_user=ratings_per_user,
+        seed=seed,
+    )
+    return generate(config)
+
+
+def bookcrossing_like(num_users: int = 300, num_items: int = 260, seed: int = 0,
+                      ratings_per_user: float = 12.0) -> RatingDataset:
+    """Bookcrossing profile: one attribute per side, ratings 1-10, sparse."""
+    config = SyntheticConfig(
+        name="bookcrossing-like",
+        num_users=num_users,
+        num_items=num_items,
+        user_attrs=[AttributeSpec("age", 10, 0.6)],
+        item_attrs=[AttributeSpec("publication_year", 20, 0.6)],
+        rating_range=(1.0, 10.0),
+        ratings_per_user=ratings_per_user,
+        popularity_sigma=1.3,
+        seed=seed,
+    )
+    return generate(config)
+
+
+def douban_like(num_users: int = 300, num_items: int = 320, seed: int = 0,
+                ratings_per_user: float = 18.0) -> RatingDataset:
+    """Douban profile: no attributes (ID embeddings), friendship graph."""
+    config = SyntheticConfig(
+        name="douban-like",
+        num_users=num_users,
+        num_items=num_items,
+        user_attrs=[],
+        item_attrs=[],
+        rating_range=(1.0, 5.0),
+        ratings_per_user=ratings_per_user,
+        social_avg_degree=8.0,
+        seed=seed,
+    )
+    return generate(config)
+
+
+_PROFILES = {
+    "movielens": movielens_like,
+    "bookcrossing": bookcrossing_like,
+    "douban": douban_like,
+}
+
+
+def dataset_by_name(name: str, **kwargs) -> RatingDataset:
+    """Build a named dataset profile; ``name`` ∈ {movielens, bookcrossing, douban}."""
+    key = name.lower()
+    if key not in _PROFILES:
+        raise KeyError(f"unknown dataset profile {name!r}; choose from {sorted(_PROFILES)}")
+    return _PROFILES[key](**kwargs)

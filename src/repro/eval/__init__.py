@@ -1,0 +1,40 @@
+"""``repro.eval`` — metrics, tasks, and the uniform evaluation protocol."""
+
+from .metrics import (
+    average_precision_at_k,
+    mae,
+    mrr_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    rank_metrics,
+    rating_metrics,
+    recall_at_k,
+    relevance_threshold,
+    rmse,
+)
+from .protocol import METRIC_NAMES, ScenarioResult, evaluate_model, evaluate_repeated
+from .significance import compare_results, paired_bootstrap
+from .tasks import EvalTask, build_eval_tasks
+from .timing import measure_test_time
+
+__all__ = [
+    "precision_at_k",
+    "ndcg_at_k",
+    "average_precision_at_k",
+    "recall_at_k",
+    "mrr_at_k",
+    "rank_metrics",
+    "rating_metrics",
+    "mae",
+    "rmse",
+    "relevance_threshold",
+    "EvalTask",
+    "build_eval_tasks",
+    "ScenarioResult",
+    "evaluate_model",
+    "evaluate_repeated",
+    "METRIC_NAMES",
+    "measure_test_time",
+    "paired_bootstrap",
+    "compare_results",
+]

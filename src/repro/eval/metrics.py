@@ -1,0 +1,140 @@
+"""Ranking metrics: Precision@k, NDCG@k, MAP@k (paper §VI-A).
+
+The paper's protocol: for each test user, sort the *actual* rating values of
+their query items by the *predicted* rating values, take the top ``k``, and
+score the resulting ranked list.  Relevance for the binary metrics
+(Precision, MAP) is "rating in the top quarter of the scale" — rating ≥ 4 on
+a 1-5 scale, ≥ 8 on 1-10 — while NDCG uses the graded rating value as gain.
+
+When a user has fewer than ``k`` query items, the list is truncated to what
+exists (standard practice for short candidate lists; noted in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relevance_threshold",
+    "precision_at_k",
+    "ndcg_at_k",
+    "average_precision_at_k",
+    "recall_at_k",
+    "mrr_at_k",
+    "rank_metrics",
+    "mae",
+    "rmse",
+    "rating_metrics",
+]
+
+
+def relevance_threshold(rating_range: tuple[float, float]) -> float:
+    """Binary-relevance cut: top quarter of the rating scale.
+
+    (1, 5) → 4.0 (ratings of 4 and 5 are relevant), (1, 10) → 7.75
+    (ratings 8-10 are relevant).
+    """
+    low, high = rating_range
+    return low + 0.75 * (high - low)
+
+
+def _top_k_actuals(predicted: np.ndarray, actual: np.ndarray, k: int) -> np.ndarray:
+    """Actual ratings of the k items ranked highest by prediction."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape or predicted.ndim != 1:
+        raise ValueError("predicted and actual must be 1-D arrays of equal length")
+    if len(predicted) == 0:
+        raise ValueError("cannot rank an empty list")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    order = np.argsort(-predicted, kind="stable")
+    return actual[order[:k]]
+
+
+def precision_at_k(predicted: np.ndarray, actual: np.ndarray, k: int,
+                   threshold: float) -> float:
+    """Fraction of the top-k predicted items that are actually relevant."""
+    top = _top_k_actuals(predicted, actual, k)
+    return float((top >= threshold).mean())
+
+
+def ndcg_at_k(predicted: np.ndarray, actual: np.ndarray, k: int) -> float:
+    """Normalised discounted cumulative gain with graded (rating) gains."""
+    top = _top_k_actuals(predicted, actual, k)
+    discounts = 1.0 / np.log2(np.arange(2, len(top) + 2))
+    dcg = float((top * discounts).sum())
+    ideal = np.sort(np.asarray(actual, dtype=np.float64))[::-1][: len(top)]
+    idcg = float((ideal * discounts).sum())
+    if idcg == 0.0:
+        return 0.0
+    return dcg / idcg
+
+
+def average_precision_at_k(predicted: np.ndarray, actual: np.ndarray, k: int,
+                           threshold: float) -> float:
+    """AP@k: mean of precision-at-each-relevant-hit within the top k."""
+    top = _top_k_actuals(predicted, actual, k)
+    relevant = top >= threshold
+    if not relevant.any():
+        return 0.0
+    hits = np.cumsum(relevant)
+    positions = np.arange(1, len(top) + 1)
+    precisions = hits / positions
+    denominator = min(int((np.asarray(actual) >= threshold).sum()), len(top))
+    return float((precisions * relevant).sum() / denominator)
+
+
+def recall_at_k(predicted: np.ndarray, actual: np.ndarray, k: int,
+                threshold: float) -> float:
+    """Fraction of all relevant items captured in the top k."""
+    total_relevant = int((np.asarray(actual, dtype=np.float64) >= threshold).sum())
+    if total_relevant == 0:
+        return 0.0
+    top = _top_k_actuals(predicted, actual, k)
+    return float((top >= threshold).sum() / total_relevant)
+
+
+def mrr_at_k(predicted: np.ndarray, actual: np.ndarray, k: int,
+             threshold: float) -> float:
+    """Reciprocal rank of the first relevant item within the top k."""
+    top = _top_k_actuals(predicted, actual, k)
+    hits = np.flatnonzero(top >= threshold)
+    if hits.size == 0:
+        return 0.0
+    return 1.0 / (int(hits[0]) + 1)
+
+
+def mae(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Mean absolute rating-prediction error."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape or predicted.size == 0:
+        raise ValueError("predicted and actual must be equal-length, non-empty")
+    return float(np.abs(predicted - actual).mean())
+
+
+def rmse(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Root mean squared rating-prediction error."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape or predicted.size == 0:
+        raise ValueError("predicted and actual must be equal-length, non-empty")
+    return float(np.sqrt(((predicted - actual) ** 2).mean()))
+
+
+def rating_metrics(predicted: np.ndarray, actual: np.ndarray) -> dict[str, float]:
+    """Pointwise rating-error metrics (MAE/RMSE) for one user's queries."""
+    return {"mae": mae(predicted, actual), "rmse": rmse(predicted, actual)}
+
+
+def rank_metrics(predicted: np.ndarray, actual: np.ndarray, k: int,
+                 rating_range: tuple[float, float]) -> dict[str, float]:
+    """All three metrics for one user's ranked list."""
+    threshold = relevance_threshold(rating_range)
+    return {
+        "precision": precision_at_k(predicted, actual, k, threshold),
+        "ndcg": ndcg_at_k(predicted, actual, k),
+        "map": average_precision_at_k(predicted, actual, k, threshold),
+    }

@@ -1,0 +1,114 @@
+"""Uniform evaluation protocol for all systems (§VI-A, §VI-B).
+
+Every model — HIRE and the baselines — is scored the same way: build the
+per-user support/query tasks for a scenario, ``fit`` the model (supports
+visible per the paper's protocol), predict each task's query items, and
+aggregate Precision / NDCG / MAP at each ``k`` over tasks.  Mean and
+standard deviation across repeated runs (fresh seeds) reproduce the
+``mean (std)`` cells of Tables III-V.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.splits import ColdStartSplit
+from .metrics import rank_metrics
+from .tasks import EvalTask, build_eval_tasks
+
+__all__ = ["ScenarioResult", "evaluate_model", "evaluate_repeated"]
+
+METRIC_NAMES = ("precision", "ndcg", "map")
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregated metrics of one model on one scenario."""
+
+    model_name: str
+    scenario: str
+    num_tasks: int
+    metrics: dict[int, dict[str, float]]          # k -> metric -> mean over tasks
+    fit_seconds: float = 0.0
+    predict_seconds: float = 0.0
+    per_task: dict[int, dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def row(self, k: int) -> dict[str, float]:
+        return self.metrics[k]
+
+
+def evaluate_model(model, split: ColdStartSplit, scenario: str,
+                   ks: tuple[int, ...] = (5, 7, 10), support_fraction: float = 0.1,
+                   min_query: int = 5, max_tasks: int | None = None,
+                   seed: int = 0, tasks: list[EvalTask] | None = None,
+                   fit: bool = True) -> ScenarioResult:
+    """Fit ``model`` for one scenario and score it over the eval tasks."""
+    if tasks is None:
+        tasks = build_eval_tasks(split, scenario, support_fraction=support_fraction,
+                                 min_query=min_query, seed=seed, max_tasks=max_tasks)
+    if not tasks:
+        raise ValueError(f"scenario {scenario!r} produced no evaluation tasks")
+
+    fit_seconds = 0.0
+    if fit:
+        start = time.perf_counter()
+        model.fit(split, tasks)
+        fit_seconds = time.perf_counter() - start
+
+    rating_range = split.dataset.rating_range
+    per_task: dict[int, dict[str, list[float]]] = {
+        k: {name: [] for name in METRIC_NAMES} for k in ks
+    }
+    start = time.perf_counter()
+    for task in tasks:
+        scores = np.asarray(model.predict_task(task), dtype=np.float64)
+        if scores.shape != (len(task.query_items),):
+            raise ValueError(
+                f"{model.name} returned {scores.shape} scores for "
+                f"{len(task.query_items)} query items"
+            )
+        for k in ks:
+            values = rank_metrics(scores, task.query_ratings, k, rating_range)
+            for name in METRIC_NAMES:
+                per_task[k][name].append(values[name])
+    predict_seconds = time.perf_counter() - start
+
+    metrics = {
+        k: {name: float(np.mean(vals)) for name, vals in by_metric.items()}
+        for k, by_metric in per_task.items()
+    }
+    return ScenarioResult(
+        model_name=model.name,
+        scenario=scenario,
+        num_tasks=len(tasks),
+        metrics=metrics,
+        fit_seconds=fit_seconds,
+        predict_seconds=predict_seconds,
+        per_task={k: {n: np.asarray(v) for n, v in by.items()} for k, by in per_task.items()},
+    )
+
+
+def evaluate_repeated(model_factory, split: ColdStartSplit, scenario: str,
+                      repeats: int = 3, ks: tuple[int, ...] = (5, 7, 10),
+                      **kwargs) -> dict[int, dict[str, tuple[float, float]]]:
+    """Mean ± std over ``repeats`` independent fits (fresh model per run).
+
+    ``model_factory(seed)`` must return an unfitted model.  The returned
+    mapping is ``k -> metric -> (mean, std)`` — the format of the paper's
+    table cells.
+    """
+    runs: list[ScenarioResult] = []
+    for repeat in range(repeats):
+        model = model_factory(repeat)
+        runs.append(evaluate_model(model, split, scenario, ks=ks,
+                                   seed=repeat, **kwargs))
+    out: dict[int, dict[str, tuple[float, float]]] = {}
+    for k in ks:
+        out[k] = {}
+        for name in METRIC_NAMES:
+            values = np.array([run.metrics[k][name] for run in runs])
+            out[k][name] = (float(values.mean()), float(values.std()))
+    return out

@@ -1,0 +1,73 @@
+"""Paired bootstrap significance testing between two evaluated systems.
+
+The overall tables report means over a modest number of cold-start tasks,
+so "A beats B" claims need a significance check.  Both models are scored
+on the *same* tasks (the protocol guarantees this when tasks are passed
+explicitly), making the paired bootstrap the right tool: resample tasks
+with replacement and examine the distribution of the mean difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .protocol import ScenarioResult
+
+__all__ = ["paired_bootstrap", "compare_results"]
+
+
+def paired_bootstrap(values_a: np.ndarray, values_b: np.ndarray,
+                     num_resamples: int = 2000, seed: int = 0,
+                     confidence: float = 0.95) -> dict:
+    """Bootstrap the mean difference of paired per-task metric values.
+
+    Returns ``mean_diff`` (A − B), a two-sided ``p_value`` for the null of
+    zero difference, the ``ci`` of the difference at ``confidence``, and
+    ``prob_a_better`` — the bootstrap probability that A's mean exceeds
+    B's.
+    """
+    values_a = np.asarray(values_a, dtype=np.float64)
+    values_b = np.asarray(values_b, dtype=np.float64)
+    if values_a.shape != values_b.shape or values_a.ndim != 1:
+        raise ValueError("paired samples must be equal-length 1-D arrays")
+    if len(values_a) < 2:
+        raise ValueError("need at least two paired tasks")
+
+    rng = np.random.default_rng(seed)
+    n = len(values_a)
+    diffs = values_a - values_b
+    observed = float(diffs.mean())
+
+    indices = rng.integers(0, n, size=(num_resamples, n))
+    resampled = diffs[indices].mean(axis=1)
+
+    alpha = 1.0 - confidence
+    low, high = np.quantile(resampled, [alpha / 2, 1.0 - alpha / 2])
+    # Two-sided p-value by symmetry of the shifted bootstrap distribution.
+    shifted = resampled - observed
+    p_value = float(np.mean(np.abs(shifted) >= abs(observed)))
+    return {
+        "mean_diff": observed,
+        "p_value": p_value,
+        "ci": (float(low), float(high)),
+        "prob_a_better": float(np.mean(resampled > 0.0)),
+        "num_tasks": n,
+    }
+
+
+def compare_results(result_a: ScenarioResult, result_b: ScenarioResult,
+                    metric: str = "ndcg", k: int = 5, **kwargs) -> dict:
+    """Significance of A−B from two :class:`ScenarioResult` on shared tasks."""
+    if result_a.num_tasks != result_b.num_tasks:
+        raise ValueError(
+            "results cover different task counts "
+            f"({result_a.num_tasks} vs {result_b.num_tasks}); evaluate both "
+            "models on the same explicit task list"
+        )
+    values_a = result_a.per_task[k][metric]
+    values_b = result_b.per_task[k][metric]
+    out = paired_bootstrap(values_a, values_b, **kwargs)
+    out["model_a"] = result_a.model_name
+    out["model_b"] = result_b.model_name
+    out["metric"] = f"{metric}@{k}"
+    return out

@@ -1,0 +1,87 @@
+"""Evaluation tasks: per-user support/query splits of the cold quadrant.
+
+For every test user in a cold-start scenario, the user's evaluation ratings
+are split into a *support* set (the 10 % of ratings the system is allowed to
+see — matching both HIRE's revealed context cells and the meta-learning
+baselines' support sets) and a *query* set (the 90 % masked ratings that are
+predicted and ranked).  This is the uniform protocol all models are scored
+under (§VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import ITEM_COLUMN, USER_COLUMN
+from ..data.splits import ColdStartSplit
+
+__all__ = ["EvalTask", "build_eval_tasks"]
+
+
+@dataclass
+class EvalTask:
+    """One test user's cold-start episode."""
+
+    user: int
+    support: np.ndarray  # (s, 3) triples the model may condition on
+    query: np.ndarray    # (q, 3) triples to predict and rank
+
+    def __post_init__(self):
+        self.support = np.asarray(self.support, dtype=np.float64).reshape(-1, 3)
+        self.query = np.asarray(self.query, dtype=np.float64).reshape(-1, 3)
+        if self.query.shape[0] == 0:
+            raise ValueError("a task needs at least one query rating")
+        for name, triples in (("support", self.support), ("query", self.query)):
+            if triples.size and not np.all(triples[:, USER_COLUMN] == self.user):
+                raise ValueError(f"{name} triples must all belong to the task user")
+
+    @property
+    def query_items(self) -> np.ndarray:
+        return self.query[:, ITEM_COLUMN].astype(np.int64)
+
+    @property
+    def support_items(self) -> np.ndarray:
+        return self.support[:, ITEM_COLUMN].astype(np.int64)
+
+    @property
+    def query_ratings(self) -> np.ndarray:
+        return self.query[:, 2]
+
+
+def build_eval_tasks(split: ColdStartSplit, scenario: str,
+                     support_fraction: float = 0.1, min_query: int = 5,
+                     seed: int = 0, max_tasks: int | None = None) -> list[EvalTask]:
+    """Group a scenario's cold-quadrant ratings into per-user tasks.
+
+    Users with fewer than ``min_query`` query ratings after the support
+    split are dropped (too few items to rank meaningfully).  ``max_tasks``
+    caps the evaluation for fast benchmarking sweeps.
+    """
+    if not 0.0 <= support_fraction < 1.0:
+        raise ValueError("support_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    eval_ratings = split.eval_ratings(scenario)
+    tasks: list[EvalTask] = []
+    if eval_ratings.size == 0:
+        return tasks
+
+    users = eval_ratings[:, USER_COLUMN].astype(np.int64)
+    for user in np.unique(users):
+        rows = eval_ratings[users == user]
+        if len(rows) < 2:
+            continue
+        perm = rng.permutation(len(rows))
+        rows = rows[perm]
+        support_count = int(round(support_fraction * len(rows)))
+        support_count = min(max(support_count, 1), len(rows) - 1)
+        support, query = rows[:support_count], rows[support_count:]
+        if len(query) < min_query:
+            continue
+        tasks.append(EvalTask(user=int(user), support=support, query=query))
+
+    rng.shuffle(tasks)
+    if max_tasks is not None:
+        tasks = tasks[:max_tasks]
+    return tasks

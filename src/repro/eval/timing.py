@@ -1,0 +1,27 @@
+"""Test-time measurement (Fig. 6: total test time per method).
+
+The paper times only the *prediction* phase on the user cold-start scenario
+(test time is similar across scenarios).  :func:`measure_test_time` times
+the predict loop of an already-fitted model over a task list.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .tasks import EvalTask
+
+__all__ = ["measure_test_time"]
+
+
+def measure_test_time(model, tasks: list[EvalTask], repeats: int = 1) -> float:
+    """Seconds to score all tasks, best of ``repeats`` passes."""
+    if not tasks:
+        raise ValueError("no tasks to time")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for task in tasks:
+            model.predict_task(task)
+        best = min(best, time.perf_counter() - start)
+    return best

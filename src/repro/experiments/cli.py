@@ -1,0 +1,177 @@
+"""Command-line entry point for the reproduction harness.
+
+Examples::
+
+    python -m repro.experiments.cli list
+    python -m repro.experiments.cli run table3 --scale fast --max-tasks 6
+    python -m repro.experiments.cli run fig9 --scale fast -o results/
+    python -m repro.experiments.cli run all --scale fast -o results/
+
+``run`` prints the paper-style rendering of the chosen artifact and, with
+``--output``, writes it to ``<output>/<experiment>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .compare import render_comparison
+from .configs import EXPERIMENTS
+from .paper_numbers import _TABLES
+from .runner import run_experiment
+from .tables import (
+    render_ablation_table,
+    render_attention_matrix,
+    render_overall_table,
+    render_sweep_table,
+    render_timing_table,
+)
+
+__all__ = ["main", "render_experiment"]
+
+
+def render_experiment(experiment_id: str, result) -> str:
+    """Render one experiment's result in the paper's layout."""
+    if experiment_id in ("table3", "table4", "table5"):
+        return render_overall_table(result, ks=EXPERIMENTS[experiment_id].ks)
+    if experiment_id == "fig6":
+        return render_timing_table(result)
+    if experiment_id == "fig7":
+        blocks = [r for r in result if r["sweep"] == "num_him_blocks"]
+        contexts = [r for r in result if r["sweep"] == "context_size"]
+        return ("HIM blocks sweep\n" + render_sweep_table(blocks, "value")
+                + "\n\nContext size sweep\n" + render_sweep_table(contexts, "value"))
+    if experiment_id == "table6":
+        return render_ablation_table(result)
+    if experiment_id == "fig8":
+        return render_sweep_table(result, "sampler")
+    if experiment_id == "fig9":
+        parts = []
+        for key, title in (("user", "MBU (between users)"),
+                           ("item", "MBI (between items)"),
+                           ("attr", "MBA (between attributes)")):
+            labels = None
+            if key == "attr":
+                labels = list(result["attribute_names"])
+            parts.append(title)
+            parts.append(render_attention_matrix(result["attention"][key], labels))
+        return "\n".join(parts)
+    raise KeyError(f"unknown experiment {experiment_id!r}")
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, spec in EXPERIMENTS.items():
+        print(f"{key:<{width}}  {spec.paper_artifact:<10} {spec.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    output_dir = Path(args.output) if args.output else None
+    if output_dir:
+        output_dir.mkdir(parents=True, exist_ok=True)
+
+    for experiment_id in targets:
+        kwargs = {}
+        if experiment_id != "fig9" and args.max_tasks is not None:
+            kwargs["max_tasks"] = args.max_tasks
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, scale=args.scale, seed=args.seed,
+                                **kwargs)
+        elapsed = time.perf_counter() - start
+        text = render_experiment(experiment_id, result)
+        banner = (f"== {EXPERIMENTS[experiment_id].paper_artifact} "
+                  f"({experiment_id}, scale={args.scale}, {elapsed:.1f}s) ==")
+        print(banner)
+        print(text)
+        print()
+        if output_dir:
+            (output_dir / f"{experiment_id}.txt").write_text(text + "\n")
+            if getattr(args, "svg", False):
+                for name, svg in _render_svgs(experiment_id, result).items():
+                    (output_dir / name).write_text(svg + "\n")
+    return 0
+
+
+def _render_svgs(experiment_id: str, result) -> dict[str, str]:
+    """SVG charts for the figure experiments (empty for tables)."""
+    from ..viz import fig6_svg, fig7_svg, fig8_svg, fig9_svg
+
+    if experiment_id == "fig6":
+        return {"fig6.svg": fig6_svg(result)}
+    if experiment_id == "fig7":
+        return {
+            "fig7_blocks.svg": fig7_svg(result, sweep="num_him_blocks"),
+            "fig7_context.svg": fig7_svg(result, sweep="context_size"),
+        }
+    if experiment_id == "fig8":
+        return {"fig8.svg": fig8_svg(result)}
+    if experiment_id == "fig9":
+        return {f"fig9_{which}.svg": fig9_svg(result, which=which)
+                for which in ("user", "item", "attr")}
+    return {}
+
+
+def _cmd_compare(args) -> int:
+    if args.experiment not in _TABLES:
+        print(f"no paper numbers for {args.experiment!r}; "
+              f"choose from {sorted(_TABLES)}", file=sys.stderr)
+        return 2
+    result = run_experiment(args.experiment, scale=args.scale, seed=args.seed,
+                            max_tasks=args.max_tasks)
+    text = render_comparison(args.experiment, result)
+    print(text)
+    if args.output:
+        out = Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{args.experiment}_compare.txt").write_text(text + "\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run.add_argument("--scale", choices=("fast", "full"), default="fast")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--max-tasks", type=int, default=6,
+                     help="evaluation tasks per scenario (None = all)")
+    run.add_argument("-o", "--output", default=None,
+                     help="directory to write rendered artifacts into")
+    run.add_argument("--svg", action="store_true",
+                     help="also write SVG charts for figure experiments")
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser(
+        "compare", help="run an overall table and compare against the paper")
+    compare.add_argument("experiment", help="table3 | table4 | table5 | table6")
+    compare.add_argument("--scale", choices=("fast", "full"), default="fast")
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--max-tasks", type=int, default=6)
+    compare.add_argument("-o", "--output", default=None)
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,131 @@
+"""Text rendering of experiment results in the paper's table layout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "render_overall_table",
+    "render_ablation_table",
+    "render_timing_table",
+    "render_sweep_table",
+    "render_attention_matrix",
+]
+
+_SCENARIO_LABELS = {"user": "UC", "item": "IC", "both": "U&I C"}
+
+
+def render_overall_table(rows: list[dict], ks: tuple[int, ...] = (5, 7, 10)) -> str:
+    """Tables III-V: scenario blocks × models, metric columns per k."""
+    if not rows:
+        return "(no results)"
+    lines = []
+    header = ["Scenario", "Method"]
+    for k in ks:
+        header += [f"Pre@{k}", f"NDCG@{k}", f"MAP@{k}"]
+    lines.append(" | ".join(f"{h:>10s}" for h in header))
+    lines.append("-" * len(lines[0]))
+    scenarios = _ordered_unique(r["scenario"] for r in rows)
+    models = _ordered_unique(r["model"] for r in rows)
+    for scenario in scenarios:
+        for model in models:
+            cells = [f"{_SCENARIO_LABELS.get(scenario, scenario):>10s}", f"{model:>10s}"]
+            found = False
+            for k in ks:
+                match = [r for r in rows
+                         if r["scenario"] == scenario and r["model"] == model and r["k"] == k]
+                if match:
+                    found = True
+                    r = match[0]
+                    cells += [f"{r['precision']:>10.4f}", f"{r['ndcg']:>10.4f}",
+                              f"{r['map']:>10.4f}"]
+                else:
+                    cells += [f"{'-':>10s}"] * 3
+            if found:
+                lines.append(" | ".join(cells))
+        lines.append("-" * len(lines[0]))
+    return "\n".join(lines)
+
+
+def render_ablation_table(rows: list[dict]) -> str:
+    """Table VI: ablation variants × scenarios, metrics @5."""
+    if not rows:
+        return "(no results)"
+    scenarios = _ordered_unique(r["scenario"] for r in rows)
+    header = ["Blocks".ljust(24)]
+    for scenario in scenarios:
+        label = _SCENARIO_LABELS.get(scenario, scenario)
+        header += [f"{label} Pre@5", f"{label} NDCG@5", f"{label} MAP@5"]
+    lines = [" | ".join(f"{h:>12s}" if i else h for i, h in enumerate(header))]
+    lines.append("-" * len(lines[0]))
+    for variant in _ordered_unique(r["variant"] for r in rows):
+        cells = [variant.ljust(24)]
+        for scenario in scenarios:
+            match = [r for r in rows
+                     if r["variant"] == variant and r["scenario"] == scenario]
+            if match:
+                r = match[0]
+                cells += [f"{r['precision']:>12.4f}", f"{r['ndcg']:>12.4f}",
+                          f"{r['map']:>12.4f}"]
+            else:
+                cells += [f"{'-':>12s}"] * 3
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_timing_table(rows: list[dict]) -> str:
+    """Fig. 6 as a table: per-dataset total test time per method."""
+    if not rows:
+        return "(no results)"
+    datasets = _ordered_unique(r["dataset"] for r in rows)
+    models = _ordered_unique(r["model"] for r in rows)
+    header = ["Method".ljust(12)] + [f"{d:>16s}" for d in datasets]
+    lines = [" | ".join(header), "-" * (14 + 19 * len(datasets))]
+    for model in models:
+        cells = [model.ljust(12)]
+        for dataset in datasets:
+            match = [r for r in rows if r["model"] == model and r["dataset"] == dataset]
+            cells.append(f"{match[0]['test_seconds']:>15.3f}s" if match else f"{'-':>16s}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_sweep_table(rows: list[dict], sweep_key: str) -> str:
+    """Fig. 7 / Fig. 8: one line per swept value × scenario."""
+    if not rows:
+        return "(no results)"
+    header = [sweep_key.ljust(18), "Scenario".ljust(8), "Pre@5".rjust(8),
+              "NDCG@5".rjust(8), "MAP@5".rjust(8)]
+    lines = [" | ".join(header), "-" * 62]
+    for r in rows:
+        lines.append(" | ".join([
+            str(r[sweep_key]).ljust(18),
+            _SCENARIO_LABELS.get(r["scenario"], r["scenario"]).ljust(8),
+            f"{r['precision']:8.4f}", f"{r['ndcg']:8.4f}", f"{r['map']:8.4f}",
+        ]))
+    return "\n".join(lines)
+
+
+def render_attention_matrix(matrix: np.ndarray, labels: list[str] | None = None,
+                            max_width: int = 16) -> str:
+    """ASCII heatmap of an attention matrix (Fig. 9 case study)."""
+    matrix = np.asarray(matrix)
+    shades = " .:-=+*#%@"
+    lo, hi = matrix.min(), matrix.max()
+    span = (hi - lo) or 1.0
+    lines = []
+    for i, row in enumerate(matrix[:max_width]):
+        cells = "".join(
+            shades[min(int((v - lo) / span * (len(shades) - 1)), len(shades) - 1)]
+            for v in row[:max_width]
+        )
+        label = (labels[i][:12].ljust(12) if labels and i < len(labels) else f"{i:>3d}      ")
+        lines.append(f"{label} |{cells}|")
+    return "\n".join(lines)
+
+
+def _ordered_unique(values) -> list:
+    seen: dict = {}
+    for v in values:
+        seen.setdefault(v, None)
+    return list(seen)

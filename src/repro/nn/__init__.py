@@ -1,0 +1,64 @@
+"""``repro.nn`` — a from-scratch neural network substrate on numpy.
+
+This package replaces PyTorch for the purposes of this reproduction: it
+provides reverse-mode autograd (:mod:`repro.nn.tensor`), modules and layers
+(:mod:`repro.nn.module`, :mod:`repro.nn.layers`), multi-head self-attention
+(:mod:`repro.nn.attention`), and the paper's training stack — LAMB,
+Lookahead, flat-then-anneal cosine schedule, gradient clipping
+(:mod:`repro.nn.optim`, :mod:`repro.nn.schedulers`, :mod:`repro.nn.clip`).
+"""
+
+from . import functional, init
+from .attention import MultiHeadSelfAttention
+from .clip import clip_grad_norm
+from .layers import (
+    GELU,
+    MLP,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import LAMB, SGD, Adam, Lookahead, Optimizer
+from .schedulers import ConstantLR, FlatThenAnnealLR, LRScheduler
+from .serialization import load_checkpoint, load_module, save_checkpoint, save_module
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "init",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Sigmoid",
+    "Tanh",
+    "MLP",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LAMB",
+    "Lookahead",
+    "LRScheduler",
+    "ConstantLR",
+    "FlatThenAnnealLR",
+    "clip_grad_norm",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_module",
+    "load_module",
+]

@@ -1,0 +1,85 @@
+"""Multi-head self-attention (Eq. 1-4 of the paper).
+
+The layer operates on inputs of shape ``(..., t, d)``: attention is computed
+over the second-to-last axis (the token axis) independently for every leading
+batch axis.  This batching is exactly what HIM exploits — MBU runs one
+parameter-sharing MHSA over the user axis for each item column, MBI over the
+item axis for each user row, and MBA over the attribute axis for each
+(user, item) cell.
+
+MHSA is permutation-equivariant over the token axis (Eq. 5), the inductive
+bias that makes HIRE order-independent over users and items (Property 5.1);
+``tests/nn/test_attention.py`` checks this exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from . import functional as F
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head self-attention with optional attention-weight capture.
+
+    Parameters
+    ----------
+    embed_dim:
+        Dimension ``d`` of each input token; also the output dimension.
+    num_heads:
+        Number of parallel attention heads ``l``; must divide ``embed_dim``.
+    rng:
+        Generator used to initialise the four projection matrices.
+
+    Attributes
+    ----------
+    last_attention:
+        Numpy array of shape ``(..., num_heads, t, t)`` holding the attention
+        weights from the most recent forward pass when ``capture_attention``
+        was set.  Used by the Fig. 9 case study.
+    """
+
+    def __init__(self, embed_dim: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError(f"embed_dim {embed_dim} not divisible by num_heads {num_heads}")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.w_query = Linear(embed_dim, embed_dim, rng, bias=False)
+        self.w_key = Linear(embed_dim, embed_dim, rng, bias=False)
+        self.w_value = Linear(embed_dim, embed_dim, rng, bias=False)
+        self.w_output = Linear(embed_dim, embed_dim, rng, bias=False)
+        self.capture_attention = False
+        self.last_attention: np.ndarray | None = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.embed_dim:
+            raise ValueError(f"expected last dim {self.embed_dim}, got {x.shape[-1]}")
+        t = x.shape[-2]
+        lead = x.shape[:-2]
+
+        def split_heads(proj: Tensor) -> Tensor:
+            # (..., t, d) -> (..., heads, t, head_dim)
+            reshaped = proj.reshape(*lead, t, self.num_heads, self.head_dim)
+            return reshaped.swapaxes(-3, -2)
+
+        q = split_heads(self.w_query(x))
+        k = split_heads(self.w_key(x))
+        v = split_heads(self.w_value(x))
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(self.head_dim))
+        attn = F.softmax(scores, axis=-1)
+        if self.capture_attention:
+            self.last_attention = attn.data.copy()
+
+        fused = attn @ v  # (..., heads, t, head_dim)
+        merged = fused.swapaxes(-3, -2).reshape(*lead, t, self.embed_dim)
+        return self.w_output(merged)

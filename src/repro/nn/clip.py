@@ -1,0 +1,27 @@
+"""Gradient clipping utilities."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["clip_grad_norm"]
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip global norm, matching the PyTorch convention.  The
+    paper clips at 1.0 (§VI-A).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params = [p for p in parameters if p.grad is not None]
+    total_sq = 0.0
+    for p in params:
+        total_sq += float((p.grad * p.grad).sum())
+    total_norm = math.sqrt(total_sq)
+    if total_norm > max_norm:
+        scale = max_norm / (total_norm + 1e-12)
+        for p in params:
+            p.grad = p.grad * scale
+    return total_norm

@@ -1,0 +1,181 @@
+"""Functional operations over :class:`repro.nn.Tensor`.
+
+These free functions complement the methods on ``Tensor`` with multi-input
+operations (stack, concatenate), numerically stable softmax / log-softmax,
+activation functions, and the loss functions used by the paper (MSE on masked
+ratings) and the baselines (binary cross-entropy, etc.).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "stack",
+    "concatenate",
+    "softmax",
+    "log_softmax",
+    "relu",
+    "gelu",
+    "sigmoid",
+    "tanh",
+    "mse_loss",
+    "masked_mse_loss",
+    "bce_loss",
+    "l2_penalty",
+    "dropout",
+    "embedding_lookup",
+    "pad_to",
+]
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors of identical shape along a new axis."""
+    datas = [t.data for t in tensors]
+    out_data = np.stack(datas, axis=axis)
+
+    def backward(g):
+        slices = np.moveaxis(g, axis, 0)
+        return tuple((t, slices[i]) for i, t in enumerate(tensors))
+
+    return Tensor._from_op(out_data, tuple(tensors), backward)
+
+
+def concatenate(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along an existing axis."""
+    datas = [t.data for t in tensors]
+    out_data = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        grads = []
+        for i, t in enumerate(tensors):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append((t, g[tuple(index)]))
+        return tuple(grads)
+
+    return Tensor._from_op(out_data, tuple(tensors), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` with a fused backward."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    probs = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(g):
+        dot = (g * probs).sum(axis=axis, keepdims=True)
+        return ((x, probs * (g - dot)),)
+
+    return Tensor._from_op(probs, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    probs = np.exp(out_data)
+
+    def backward(g):
+        return ((x, g - probs * g.sum(axis=axis, keepdims=True)),)
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+_GELU_C = math.sqrt(2.0 / math.pi)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    inner = _GELU_C * (x + 0.044715 * x * x * x)
+    return 0.5 * x * (1.0 + inner.tanh())
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error over all elements."""
+    if not isinstance(target, Tensor):
+        target = Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def masked_mse_loss(prediction: Tensor, target: np.ndarray, mask: np.ndarray) -> Tensor:
+    """MSE over entries where ``mask`` is True (Eq. 17 of the paper).
+
+    ``mask`` marks the query ratings Q whose ground truth was hidden from the
+    model; the loss averages squared error over exactly those cells.
+    """
+    mask = np.asarray(mask, dtype=np.float64)
+    count = mask.sum()
+    if count == 0:
+        raise ValueError("masked_mse_loss requires at least one masked entry")
+    diff = prediction - Tensor(target)
+    return (diff * diff * Tensor(mask)).sum() * (1.0 / count)
+
+
+def bce_loss(prediction: Tensor, target: np.ndarray, eps: float = 1e-9) -> Tensor:
+    """Binary cross entropy on probabilities in (0, 1)."""
+    target_t = Tensor(np.asarray(target, dtype=np.float64))
+    clipped = prediction.clip(eps, 1.0 - eps)
+    losses = -(target_t * clipped.log() + (1.0 - target_t) * (1.0 - clipped).log())
+    return losses.mean()
+
+
+def l2_penalty(parameters) -> Tensor:
+    """Sum of squared parameter values, for weight decay done as a loss term."""
+    total = None
+    for p in parameters:
+        term = (p * p).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1 / (1 - rate)``."""
+    if not training or rate <= 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)
+
+
+def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Row lookup into an embedding matrix with scatter-add backward."""
+    indices = np.asarray(indices)
+    out_data = table.data[indices]
+
+    def backward(g):
+        full = np.zeros_like(table.data)
+        np.add.at(full, indices.reshape(-1), g.reshape(-1, table.data.shape[-1]))
+        return ((table, full),)
+
+    return Tensor._from_op(out_data, (table,), backward)
+
+
+def pad_to(x: np.ndarray, length: int, value: float = 0.0) -> np.ndarray:
+    """Pad a 1-D array to ``length`` with ``value`` (no autograd; data prep)."""
+    if len(x) >= length:
+        return x[:length]
+    out = np.full(length, value, dtype=x.dtype)
+    out[: len(x)] = x
+    return out

@@ -1,0 +1,56 @@
+"""Learning-rate schedulers.
+
+The paper uses a *flat-then-anneal* schedule: the learning rate stays at the
+base value for the first 70 % of training steps, then follows a cosine decay
+to zero by the final step (§VI-A).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["LRScheduler", "ConstantLR", "FlatThenAnnealLR"]
+
+
+class LRScheduler:
+    """Base scheduler: mutate ``optimizer.lr`` on each :meth:`step`."""
+
+    def __init__(self, optimizer, total_steps: int):
+        if total_steps < 1:
+            raise ValueError(f"total_steps must be >= 1, got {total_steps}")
+        self.optimizer = optimizer
+        self.total_steps = total_steps
+        self.base_lr = optimizer.lr
+        self.current_step = 0
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step and set the optimiser's learning rate."""
+        self.current_step = min(self.current_step + 1, self.total_steps)
+        lr = self.lr_at(self.current_step)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    def lr_at(self, step: int) -> float:
+        return self.base_lr
+
+
+class FlatThenAnnealLR(LRScheduler):
+    """Flat at ``base_lr`` for ``flat_fraction`` of steps, then cosine to 0."""
+
+    def __init__(self, optimizer, total_steps: int, flat_fraction: float = 0.7):
+        super().__init__(optimizer, total_steps)
+        if not 0.0 <= flat_fraction <= 1.0:
+            raise ValueError(f"flat_fraction must be in [0, 1], got {flat_fraction}")
+        self.flat_steps = int(round(flat_fraction * total_steps))
+
+    def lr_at(self, step: int) -> float:
+        if step <= self.flat_steps:
+            return self.base_lr
+        anneal_steps = max(self.total_steps - self.flat_steps, 1)
+        progress = (step - self.flat_steps) / anneal_steps
+        return self.base_lr * 0.5 * (1.0 + math.cos(math.pi * min(progress, 1.0)))

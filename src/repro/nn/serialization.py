@@ -1,0 +1,58 @@
+"""Checkpointing: save/load module state dicts as ``.npz`` archives.
+
+Parameter names become archive keys (dots are legal in npz keys), so a
+checkpoint round-trips exactly through :meth:`Module.state_dict` /
+:meth:`Module.load_state_dict`.  A ``__meta__/...`` namespace carries
+arbitrary scalar metadata (model config, training step, seeds).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_module", "load_module"]
+
+_META_KEY = "__meta__"
+
+
+def save_checkpoint(path: str | Path, state: dict[str, np.ndarray],
+                    metadata: dict | None = None) -> None:
+    """Write a state dict (plus JSON-serialisable metadata) to ``path``."""
+    path = Path(path)
+    arrays = dict(state)
+    if _META_KEY in arrays:
+        raise ValueError(f"{_META_KEY!r} is reserved")
+    if metadata is not None:
+        arrays[_META_KEY] = np.frombuffer(
+            json.dumps(metadata, sort_keys=True).encode(), dtype=np.uint8
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Read ``(state, metadata)`` from a checkpoint written by
+    :func:`save_checkpoint`."""
+    with np.load(Path(path)) as archive:
+        state = {k: archive[k].copy() for k in archive.files if k != _META_KEY}
+        metadata: dict = {}
+        if _META_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_META_KEY].tobytes()).decode())
+    return state, metadata
+
+
+def save_module(path: str | Path, module: Module, metadata: dict | None = None) -> None:
+    """Checkpoint a module's parameters."""
+    save_checkpoint(path, module.state_dict(), metadata)
+
+
+def load_module(path: str | Path, module: Module) -> dict:
+    """Restore a module's parameters in place; returns the metadata."""
+    state, metadata = load_checkpoint(path)
+    module.load_state_dict(state)
+    return metadata

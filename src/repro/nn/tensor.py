@@ -1,0 +1,424 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This module is the foundation of the ``repro.nn`` substrate: a minimal but
+complete autograd engine in the spirit of PyTorch's eager tensors.  Every
+operation builds a node in a dynamic computation graph; calling
+:meth:`Tensor.backward` runs a topological sweep that accumulates gradients
+into ``.grad`` of every tensor created with ``requires_grad=True``.
+
+Design choices:
+
+* ``float64`` by default — the library targets correctness and testability
+  (gradients are validated against finite differences), not GPU throughput.
+* Broadcasting follows numpy semantics; :func:`_unbroadcast` folds gradients
+  back onto the original shapes.
+* The graph holds strong references to parents only while a tensor is alive,
+  so ordinary Python GC reclaims whole graphs between training steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (like torch.no_grad)."""
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded on the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got Tensor")
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _from_op(cls, data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        out = cls(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a view, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError(f"item() requires a single-element tensor, got shape {self.shape}")
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"grad shape {grad.shape} != tensor shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self.grad = grad if self.grad is None else self.grad + grad
+        for node in reversed(topo):
+            if node._backward is None or node.grad is None:
+                continue
+            for parent, pgrad in node._backward(node.grad):
+                if pgrad is None:
+                    continue
+                pgrad = _unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
+                parent.grad = pgrad if parent.grad is None else parent.grad + pgrad
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor._from_op(
+            self.data + other.data,
+            (self, other),
+            lambda g: ((self, g), (other, g)),
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor._from_op(
+            self.data - other.data,
+            (self, other),
+            lambda g: ((self, g), (other, -g)),
+        )
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor._from_op(
+            self.data * other.data,
+            (self, other),
+            lambda g: ((self, g * other.data), (other, g * self.data)),
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        return Tensor._from_op(
+            self.data / other.data,
+            (self, other),
+            lambda g: (
+                (self, g / other.data),
+                (other, -g * self.data / (other.data * other.data)),
+            ),
+        )
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._from_op(-self.data, (self,), lambda g: ((self, -g),))
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out_data = self.data**exponent
+        return Tensor._from_op(
+            out_data,
+            (self,),
+            lambda g: ((self, g * exponent * self.data ** (exponent - 1)),),
+        )
+
+    # Comparison operators return plain boolean arrays (no gradients).
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra
+    # ------------------------------------------------------------------ #
+    def __matmul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+
+        def backward(g):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                return ((self, g * b), (other, g * a))
+            if a.ndim == 1:
+                # (k,) @ (..., k, n) -> (..., n)
+                ga = (b * g[..., None, :]).sum(axis=-1)
+                gb = a[:, None] * g[..., None, :]
+                return ((self, ga), (other, gb))
+            if b.ndim == 1:
+                # (..., m, k) @ (k,) -> (..., m)
+                ga = g[..., :, None] * b
+                gb = (np.swapaxes(a, -1, -2) @ g[..., :, None])[..., 0]
+                return ((self, ga), (other, gb))
+            ga = g @ np.swapaxes(b, -1, -2)
+            gb = np.swapaxes(a, -1, -2) @ g
+            return ((self, ga), (other, gb))
+
+        return Tensor._from_op(out_data, (self, other), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        """Permute axes.  With no arguments, reverse all axes (like numpy)."""
+        if not axes:
+            axes = tuple(range(self.data.ndim))[::-1]
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = tuple(np.argsort(axes))
+        return Tensor._from_op(
+            self.data.transpose(axes),
+            (self,),
+            lambda g: ((self, g.transpose(inverse)),),
+        )
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        return Tensor._from_op(
+            np.swapaxes(self.data, axis1, axis2),
+            (self,),
+            lambda g: ((self, np.swapaxes(g, axis1, axis2)),),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        return Tensor._from_op(
+            self.data.reshape(shape),
+            (self,),
+            lambda g: ((self, g.reshape(original)),),
+        )
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(g):
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, g)
+            return ((self, full),)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            if axis is None:
+                return ((self, np.broadcast_to(g, self.data.shape).copy()),)
+            g_expanded = g
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                g_expanded = np.expand_dims(g, axes)
+            return ((self, np.broadcast_to(g_expanded, self.data.shape).copy()),)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            if axis is None:
+                mask = (self.data == out_data).astype(np.float64)
+                mask /= mask.sum()
+                return ((self, mask * g),)
+            g_expanded = g
+            out_expanded = out_data
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                g_expanded = np.expand_dims(g, axes)
+                out_expanded = np.expand_dims(out_data, axes)
+            mask = (self.data == out_expanded).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            return ((self, mask * g_expanded),)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        return Tensor._from_op(out_data, (self,), lambda g: ((self, g * out_data),))
+
+    def log(self) -> "Tensor":
+        return Tensor._from_op(
+            np.log(self.data), (self,), lambda g: ((self, g / self.data),)
+        )
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+        return Tensor._from_op(
+            out_data, (self,), lambda g: ((self, g * 0.5 / out_data),)
+        )
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        return Tensor._from_op(
+            out_data, (self,), lambda g: ((self, g * (1.0 - out_data * out_data)),)
+        )
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        return Tensor._from_op(
+            out_data, (self,), lambda g: ((self, g * out_data * (1.0 - out_data)),)
+        )
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        return Tensor._from_op(
+            self.data * mask, (self,), lambda g: ((self, g * mask),)
+        )
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        return Tensor._from_op(
+            np.abs(self.data), (self,), lambda g: ((self, g * sign),)
+        )
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        return Tensor._from_op(
+            np.clip(self.data, low, high), (self,), lambda g: ((self, g * mask),)
+        )

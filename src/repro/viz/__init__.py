@@ -1,0 +1,14 @@
+"""``repro.viz`` — dependency-free SVG rendering of the paper's figures."""
+
+from .figures import fig6_svg, fig7_svg, fig8_svg, fig9_svg
+from .svg import bar_chart, heatmap, line_chart
+
+__all__ = [
+    "line_chart",
+    "bar_chart",
+    "heatmap",
+    "fig6_svg",
+    "fig7_svg",
+    "fig8_svg",
+    "fig9_svg",
+]

@@ -1,0 +1,63 @@
+"""Per-figure SVG rendering from the experiment runner's row format.
+
+Each function takes the same data structure the corresponding
+``repro.experiments.runner`` call returns and produces the paper figure's
+visual form as an SVG string (saved by the benchmarks to ``results/``).
+"""
+
+from __future__ import annotations
+
+from .svg import bar_chart, heatmap, line_chart
+
+__all__ = ["fig6_svg", "fig7_svg", "fig8_svg", "fig9_svg"]
+
+_SCENARIO_LABELS = {"user": "UC", "item": "IC", "both": "U&I C"}
+
+
+def fig6_svg(rows: list[dict]) -> str:
+    """Fig. 6: total test time per method (summed over datasets), log scale."""
+    totals: dict[str, float] = {}
+    for row in rows:
+        totals[row["model"]] = totals.get(row["model"], 0.0) + row["test_seconds"]
+    return bar_chart(totals, title="Fig. 6 — total test time",
+                     y_label="seconds", log_scale=True)
+
+
+def fig7_svg(rows: list[dict], sweep: str = "num_him_blocks") -> str:
+    """Fig. 7: metric@5 vs swept value, one line per scenario."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        if row.get("sweep") != sweep:
+            continue
+        label = _SCENARIO_LABELS.get(row["scenario"], row["scenario"])
+        series.setdefault(label, []).append((float(row["value"]), row["ndcg"]))
+    x_label = "HIM blocks" if sweep == "num_him_blocks" else "context size"
+    return line_chart(series, title=f"Fig. 7 — sensitivity ({x_label})",
+                      x_label=x_label, y_label="NDCG@5")
+
+
+def fig8_svg(rows: list[dict]) -> str:
+    """Fig. 8: NDCG@5 per sampler per scenario as grouped bars."""
+    values: dict[str, float] = {}
+    for row in rows:
+        label = (f"{row['sampler']}/"
+                 f"{_SCENARIO_LABELS.get(row['scenario'], row['scenario'])}")
+        values[label] = row["ndcg"]
+    return bar_chart(values, title="Fig. 8 — sampling strategies",
+                     y_label="NDCG@5")
+
+
+def fig9_svg(case: dict, which: str = "attr") -> str:
+    """Fig. 9: one attention matrix as a heatmap."""
+    matrix = case["attention"][which]
+    if which == "user":
+        labels = [f"u{u}" for u in case["users"]]
+    elif which == "item":
+        labels = [f"i{i}" for i in case["items"]]
+    else:
+        labels = list(case["attribute_names"])
+    titles = {"user": "MBU — attention between users",
+              "item": "MBI — attention between items",
+              "attr": "MBA — attention between attributes"}
+    return heatmap(matrix.tolist(), row_labels=labels, col_labels=labels,
+                   title=f"Fig. 9 — {titles[which]}")

@@ -1,0 +1,81 @@
+"""Shared baseline infrastructure: PairEncoder, support folding, the
+pairwise training loop."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NeuMF, PairEncoder, combine_support_ratings
+from repro.eval import build_eval_tasks
+
+
+class TestPairEncoder:
+    def test_dims(self, ml_dataset):
+        enc = PairEncoder(ml_dataset, attr_dim=4, rng=np.random.default_rng(0))
+        assert enc.user_dim == ml_dataset.num_user_attributes * 4
+        assert enc.item_dim == ml_dataset.num_item_attributes * 4
+        assert enc.num_user_fields == ml_dataset.num_user_attributes
+
+    def test_encode_shapes(self, ml_dataset):
+        enc = PairEncoder(ml_dataset, attr_dim=4, rng=np.random.default_rng(0))
+        assert enc.encode_users(np.array([0, 1])).shape == (2, enc.user_dim)
+        assert enc.encode_items(np.array([0])).shape == (1, enc.item_dim)
+
+    def test_field_embeddings_shape(self, ml_dataset):
+        enc = PairEncoder(ml_dataset, attr_dim=4, rng=np.random.default_rng(0))
+        fields = enc.field_embeddings(np.array([0, 1]), np.array([2, 3]))
+        expected_fields = enc.num_user_fields + enc.num_item_fields
+        assert fields.shape == (2, expected_fields, 4)
+
+    def test_same_user_same_encoding(self, ml_dataset):
+        enc = PairEncoder(ml_dataset, attr_dim=4, rng=np.random.default_rng(0))
+        out = enc.encode_users(np.array([5, 5])).data
+        np.testing.assert_array_equal(out[0], out[1])
+
+
+class TestCombineSupportRatings:
+    def test_supports_appended(self, ml_split):
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0)
+        combined = combine_support_ratings(ml_split, tasks)
+        train = ml_split.train_ratings()
+        support_total = sum(len(t.support) for t in tasks)
+        assert len(combined) == len(train) + support_total
+
+    def test_no_query_leakage(self, ml_split):
+        """Query triples must never reach the training data."""
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0)
+        combined = combine_support_ratings(ml_split, tasks)
+        combined_pairs = {(int(u), int(i)) for u, i, _ in combined}
+        for task in tasks:
+            for item in task.query_items:
+                assert (task.user, int(item)) not in combined_pairs
+
+    def test_empty_tasks(self, ml_split):
+        combined = combine_support_ratings(ml_split, [])
+        assert len(combined) == len(ml_split.train_ratings())
+
+
+class TestPairwiseLoop:
+    def test_predict_before_fit_raises(self, ml_dataset, ml_split):
+        model = NeuMF(ml_dataset, steps=2, seed=0)
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0)
+        with pytest.raises(RuntimeError, match="fit"):
+            model.predict_task(tasks[0])
+
+    def test_fit_records_loss_history(self, ml_dataset, ml_split):
+        model = NeuMF(ml_dataset, steps=10, seed=0)
+        model.fit(ml_split, [])
+        assert len(model.loss_history) == 10
+
+    def test_training_reduces_loss(self, ml_dataset, ml_split):
+        model = NeuMF(ml_dataset, steps=200, seed=0)
+        model.fit(ml_split, [])
+        first = np.mean(model.loss_history[:10])
+        last = np.mean(model.loss_history[-10:])
+        assert last < first
+
+    def test_scores_in_rating_range(self, ml_dataset, ml_split):
+        model = NeuMF(ml_dataset, steps=10, seed=0)
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0)
+        model.fit(ml_split, tasks)
+        scores = model.predict_task(tasks[0])
+        assert (scores >= 0).all() and (scores <= 5.0).all()

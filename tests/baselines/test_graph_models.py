@@ -1,0 +1,119 @@
+"""Graph-based baselines: GraphRec (social), GraphHINGE and MetaHIN (HIN)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GraphHINGE, GraphRec, MetaHIN
+from repro.eval import build_eval_tasks
+
+
+@pytest.fixture(scope="module")
+def ml_tasks(ml_split):
+    return build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=3)
+
+
+@pytest.fixture(scope="module")
+def douban_tasks(douban_split):
+    return build_eval_tasks(douban_split, "user", min_query=5, seed=0, max_tasks=3)
+
+
+class TestGraphRec:
+    def test_requires_social_graph(self, ml_dataset):
+        with pytest.raises(ValueError, match="social"):
+            GraphRec(ml_dataset)
+
+    def test_fit_and_predict(self, douban_dataset, douban_split, douban_tasks):
+        model = GraphRec(douban_dataset, steps=15, batch_size=8, seed=0)
+        model.fit(douban_split, douban_tasks)
+        scores = model.predict_task(douban_tasks[0])
+        assert scores.shape == (len(douban_tasks[0].query_items),)
+        assert np.isfinite(scores).all()
+
+    def test_cold_user_uses_support_neighborhood(self, douban_dataset,
+                                                 douban_split, douban_tasks):
+        """Support ratings must be reachable in the aggregation graph."""
+        model = GraphRec(douban_dataset, steps=5, batch_size=4, seed=0)
+        model.fit(douban_split, douban_tasks)
+        task = douban_tasks[0]
+        rated = model.graph.items_of_user(task.user)
+        assert set(map(int, task.support_items)) <= set(map(int, rated))
+
+    def test_friends_index_symmetric(self, douban_dataset, douban_split,
+                                     douban_tasks):
+        model = GraphRec(douban_dataset, steps=2, batch_size=4, seed=0)
+        model.fit(douban_split, douban_tasks)
+        for a, b in douban_dataset.social_edges[:20]:
+            assert int(b) in model.friends[int(a)]
+            assert int(a) in model.friends[int(b)]
+
+    def test_predict_before_fit(self, douban_dataset, douban_tasks):
+        with pytest.raises(RuntimeError):
+            GraphRec(douban_dataset).predict_task(douban_tasks[0])
+
+
+class TestGraphHINGE:
+    def test_fit_and_predict(self, ml_dataset, ml_split, ml_tasks):
+        model = GraphHINGE(ml_dataset, steps=10, batch_size=8, seed=0)
+        model.fit(ml_split, ml_tasks)
+        scores = model.predict_task(ml_tasks[0])
+        assert np.isfinite(scores).all()
+        assert (scores >= 0).all() and (scores <= 5.0).all()
+
+    def test_neighborhoods_typed(self, ml_dataset, ml_split, ml_tasks):
+        from repro.data import node_id
+
+        model = GraphHINGE(ml_dataset, steps=2, batch_size=4, seed=0)
+        model.fit(ml_split, ml_tasks)
+        user = int(ml_split.train_users[0])
+        from repro.baselines.graphhinge import _USER_METAPATHS
+        items, users = model._neighborhood(node_id("user", user), _USER_METAPATHS)
+        # user metapaths end at items only
+        assert users.size == 0
+        if items.size:
+            assert items.max() < ml_dataset.num_items
+
+    def test_interaction_zero_when_isolated(self, ml_dataset, ml_split, ml_tasks):
+        model = GraphHINGE(ml_dataset, steps=2, batch_size=4, seed=0)
+        model.fit(ml_split, ml_tasks)
+        # An unrated cold item with no attr overlap still yields a finite score.
+        from repro import nn
+        with nn.no_grad():
+            inter = model._interaction(int(ml_split.train_users[0]),
+                                       int(ml_split.test_items[0]))
+        assert np.isfinite(inter.data).all()
+
+
+class TestMetaHIN:
+    def test_fit_and_predict(self, ml_dataset, ml_split, ml_tasks):
+        model = MetaHIN(ml_dataset, episodes=15, seed=0)
+        model.fit(ml_split, ml_tasks)
+        scores = model.predict_task(ml_tasks[0])
+        assert np.isfinite(scores).all()
+
+    def test_semantic_context_nonzero_for_connected_items(self, ml_dataset,
+                                                          ml_split, ml_tasks):
+        model = MetaHIN(ml_dataset, episodes=5, seed=0)
+        model.fit(ml_split, ml_tasks)
+        support_items = ml_split.train_ratings()[:3, 1].astype(np.int64)
+        from repro import nn
+        with nn.no_grad():
+            ctx = model._semantic_context(support_items)
+        assert np.abs(ctx.data).sum() > 0
+
+    def test_semantic_context_zero_without_support(self, ml_dataset, ml_split,
+                                                   ml_tasks):
+        model = MetaHIN(ml_dataset, episodes=5, seed=0)
+        model.fit(ml_split, ml_tasks)
+        from repro import nn
+        with nn.no_grad():
+            ctx = model._semantic_context(np.empty(0, dtype=np.int64))
+        np.testing.assert_array_equal(ctx.data, 0)
+
+    def test_adaptation_restores_parameters(self, ml_dataset, ml_split, ml_tasks):
+        model = MetaHIN(ml_dataset, episodes=10, seed=0)
+        model.fit(ml_split, ml_tasks)
+        before = model.network.state_dict()
+        model.predict_task(ml_tasks[0])
+        after = model.network.state_dict()
+        for key in before:
+            np.testing.assert_allclose(before[key], after[key], err_msg=key)

@@ -1,0 +1,89 @@
+"""IGMC extension baseline: subgraph extraction and GNN behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import IGMC
+from repro.eval import build_eval_tasks
+
+
+@pytest.fixture(scope="module")
+def fitted(ml_dataset, ml_split):
+    tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=3)
+    model = IGMC(ml_dataset, steps=8, batch_size=4, seed=0)
+    model.fit(ml_split, tasks)
+    return model, tasks
+
+
+class TestSubgraph:
+    def test_target_nodes_first(self, fitted, ml_split):
+        model, _ = fitted
+        row = ml_split.train_ratings()[0]
+        roles, adjacency = model._subgraph(int(row[0]), int(row[1]),
+                                           exclude_target_edge=False)
+        assert roles[0] == 0  # target user label
+        assert 1 in roles     # target item label present
+        assert set(np.unique(roles)) <= {0, 1, 2, 3}
+
+    def test_target_edge_excluded_in_training_mode(self, fitted, ml_split):
+        model, _ = fitted
+        row = ml_split.train_ratings()[0]
+        user, item = int(row[0]), int(row[1])
+        roles, adj_excl = model._subgraph(user, item, exclude_target_edge=True)
+        _, adj_incl = model._subgraph(user, item, exclude_target_edge=False)
+        target_item_pos = int(np.flatnonzero(roles == 1)[0])
+        # The (target user, target item) cell is zero across all levels when
+        # the label edge is excluded, and present otherwise.
+        assert all(a[0, target_item_pos] == 0 for a in adj_excl)
+        assert any(a[0, target_item_pos] > 0 for a in adj_incl)
+
+    def test_adjacency_symmetric(self, fitted, ml_split):
+        model, _ = fitted
+        row = ml_split.train_ratings()[1]
+        _, adjacency = model._subgraph(int(row[0]), int(row[1]),
+                                       exclude_target_edge=False)
+        for level in adjacency:
+            np.testing.assert_allclose(level, level.T)
+
+    def test_neighbor_budget_respected(self, fitted, ml_split):
+        model, _ = fitted
+        row = ml_split.train_ratings()[0]
+        roles, _ = model._subgraph(int(row[0]), int(row[1]),
+                                   exclude_target_edge=False)
+        assert len(roles) <= 2 + 2 * model.max_neighbors
+
+
+class TestModel:
+    def test_fit_and_predict(self, fitted):
+        model, tasks = fitted
+        scores = model.predict_task(tasks[0])
+        assert scores.shape == (len(tasks[0].query_items),)
+        assert np.isfinite(scores).all()
+        assert (scores >= 0).all() and (scores <= 5.0).all()
+
+    def test_loss_recorded(self, fitted):
+        model, _ = fitted
+        assert len(model.loss_history) == 8
+        assert np.isfinite(model.loss_history).all()
+
+    def test_inductive_on_cold_user(self, fitted, ml_split):
+        """A cold user's score is computable: role labels are structural,
+        no per-entity parameters exist."""
+        model, tasks = fitted
+        cold_user = int(ml_split.test_users[0])
+        warm_item = int(ml_split.train_items[0])
+        from repro import nn
+        with nn.no_grad():
+            score = model._score(cold_user, warm_item, exclude_target_edge=False)
+        assert np.isfinite(score.item())
+
+    def test_predict_before_fit(self, ml_dataset, ml_split):
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=1)
+        with pytest.raises(RuntimeError):
+            IGMC(ml_dataset).predict_task(tasks[0])
+
+    def test_registry(self, ml_dataset):
+        from repro.experiments import create_model
+
+        model = create_model("IGMC", ml_dataset, seed=0, preset="fast")
+        assert model.name == "IGMC"

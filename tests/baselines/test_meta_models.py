@@ -1,0 +1,119 @@
+"""Meta-learning baselines (MeLU, MAMO, TaNP): episodes, adaptation,
+parameter restoration."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MAMO, MeLU, TaNP, group_ratings_by_user
+from repro.eval import build_eval_tasks
+
+META_CLASSES = [MeLU, MAMO, TaNP]
+
+
+@pytest.fixture(scope="module")
+def user_tasks(ml_split):
+    return build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=4)
+
+
+class TestGrouping:
+    def test_groups_by_user(self):
+        triples = np.array([
+            [0, 0, 3.0], [0, 1, 4.0],
+            [1, 0, 2.0], [1, 2, 5.0],
+            [2, 0, 1.0],  # only one rating -> dropped
+        ])
+        grouped = group_ratings_by_user(triples)
+        assert set(grouped) == {0, 1}
+        assert len(grouped[0]) == 2
+
+    def test_empty(self):
+        assert group_ratings_by_user(np.empty((0, 3))) == {}
+
+
+@pytest.mark.parametrize("cls", META_CLASSES)
+class TestMetaCommon:
+    def test_fit_and_predict(self, cls, ml_dataset, ml_split, user_tasks):
+        model = cls(ml_dataset, episodes=20, seed=0)
+        model.fit(ml_split, user_tasks)
+        scores = model.predict_task(user_tasks[0])
+        assert scores.shape == (len(user_tasks[0].query_items),)
+        assert np.isfinite(scores).all()
+        assert (scores >= 0).all() and (scores <= 5.0).all()
+
+    def test_predict_before_fit_raises(self, cls, ml_dataset, user_tasks):
+        with pytest.raises(RuntimeError):
+            cls(ml_dataset, episodes=5, seed=0).predict_task(user_tasks[0])
+
+    def test_loss_history_length(self, cls, ml_dataset, ml_split, user_tasks):
+        model = cls(ml_dataset, episodes=15, seed=0)
+        model.fit(ml_split, user_tasks)
+        assert len(model.loss_history) == 15
+
+    def test_adaptation_restores_parameters(self, cls, ml_dataset, ml_split,
+                                            user_tasks):
+        """predict_task adapts then restores — repeated calls must agree."""
+        model = cls(ml_dataset, episodes=10, seed=0)
+        model.fit(ml_split, user_tasks)
+        before = model.network.state_dict()
+        a = model.predict_task(user_tasks[0])
+        after = model.network.state_dict()
+        for key in before:
+            np.testing.assert_allclose(before[key], after[key], atol=1e-12,
+                                       err_msg=key)
+        b = model.predict_task(user_tasks[0])
+        np.testing.assert_allclose(a, b)
+
+
+class TestAdaptationEffects:
+    def test_melu_adaptation_changes_predictions(self, ml_dataset, ml_split,
+                                                 user_tasks):
+        """Inner-loop adaptation on the support must move the scores."""
+        model = MeLU(ml_dataset, episodes=30, inner_steps=3, inner_lr=0.1, seed=0)
+        model.fit(ml_split, user_tasks)
+        task = user_tasks[0]
+        adapted = model.predict_task(task)
+        unadapted = model.adapt_and_score(np.empty((0, 3)), task.user,
+                                          task.query_items)
+        assert not np.allclose(adapted, unadapted)
+
+    def test_mamo_memory_personalizes(self, ml_dataset, ml_split, user_tasks):
+        """Different users read different biases from the memory."""
+        model = MAMO(ml_dataset, episodes=20, seed=0)
+        model.fit(ml_split, user_tasks)
+        from repro import nn
+        with nn.no_grad():
+            bias_a = model.network.personalized_bias(int(ml_split.train_users[0])).data
+            bias_b = model.network.personalized_bias(int(ml_split.train_users[1])).data
+        assert not np.allclose(bias_a, bias_b)
+
+    def test_tanp_task_latent_depends_on_support(self, ml_dataset, ml_split,
+                                                 user_tasks):
+        model = TaNP(ml_dataset, episodes=20, seed=0)
+        model.fit(ml_split, user_tasks)
+        task = user_tasks[0]
+        from repro import nn
+        with nn.no_grad():
+            z_full = model.network.encode_task(task.support, 5.0).data
+            flipped = task.support.copy()
+            flipped[:, 2] = 5.0 - flipped[:, 2] + 1.0
+            z_flip = model.network.encode_task(flipped, 5.0).data
+        assert not np.allclose(z_full, z_flip)
+
+    def test_tanp_empty_support_fallback(self, ml_dataset, ml_split, user_tasks):
+        model = TaNP(ml_dataset, episodes=10, seed=0)
+        model.fit(ml_split, user_tasks)
+        task = user_tasks[0]
+        scores = model.adapt_and_score(np.empty((0, 3)), task.user, task.query_items)
+        assert np.isfinite(scores).all()
+
+    def test_episode_sampling_respects_limits(self, ml_dataset, ml_split):
+        model = MeLU(ml_dataset, episodes=1, max_support=3, max_query=7, seed=0)
+        model.fit(ml_split, [])
+        grouped = group_ratings_by_user(ml_split.train_ratings())
+        for _ in range(20):
+            ep = model.sample_episode(grouped)
+            assert 1 <= len(ep.support) <= 3
+            assert 1 <= len(ep.query) <= 7
+            # support and query are disjoint rows of one user
+            assert (ep.support[:, 0] == ep.user).all()
+            assert (ep.query[:, 0] == ep.user).all()

@@ -1,0 +1,96 @@
+"""Trivial reference scorers (metric floors)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GlobalMeanScorer,
+    ItemMeanScorer,
+    RandomScorer,
+    UserMeanScorer,
+)
+from repro.eval import build_eval_tasks, evaluate_model
+
+
+@pytest.fixture(scope="module")
+def tasks(ml_split):
+    return build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=5)
+
+
+class TestRandomScorer:
+    def test_scores_shape(self, ml_split, tasks):
+        model = RandomScorer(seed=0)
+        model.fit(ml_split, tasks)
+        assert model.predict_task(tasks[0]).shape == (len(tasks[0].query_items),)
+
+    def test_different_tasks_different_scores(self, ml_split, tasks):
+        model = RandomScorer(seed=0)
+        a = model.predict_task(tasks[0])
+        b = model.predict_task(tasks[0])
+        assert not np.allclose(a, b)
+
+
+class TestGlobalMean:
+    def test_constant_prediction(self, ml_split, tasks):
+        model = GlobalMeanScorer()
+        model.fit(ml_split, tasks)
+        scores = model.predict_task(tasks[0])
+        assert np.unique(scores).size == 1
+        low, high = ml_split.dataset.rating_range
+        assert low <= scores[0] <= high
+
+    def test_requires_fit(self, tasks):
+        with pytest.raises(RuntimeError):
+            GlobalMeanScorer().predict_task(tasks[0])
+
+
+class TestItemMean:
+    def test_matches_manual_mean(self, ml_split, tasks):
+        from repro.baselines import combine_support_ratings
+
+        model = ItemMeanScorer()
+        model.fit(ml_split, tasks)
+        triples = combine_support_ratings(ml_split, tasks)
+        item = int(tasks[0].query_items[0])
+        mask = triples[:, 1].astype(int) == item
+        if mask.any():
+            expected = triples[mask, 2].mean()
+            assert model.predict_task(tasks[0])[0] == pytest.approx(expected)
+
+    def test_unknown_item_gets_global_mean(self, ml_split, tasks):
+        model = ItemMeanScorer()
+        model.fit(ml_split, tasks)
+        # An item id that definitely has no training rating.
+        fake = type(tasks[0])(
+            user=tasks[0].user,
+            support=tasks[0].support,
+            query=np.array([[tasks[0].user, ml_split.dataset.num_items - 1, 3.0]]),
+        )
+        score = model.predict_task(fake)
+        # Either the item happens to be rated or we get the global mean.
+        assert np.isfinite(score).all()
+
+    def test_beats_random_on_user_cold_start(self, ml_split, tasks):
+        """Warm-item quality is real signal: the item-mean floor should be
+        at least the chance floor on average."""
+        item_mean = evaluate_model(ItemMeanScorer(), ml_split, "user",
+                                   ks=(5,), tasks=tasks)
+        chance = []
+        for rep in range(5):
+            chance.append(evaluate_model(RandomScorer(seed=rep), ml_split, "user",
+                                         ks=(5,), tasks=tasks).metrics[5]["ndcg"])
+        assert item_mean.metrics[5]["ndcg"] >= np.mean(chance) - 0.05
+
+
+class TestUserMean:
+    def test_constant_per_task(self, ml_split, tasks):
+        model = UserMeanScorer()
+        model.fit(ml_split, tasks)
+        scores = model.predict_task(tasks[0])
+        assert np.unique(scores).size == 1
+
+    def test_cold_user_mean_comes_from_support(self, ml_split, tasks):
+        model = UserMeanScorer()
+        model.fit(ml_split, tasks)
+        task = tasks[0]
+        assert model.predict_task(task)[0] == pytest.approx(task.support[:, 2].mean())

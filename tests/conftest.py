@@ -1,0 +1,51 @@
+"""Shared fixtures: small seeded workloads reused across the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    RatingGraph,
+    bookcrossing_like,
+    douban_like,
+    make_cold_start_split,
+    movielens_like,
+)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def ml_dataset():
+    """Small MovieLens-like dataset (rich attributes)."""
+    return movielens_like(num_users=80, num_items=60, seed=7)
+
+
+@pytest.fixture(scope="session")
+def douban_dataset():
+    """Small Douban-like dataset (no attributes, social edges)."""
+    return douban_like(num_users=60, num_items=70, seed=11)
+
+
+@pytest.fixture(scope="session")
+def book_dataset():
+    """Small Bookcrossing-like dataset (1-10 scale, sparse)."""
+    return bookcrossing_like(num_users=70, num_items=60, seed=13)
+
+
+@pytest.fixture(scope="session")
+def ml_split(ml_dataset):
+    return make_cold_start_split(ml_dataset, 0.2, 0.2, seed=3)
+
+
+@pytest.fixture(scope="session")
+def douban_split(douban_dataset):
+    return make_cold_start_split(douban_dataset, 0.3, 0.3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def ml_graph(ml_split):
+    return RatingGraph(ml_split.train_ratings(), ml_split.dataset.num_users,
+                       ml_split.dataset.num_items)

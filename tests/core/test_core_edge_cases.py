@@ -1,0 +1,114 @@
+"""Edge cases across the core pipeline: tiny contexts, degenerate datasets,
+boundary configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HIRE,
+    HIREConfig,
+    HIREPredictor,
+    HIRETrainer,
+    TrainerConfig,
+    build_context,
+)
+from repro.data import RatingDataset, RatingGraph, make_cold_start_split
+from repro.eval import build_eval_tasks
+
+
+def tiny_dataset(num_users=8, num_items=8, seed=0):
+    rng = np.random.default_rng(seed)
+    triples = []
+    for user in range(num_users):
+        for item in rng.choice(num_items, size=4, replace=False):
+            triples.append((user, int(item), float(rng.integers(1, 6))))
+    return RatingDataset(
+        name="tiny",
+        num_users=num_users,
+        num_items=num_items,
+        user_attributes=rng.integers(0, 3, size=(num_users, 2)),
+        item_attributes=rng.integers(0, 4, size=(num_items, 1)),
+        user_attribute_cards=(3, 3),
+        item_attribute_cards=(4,),
+        ratings=np.asarray(triples),
+        rating_range=(1.0, 5.0),
+    )
+
+
+class TestMinimalContexts:
+    def test_one_by_one_context(self):
+        ds = tiny_dataset()
+        graph = RatingGraph(ds.ratings, ds.num_users, ds.num_items)
+        rng = np.random.default_rng(0)
+        ctx = build_context(graph, np.array([0]), np.array([0]), rng)
+        model = HIRE(ds, HIREConfig(num_blocks=1, num_heads=2, attr_dim=4, seed=0))
+        out = model.predict(ctx)
+        assert out.shape == (1, 1)
+        assert np.isfinite(out).all()
+
+    def test_two_by_three_context_training(self):
+        ds = tiny_dataset()
+        split = make_cold_start_split(ds, 0.25, 0.25, seed=0)
+        model = HIRE(ds, HIREConfig(num_blocks=1, num_heads=2, attr_dim=4, seed=0))
+        trainer = HIRETrainer(model, split, config=TrainerConfig(
+            steps=3, batch_size=1, context_users=2, context_items=3, seed=0))
+        history = trainer.fit()
+        assert np.isfinite(history).all()
+
+
+class TestDegenerateConfigs:
+    def test_single_head(self):
+        ds = tiny_dataset()
+        model = HIRE(ds, HIREConfig(num_blocks=1, num_heads=1, attr_dim=4, seed=0))
+        graph = RatingGraph(ds.ratings, ds.num_users, ds.num_items)
+        ctx = build_context(graph, np.arange(3), np.arange(3),
+                            np.random.default_rng(0))
+        assert np.isfinite(model.predict(ctx)).all()
+
+    def test_attr_dim_one(self):
+        """f=1 still works: attribute attention runs with one head."""
+        ds = tiny_dataset()
+        model = HIRE(ds, HIREConfig(num_blocks=1, num_heads=1, attr_dim=1, seed=0))
+        graph = RatingGraph(ds.ratings, ds.num_users, ds.num_items)
+        ctx = build_context(graph, np.arange(2), np.arange(2),
+                            np.random.default_rng(0))
+        assert model.predict(ctx).shape == (2, 2)
+
+    def test_single_block_single_layer(self):
+        ds = tiny_dataset()
+        config = HIREConfig(num_blocks=1, num_heads=2, attr_dim=4,
+                            use_item=False, use_attr=False, seed=0)
+        model = HIRE(ds, config)
+        graph = RatingGraph(ds.ratings, ds.num_users, ds.num_items)
+        ctx = build_context(graph, np.arange(3), np.arange(2),
+                            np.random.default_rng(0))
+        assert np.isfinite(model.predict(ctx)).all()
+
+
+class TestPredictorEdges:
+    def test_task_with_single_support(self):
+        ds = tiny_dataset(num_users=20, num_items=20, seed=3)
+        split = make_cold_start_split(ds, 0.3, 0.3, seed=0)
+        tasks = build_eval_tasks(split, "user", min_query=2, seed=0)
+        if not tasks:
+            pytest.skip("no tasks at this scale")
+        model = HIRE(ds, HIREConfig(num_blocks=1, num_heads=2, attr_dim=4, seed=0))
+        predictor = HIREPredictor(model, split, tasks, context_users=4,
+                                  context_items=4, seed=0)
+        for task in tasks[:3]:
+            scores = predictor.predict_task(task)
+            assert np.isfinite(scores).all()
+
+    def test_context_budget_smaller_than_query_list(self):
+        """Item budget 3 with a long query list exercises heavy chunking."""
+        ds = tiny_dataset(num_users=25, num_items=25, seed=5)
+        split = make_cold_start_split(ds, 0.3, 0.3, seed=0)
+        tasks = build_eval_tasks(split, "user", min_query=3, seed=0)
+        if not tasks:
+            pytest.skip("no tasks")
+        task = max(tasks, key=lambda t: len(t.query_items))
+        model = HIRE(ds, HIREConfig(num_blocks=1, num_heads=2, attr_dim=4, seed=0))
+        predictor = HIREPredictor(model, split, tasks, context_users=3,
+                                  context_items=3, seed=0)
+        scores = predictor.predict_task(task)
+        assert len(scores) == len(task.query_items)

@@ -1,0 +1,111 @@
+"""ContextEncoder: Eq. 6-9 — shapes, masking, and gradient flow."""
+
+import numpy as np
+import pytest
+
+from repro.core import ContextEncoder, build_context
+from repro.data import RatingGraph
+
+
+@pytest.fixture
+def encoder(ml_dataset):
+    return ContextEncoder(ml_dataset, attr_dim=4, rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def context(ml_graph):
+    rng = np.random.default_rng(0)
+    return build_context(ml_graph, np.arange(6), np.arange(5), rng,
+                         reveal_fraction=0.3)
+
+
+class TestDimensions:
+    def test_num_attributes_counts_rating_slot(self, encoder, ml_dataset):
+        # h = h_u + h_i + 1 (the rating slot)
+        assert encoder.num_attributes == (ml_dataset.num_user_attributes
+                                          + ml_dataset.num_item_attributes + 1)
+
+    def test_embed_dim(self, encoder):
+        assert encoder.embed_dim == encoder.num_attributes * 4
+
+    def test_rating_levels(self, encoder, ml_dataset):
+        low, high = ml_dataset.rating_range
+        assert encoder.num_rating_levels == int(high - low) + 1
+
+
+class TestEncoding:
+    def test_user_encoding_shape(self, encoder):
+        out = encoder.encode_users(np.array([0, 1, 2]))
+        assert out.shape == (3, encoder.num_user_attrs * 4)
+
+    def test_item_encoding_shape(self, encoder):
+        out = encoder.encode_items(np.array([0, 1]))
+        assert out.shape == (2, encoder.num_item_attrs * 4)
+
+    def test_same_attributes_same_encoding(self, encoder, ml_dataset):
+        # Two lookups of the same user are identical.
+        a = encoder.encode_users(np.array([3])).data
+        b = encoder.encode_users(np.array([3])).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_h_tensor_shape(self, encoder, context):
+        h = encoder(context)
+        assert h.shape == (context.n, context.m, encoder.embed_dim)
+
+    def test_masked_ratings_encode_to_mask_token(self, encoder, context):
+        """All hidden cells share one representation (the learned mask
+        token), distinct per-cell embeddings appear only where revealed."""
+        ratings_part = encoder.encode_ratings(context).data
+        hidden = ~context.revealed
+        token = encoder.mask_token.data
+        np.testing.assert_allclose(
+            ratings_part[hidden], np.broadcast_to(token, ratings_part[hidden].shape))
+        if context.revealed.any():
+            revealed_vals = ratings_part[context.revealed]
+            assert not np.allclose(revealed_vals, token)
+
+    def test_masked_ratings_zero_with_paper_encoding(self, ml_dataset, context):
+        """With learned_mask_token=False the exact Eq. 9 behaviour holds:
+        masked cells encode to all-zero vectors."""
+        paper_encoder = ContextEncoder(ml_dataset, attr_dim=4,
+                                       rng=np.random.default_rng(0),
+                                       learned_mask_token=False)
+        ratings_part = paper_encoder.encode_ratings(context).data
+        assert (ratings_part[~context.revealed] == 0).all()
+
+    def test_cell_layout_matches_eq6(self, encoder, context):
+        """H[k, j] = [x_u ‖ x_i ‖ x_r] — verify the user block varies by
+        row only and the item block by column only."""
+        h = encoder(context).data
+        hu_f = encoder.num_user_attrs * 4
+        hi_f = encoder.num_item_attrs * 4
+        user_block = h[:, :, :hu_f]
+        item_block = h[:, :, hu_f:hu_f + hi_f]
+        for j in range(1, context.m):
+            np.testing.assert_array_equal(user_block[:, 0], user_block[:, j])
+        for k in range(1, context.n):
+            np.testing.assert_array_equal(item_block[0], item_block[k])
+
+    def test_gradients_reach_all_transforms(self, encoder, context):
+        h = encoder(context)
+        h.sum().backward()
+        for k, table in enumerate(encoder.user_transforms):
+            assert table.weight.grad is not None, f"user transform {k}"
+        for k, table in enumerate(encoder.item_transforms):
+            assert table.weight.grad is not None, f"item transform {k}"
+        if context.revealed.any():
+            assert encoder.rating_transform.weight.grad is not None
+
+
+class TestIdAttributeDatasets:
+    def test_douban_encoder(self, douban_dataset):
+        """ID-as-attribute datasets (Douban) encode through one table."""
+        encoder = ContextEncoder(douban_dataset, attr_dim=4,
+                                 rng=np.random.default_rng(0))
+        assert encoder.num_user_attrs == 1
+        assert encoder.num_attributes == 3  # user id + item id + rating
+        graph = RatingGraph(douban_dataset.ratings, douban_dataset.num_users,
+                            douban_dataset.num_items)
+        ctx = build_context(graph, np.arange(4), np.arange(4),
+                            np.random.default_rng(0))
+        assert encoder(ctx).shape == (4, 4, encoder.embed_dim)

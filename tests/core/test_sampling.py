@@ -1,0 +1,166 @@
+"""Context samplers: exact budgets, target inclusion, neighbourhood
+preference, feature-similarity ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import RatingGraph, movielens_like
+from repro.core import (
+    FeatureSimilaritySampler,
+    NeighborhoodSampler,
+    RandomSampler,
+    sampler_by_name,
+)
+
+
+@pytest.fixture
+def star_graph():
+    """User 0 rated items 0-4; users 1-5 each rated item 0."""
+    triples = [[0, i, 3.0] for i in range(5)]
+    triples += [[u, 0, 4.0] for u in range(1, 6)]
+    return RatingGraph(np.asarray(triples, dtype=float), num_users=10, num_items=10)
+
+
+ALL_USERS = np.arange(10)
+ALL_ITEMS = np.arange(10)
+
+
+class TestNeighborhoodSampler:
+    def test_exact_budgets(self, star_graph):
+        rng = np.random.default_rng(0)
+        users, items = NeighborhoodSampler().sample(
+            star_graph, np.array([0]), np.array([0]), 4, 4, rng, ALL_USERS, ALL_ITEMS)
+        assert len(users) == 4 and len(items) == 4
+        assert len(np.unique(users)) == 4 and len(np.unique(items)) == 4
+
+    def test_targets_first(self, star_graph):
+        rng = np.random.default_rng(0)
+        users, items = NeighborhoodSampler().sample(
+            star_graph, np.array([0]), np.array([3]), 3, 3, rng, ALL_USERS, ALL_ITEMS)
+        assert users[0] == 0
+        assert items[0] == 3
+
+    def test_prefers_neighbors(self, star_graph):
+        """With budget 6/6 on the star, all one-hop neighbours make it in."""
+        rng = np.random.default_rng(1)
+        users, items = NeighborhoodSampler().sample(
+            star_graph, np.array([0]), np.array([0]), 6, 6, rng, ALL_USERS, ALL_ITEMS)
+        # users 1-5 all rated item 0 (the seed item) -> all present
+        assert set(range(1, 6)) <= set(users.tolist())
+        # items 0-4 all rated by user 0 -> all present
+        assert set(range(5)) <= set(items.tolist())
+
+    def test_pads_when_graph_exhausted(self, star_graph):
+        """Isolated seed still yields full budgets via uniform padding."""
+        rng = np.random.default_rng(2)
+        users, items = NeighborhoodSampler().sample(
+            star_graph, np.array([9]), np.array([9]), 5, 5, rng, ALL_USERS, ALL_ITEMS)
+        assert len(users) == 5 and len(items) == 5
+
+    def test_respects_candidate_pool(self, star_graph):
+        rng = np.random.default_rng(3)
+        pool_users = np.array([0, 1, 2])
+        users, _ = NeighborhoodSampler().sample(
+            star_graph, np.array([0]), np.array([0]), 3, 3, rng, pool_users, ALL_ITEMS)
+        assert set(users.tolist()) <= set(pool_users.tolist())
+
+    def test_example1_from_paper(self):
+        """Fig. 5 / Example 1: seed {u1, i2}; u2 (neighbour of i2) and i1
+        (neighbour of u2) complete the context of n=m=2."""
+        # users: u1=0, u2=1, u3=2; items: i1=0, i2=1
+        triples = np.array([
+            [1, 1, 4.0],  # u2 rated i2
+            [2, 1, 3.0],  # u3 rated i2
+            [1, 0, 5.0],  # u2 rated i1
+        ])
+        graph = RatingGraph(triples, num_users=3, num_items=2)
+        rng = np.random.default_rng(0)
+        users, items = NeighborhoodSampler().sample(
+            graph, np.array([0]), np.array([1]), 2, 2, rng,
+            np.arange(3), np.arange(2))
+        assert 0 in users          # cold user u1
+        assert set(users.tolist()) <= {0, 1, 2}
+        assert set(items.tolist()) == {0, 1}  # i1 joins via u2's ratings
+
+
+class TestRandomSampler:
+    def test_budgets_and_targets(self, star_graph):
+        rng = np.random.default_rng(0)
+        users, items = RandomSampler().sample(
+            star_graph, np.array([7]), np.array([8]), 4, 4, rng, ALL_USERS, ALL_ITEMS)
+        assert users[0] == 7 and items[0] == 8
+        assert len(users) == 4 and len(items) == 4
+
+    def test_uniform_over_pool(self, star_graph):
+        rng = np.random.default_rng(0)
+        seen = set()
+        for _ in range(50):
+            users, _ = RandomSampler().sample(
+                star_graph, np.array([0]), np.array([0]), 3, 3, rng,
+                ALL_USERS, ALL_ITEMS)
+            seen.update(users.tolist())
+        assert len(seen) == 10  # every user eventually sampled
+
+
+class TestFeatureSimilaritySampler:
+    def test_picks_most_similar(self):
+        ds = movielens_like(num_users=30, num_items=20, seed=0)
+        graph = RatingGraph(ds.ratings, ds.num_users, ds.num_items)
+        sampler = FeatureSimilaritySampler(ds)
+        rng = np.random.default_rng(0)
+        target = 0
+        users, _ = sampler.sample(graph, np.array([target]), np.array([0]),
+                                  5, 5, rng, np.arange(30), np.arange(20))
+        # Sampled users must be at least as similar as the median candidate.
+        attrs = ds.user_attributes
+        def similarity(u):
+            return (attrs[u] == attrs[target]).mean()
+        picked = [similarity(u) for u in users[1:]]
+        all_sims = [similarity(u) for u in range(1, 30)]
+        assert np.mean(picked) >= np.median(all_sims)
+
+    def test_budgets(self, star_graph):
+        ds = movielens_like(num_users=10, num_items=10, seed=1)
+        sampler = FeatureSimilaritySampler(ds)
+        rng = np.random.default_rng(0)
+        users, items = sampler.sample(star_graph, np.array([0]), np.array([0]),
+                                      6, 7, rng, ALL_USERS, ALL_ITEMS)
+        assert len(users) == 6 and len(items) == 7
+
+
+class TestFactory:
+    def test_by_name(self, ml_dataset):
+        assert isinstance(sampler_by_name("neighborhood"), NeighborhoodSampler)
+        assert isinstance(sampler_by_name("random"), RandomSampler)
+        assert isinstance(sampler_by_name("feature", ml_dataset), FeatureSimilaritySampler)
+
+    def test_feature_requires_dataset(self):
+        with pytest.raises(ValueError):
+            sampler_by_name("feature")
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            sampler_by_name("magic")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(1, 8),
+    m=st.integers(1, 8),
+    seed=st.integers(0, 1000),
+)
+def test_property_budgets_always_exact(n, m, seed):
+    """All samplers return exactly n unique users and m unique items
+    whenever the pools are large enough."""
+    ds = movielens_like(num_users=12, num_items=12, seed=seed, ratings_per_user=4.0)
+    graph = RatingGraph(ds.ratings, ds.num_users, ds.num_items)
+    rng = np.random.default_rng(seed)
+    for sampler in (NeighborhoodSampler(), RandomSampler(), FeatureSimilaritySampler(ds)):
+        users, items = sampler.sample(graph, np.array([0]), np.array([0]), n, m,
+                                      rng, np.arange(12), np.arange(12))
+        assert len(users) == n, sampler.name
+        assert len(items) == m, sampler.name
+        assert len(np.unique(users)) == n
+        assert len(np.unique(items)) == m

@@ -1,0 +1,39 @@
+"""Failure injection: the trainer must fail loudly, not silently, when
+optimisation diverges."""
+
+import numpy as np
+import pytest
+
+from repro.core import HIRE, HIREConfig, HIRETrainer, TrainerConfig
+
+
+class TestDivergenceGuard:
+    def test_nan_parameters_raise(self, ml_dataset, ml_split):
+        model = HIRE(ml_dataset, HIREConfig(num_blocks=1, num_heads=2,
+                                            attr_dim=4, seed=0))
+        trainer = HIRETrainer(model, ml_split, config=TrainerConfig(
+            steps=5, batch_size=1, context_users=6, context_items=6, seed=0))
+        # Corrupt one parameter; the very next loss is NaN.
+        next(model.parameters()).data[:] = np.nan
+        with pytest.raises(RuntimeError, match="diverged"):
+            trainer.train_step()
+
+    def test_error_reports_step(self, ml_dataset, ml_split):
+        model = HIRE(ml_dataset, HIREConfig(num_blocks=1, num_heads=2,
+                                            attr_dim=4, seed=0))
+        trainer = HIRETrainer(model, ml_split, config=TrainerConfig(
+            steps=5, batch_size=1, context_users=6, context_items=6, seed=0))
+        trainer.train_step()
+        trainer.train_step()
+        next(model.parameters()).data[:] = np.inf
+        with pytest.raises(RuntimeError, match="step 2"):
+            trainer.train_step()
+
+    def test_healthy_training_unaffected(self, ml_dataset, ml_split):
+        model = HIRE(ml_dataset, HIREConfig(num_blocks=1, num_heads=2,
+                                            attr_dim=4, seed=0))
+        trainer = HIRETrainer(model, ml_split, config=TrainerConfig(
+            steps=3, batch_size=1, context_users=6, context_items=6, seed=0))
+        history = trainer.fit()
+        assert len(history) == 3
+        assert np.isfinite(history).all()

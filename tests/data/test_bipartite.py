@@ -1,0 +1,92 @@
+"""RatingGraph adjacency correctness (including against brute force)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import RatingGraph
+
+
+@pytest.fixture
+def tiny_graph():
+    ratings = np.array([
+        [0, 0, 5.0],
+        [0, 1, 3.0],
+        [1, 1, 4.0],
+        [2, 2, 1.0],
+    ])
+    return RatingGraph(ratings, num_users=4, num_items=3)
+
+
+class TestAdjacency:
+    def test_items_of_user(self, tiny_graph):
+        np.testing.assert_array_equal(tiny_graph.items_of_user(0), [0, 1])
+        np.testing.assert_array_equal(tiny_graph.items_of_user(1), [1])
+        assert tiny_graph.items_of_user(3).size == 0
+
+    def test_users_of_item(self, tiny_graph):
+        np.testing.assert_array_equal(tiny_graph.users_of_item(1), [0, 1])
+        assert tiny_graph.users_of_item(0).size == 1
+
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.user_degree(0) == 2
+        assert tiny_graph.user_degree(3) == 0
+        assert tiny_graph.item_degree(1) == 2
+
+    def test_rating_lookup(self, tiny_graph):
+        assert tiny_graph.rating(0, 1) == 3.0
+        assert tiny_graph.rating(1, 0) is None
+        assert tiny_graph.has_rating(2, 2)
+        assert not tiny_graph.has_rating(3, 0)
+
+    def test_num_edges(self, tiny_graph):
+        assert tiny_graph.num_edges == 4
+
+    def test_empty_graph(self):
+        graph = RatingGraph(np.empty((0, 3)), num_users=3, num_items=2)
+        assert graph.num_edges == 0
+        assert graph.items_of_user(0).size == 0
+
+    def test_duplicate_ratings_deduplicated_in_adjacency(self):
+        ratings = np.array([[0, 0, 5.0], [0, 0, 3.0]])
+        graph = RatingGraph(ratings, num_users=1, num_items=1)
+        assert graph.user_degree(0) == 1
+
+
+class TestRatingMatrix:
+    def test_submatrix_values(self, tiny_graph):
+        values, observed = tiny_graph.rating_matrix(np.array([0, 1]), np.array([1, 2]))
+        np.testing.assert_allclose(values, [[3.0, 0.0], [4.0, 0.0]])
+        np.testing.assert_array_equal(observed, [[True, False], [True, False]])
+
+    def test_submatrix_empty_user(self, tiny_graph):
+        values, observed = tiny_graph.rating_matrix(np.array([3]), np.array([0, 1, 2]))
+        assert not observed.any()
+        assert (values == 0).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_users=st.integers(1, 10),
+    num_items=st.integers(1, 10),
+    num_ratings=st.integers(0, 40),
+    seed=st.integers(0, 10_000),
+)
+def test_property_adjacency_matches_bruteforce(num_users, num_items, num_ratings, seed):
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, num_users, size=num_ratings)
+    items = rng.integers(0, num_items, size=num_ratings)
+    values = rng.integers(1, 6, size=num_ratings).astype(float)
+    triples = np.stack([users, items, values], axis=1).astype(float)
+    graph = RatingGraph(triples, num_users, num_items)
+
+    for user in range(num_users):
+        expected = np.unique(items[users == user])
+        np.testing.assert_array_equal(graph.items_of_user(user), expected)
+    for item in range(num_items):
+        expected = np.unique(users[items == item])
+        np.testing.assert_array_equal(graph.users_of_item(item), expected)
+    # rating() returns the last write for duplicated pairs.
+    for u, i, v in triples:
+        assert graph.rating(int(u), int(i)) is not None

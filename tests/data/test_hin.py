@@ -1,0 +1,75 @@
+"""HIN construction and metapath sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_hin, douban_like, metapath_neighbors, node_id
+
+
+class TestBuildHIN:
+    def test_node_types_present(self, ml_dataset):
+        hin = build_hin(ml_dataset)
+        types = {data["ntype"] for _, data in hin.nodes(data=True)}
+        assert "user" in types and "item" in types
+        assert any(t.startswith("user_attr_") for t in types)
+        assert any(t.startswith("item_attr_") for t in types)
+
+    def test_rating_edges_carry_values(self, ml_dataset):
+        hin = build_hin(ml_dataset)
+        user, item, value = ml_dataset.ratings[0]
+        edge = hin.edges[node_id("user", int(user)), node_id("item", int(item))]
+        assert edge["etype"] == "rates"
+        assert edge["rating"] == pytest.approx(value)
+
+    def test_id_attributes_skipped(self, douban_dataset):
+        """Douban's ID pseudo-attributes must not create attribute nodes."""
+        hin = build_hin(douban_dataset)
+        types = {data["ntype"] for _, data in hin.nodes(data=True)}
+        assert types == {"user", "item"}
+
+    def test_restricted_ratings(self, ml_dataset, ml_split):
+        hin = build_hin(ml_dataset, ratings=ml_split.train_ratings())
+        rating_edges = [e for e in hin.edges(data=True) if e[2].get("etype") == "rates"]
+        assert len(rating_edges) <= len(ml_split.train_ratings())
+
+    def test_every_user_linked_to_attr_nodes(self, ml_dataset):
+        hin = build_hin(ml_dataset)
+        user_node = node_id("user", 0)
+        neighbor_types = {hin.nodes[n]["ntype"] for n in hin.neighbors(user_node)}
+        assert any(t.startswith("user_attr_") for t in neighbor_types)
+
+
+class TestMetapaths:
+    def test_user_item_path(self, ml_dataset):
+        hin = build_hin(ml_dataset)
+        rng = np.random.default_rng(0)
+        user = int(ml_dataset.ratings[0][0])
+        ends = metapath_neighbors(hin, node_id("user", user), ["item"], rng)
+        assert ends
+        assert all(n[0] == "item" for n in ends)
+
+    def test_uiu_path_returns_users(self, ml_dataset):
+        hin = build_hin(ml_dataset)
+        rng = np.random.default_rng(1)
+        user = int(ml_dataset.ratings[0][0])
+        ends = metapath_neighbors(hin, node_id("user", user), ["item", "user"], rng)
+        assert all(n[0] == "user" for n in ends)
+
+    def test_attr_wildcard(self, ml_dataset):
+        hin = build_hin(ml_dataset)
+        rng = np.random.default_rng(2)
+        ends = metapath_neighbors(hin, node_id("user", 0), ["attr"], rng)
+        assert ends
+        assert all(hin.nodes[n]["ntype"].startswith("user_attr_") for n in ends)
+
+    def test_max_neighbors_bounds_frontier(self, ml_dataset):
+        hin = build_hin(ml_dataset)
+        rng = np.random.default_rng(3)
+        ends = metapath_neighbors(hin, node_id("user", 0), ["item", "user"],
+                                  rng, max_neighbors=3)
+        assert len(ends) <= 3
+
+    def test_dead_end_returns_empty(self, ml_dataset):
+        hin = build_hin(ml_dataset, ratings=np.empty((0, 3)))
+        rng = np.random.default_rng(4)
+        assert metapath_neighbors(hin, node_id("user", 0), ["item"], rng) == []

@@ -1,0 +1,93 @@
+"""RatingDataset container: validation and accessors."""
+
+import numpy as np
+import pytest
+
+from repro.data import RatingDataset
+
+
+def make_dataset(**overrides):
+    defaults = dict(
+        name="tiny",
+        num_users=3,
+        num_items=2,
+        user_attributes=np.array([[0], [1], [0]]),
+        item_attributes=np.array([[0], [1]]),
+        user_attribute_cards=(2,),
+        item_attribute_cards=(2,),
+        ratings=np.array([[0, 0, 3.0], [1, 1, 5.0], [2, 0, 1.0]]),
+        rating_range=(1.0, 5.0),
+    )
+    defaults.update(overrides)
+    return RatingDataset(**defaults)
+
+
+class TestValidation:
+    def test_valid_roundtrip(self):
+        ds = make_dataset()
+        assert ds.num_ratings == 3
+        assert ds.num_user_attributes == 1
+        assert ds.num_item_attributes == 1
+
+    def test_user_attribute_row_mismatch(self):
+        with pytest.raises(ValueError, match="user_attributes"):
+            make_dataset(user_attributes=np.array([[0], [1]]))
+
+    def test_item_attribute_row_mismatch(self):
+        with pytest.raises(ValueError, match="item_attributes"):
+            make_dataset(item_attributes=np.array([[0]]))
+
+    def test_cardinality_exceeded(self):
+        with pytest.raises(ValueError, match="cardinality"):
+            make_dataset(user_attributes=np.array([[0], [5], [0]]))
+
+    def test_cards_length_mismatch(self):
+        with pytest.raises(ValueError, match="cards"):
+            make_dataset(user_attribute_cards=(2, 3))
+
+    def test_rating_shape(self):
+        with pytest.raises(ValueError, match="ratings"):
+            make_dataset(ratings=np.array([[0, 0]]))
+
+    def test_unknown_user_in_ratings(self):
+        with pytest.raises(ValueError, match="unknown user"):
+            make_dataset(ratings=np.array([[9, 0, 3.0]]))
+
+    def test_unknown_item_in_ratings(self):
+        with pytest.raises(ValueError, match="unknown item"):
+            make_dataset(ratings=np.array([[0, 9, 3.0]]))
+
+    def test_rating_out_of_range(self):
+        with pytest.raises(ValueError, match="rating_range"):
+            make_dataset(ratings=np.array([[0, 0, 7.0]]))
+
+    def test_default_attribute_names(self):
+        ds = make_dataset()
+        assert ds.user_attribute_names == ("user_attr_0",)
+        assert ds.item_attribute_names == ("item_attr_0",)
+
+
+class TestAccessors:
+    def test_rating_columns(self):
+        ds = make_dataset()
+        np.testing.assert_array_equal(ds.rating_users(), [0, 1, 2])
+        np.testing.assert_array_equal(ds.rating_items(), [0, 1, 0])
+        np.testing.assert_allclose(ds.rating_values(), [3.0, 5.0, 1.0])
+
+    def test_density(self):
+        ds = make_dataset()
+        assert ds.density == pytest.approx(3 / 6)
+
+    def test_subset_ratings(self):
+        ds = make_dataset()
+        subset = ds.subset_ratings(np.array([True, False, True]))
+        assert subset.shape == (2, 3)
+        np.testing.assert_allclose(subset[:, 2], [3.0, 1.0])
+
+    def test_profile_matches_table2_fields(self):
+        profile = make_dataset().profile()
+        for key in ("name", "num_users", "num_items", "num_ratings",
+                    "user_attributes", "item_attributes", "rating_range",
+                    "density", "has_social"):
+            assert key in profile
+        assert profile["has_social"] is False

@@ -1,0 +1,118 @@
+"""Cold-start splits: disjointness, quadrant selection, scenario routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    SCENARIOS,
+    ColdStartSplit,
+    Scenario,
+    make_cold_start_split,
+    movielens_like,
+)
+
+
+class TestPartition:
+    def test_users_and_items_disjoint(self, ml_split):
+        assert np.intersect1d(ml_split.train_users, ml_split.test_users).size == 0
+        assert np.intersect1d(ml_split.train_items, ml_split.test_items).size == 0
+
+    def test_partition_covers_everything(self, ml_split):
+        ds = ml_split.dataset
+        users = np.union1d(ml_split.train_users, ml_split.test_users)
+        items = np.union1d(ml_split.train_items, ml_split.test_items)
+        np.testing.assert_array_equal(users, np.arange(ds.num_users))
+        np.testing.assert_array_equal(items, np.arange(ds.num_items))
+
+    def test_fraction_respected(self, ml_dataset):
+        split = make_cold_start_split(ml_dataset, 0.25, 0.5, seed=0)
+        assert len(split.test_users) == round(0.25 * ml_dataset.num_users)
+        assert len(split.test_items) == round(0.5 * ml_dataset.num_items)
+
+    def test_overlap_rejected(self, ml_dataset):
+        with pytest.raises(ValueError, match="overlap"):
+            ColdStartSplit(
+                dataset=ml_dataset,
+                train_users=np.array([0, 1]),
+                test_users=np.array([1, 2]),
+                train_items=np.array([0]),
+                test_items=np.array([1]),
+            )
+
+    def test_invalid_fraction(self, ml_dataset):
+        for bad in (0.0, 1.0, -0.2, 1.5):
+            with pytest.raises(ValueError):
+                make_cold_start_split(ml_dataset, bad, 0.2)
+
+
+class TestQuadrants:
+    def test_train_ratings_are_warm_warm(self, ml_split):
+        train = ml_split.train_ratings()
+        assert np.isin(train[:, 0], ml_split.train_users).all()
+        assert np.isin(train[:, 1], ml_split.train_items).all()
+
+    def test_user_scenario_quadrant(self, ml_split):
+        rows = ml_split.eval_ratings(Scenario.USER)
+        assert np.isin(rows[:, 0], ml_split.test_users).all()
+        assert np.isin(rows[:, 1], ml_split.train_items).all()
+
+    def test_item_scenario_quadrant(self, ml_split):
+        rows = ml_split.eval_ratings(Scenario.ITEM)
+        assert np.isin(rows[:, 0], ml_split.train_users).all()
+        assert np.isin(rows[:, 1], ml_split.test_items).all()
+
+    def test_both_scenario_quadrant(self, ml_split):
+        rows = ml_split.eval_ratings(Scenario.BOTH)
+        assert np.isin(rows[:, 0], ml_split.test_users).all()
+        assert np.isin(rows[:, 1], ml_split.test_items).all()
+
+    def test_quadrants_partition_all_ratings(self, ml_split):
+        total = sum(len(ml_split.eval_ratings(s)) for s in SCENARIOS)
+        total += len(ml_split.train_ratings())
+        assert total == ml_split.dataset.num_ratings
+
+    def test_unknown_scenario(self, ml_split):
+        with pytest.raises(ValueError):
+            ml_split.eval_ratings("warm")
+        with pytest.raises(ValueError):
+            ml_split.cold_entities("warm")
+
+    def test_cold_entities(self, ml_split):
+        users, items = ml_split.cold_entities(Scenario.USER)
+        np.testing.assert_array_equal(users, ml_split.test_users)
+        assert items.size == 0
+        users, items = ml_split.cold_entities(Scenario.BOTH)
+        assert users.size and items.size
+
+    def test_is_cold_helpers(self, ml_split):
+        assert ml_split.is_cold_user(int(ml_split.test_users[0]))
+        assert not ml_split.is_cold_user(int(ml_split.train_users[0]))
+        assert ml_split.is_cold_item(int(ml_split.test_items[0]))
+        assert not ml_split.is_cold_item(int(ml_split.train_items[0]))
+
+    def test_summary(self, ml_split):
+        summary = ml_split.summary()
+        assert summary["train_users"] == len(ml_split.train_users)
+        assert set(summary["eval_ratings"]) == set(SCENARIOS)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    user_fraction=st.floats(0.1, 0.9),
+    item_fraction=st.floats(0.1, 0.9),
+    seed=st.integers(0, 500),
+)
+def test_property_split_partitions_ratings(user_fraction, item_fraction, seed):
+    """For any fractions, every rating lands in exactly one quadrant and no
+    cold entity appears in the training quadrant."""
+    ds = movielens_like(num_users=30, num_items=25, seed=seed, ratings_per_user=6.0)
+    split = make_cold_start_split(ds, user_fraction, item_fraction, seed=seed)
+    train = split.train_ratings()
+    for scenario in SCENARIOS:
+        rows = split.eval_ratings(scenario)
+        if scenario in (Scenario.USER, Scenario.BOTH) and rows.size:
+            assert not np.isin(rows[:, 0], split.train_users).any()
+    total = len(train) + sum(len(split.eval_ratings(s)) for s in SCENARIOS)
+    assert total == ds.num_ratings

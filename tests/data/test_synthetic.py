@@ -1,0 +1,133 @@
+"""Synthetic generators: determinism, Table II profiles, and the presence of
+learnable signal (attribute correlation, collaborative structure)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    AttributeSpec,
+    SyntheticConfig,
+    bookcrossing_like,
+    dataset_by_name,
+    douban_like,
+    generate,
+    movielens_like,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        a = movielens_like(num_users=40, num_items=30, seed=5)
+        b = movielens_like(num_users=40, num_items=30, seed=5)
+        np.testing.assert_array_equal(a.ratings, b.ratings)
+        np.testing.assert_array_equal(a.user_attributes, b.user_attributes)
+
+    def test_different_seed_differs(self):
+        a = movielens_like(num_users=40, num_items=30, seed=5)
+        b = movielens_like(num_users=40, num_items=30, seed=6)
+        assert not np.array_equal(a.ratings, b.ratings)
+
+
+class TestProfiles:
+    def test_movielens_profile(self):
+        ds = movielens_like(num_users=50, num_items=40, seed=0)
+        assert ds.user_attribute_names == ("age", "occupation", "gender", "zip_region")
+        assert ds.item_attribute_names == ("rate", "genre", "director", "actor")
+        assert ds.rating_range == (1.0, 5.0)
+        assert ds.social_edges is None
+
+    def test_bookcrossing_profile(self):
+        ds = bookcrossing_like(num_users=50, num_items=40, seed=0)
+        assert ds.user_attribute_names == ("age",)
+        assert ds.item_attribute_names == ("publication_year",)
+        assert ds.rating_range == (1.0, 10.0)
+
+    def test_douban_profile_uses_id_attributes(self):
+        ds = douban_like(num_users=40, num_items=50, seed=0)
+        assert ds.user_attribute_names == ("user_id",)
+        assert ds.user_attribute_cards == (40,)
+        np.testing.assert_array_equal(ds.user_attributes[:, 0], np.arange(40))
+        assert ds.social_edges is not None
+        assert len(ds.social_edges) > 0
+
+    def test_dataset_by_name(self):
+        assert dataset_by_name("movielens", num_users=30, num_items=20).name == "movielens-like"
+        with pytest.raises(KeyError):
+            dataset_by_name("netflix")
+
+    def test_ratings_within_range_and_integer(self):
+        for ds in (movielens_like(num_users=30, num_items=25, seed=1),
+                   bookcrossing_like(num_users=30, num_items=25, seed=1)):
+            values = ds.rating_values()
+            low, high = ds.rating_range
+            assert values.min() >= low and values.max() <= high
+            np.testing.assert_allclose(values, np.rint(values))
+
+
+class TestSignal:
+    def test_attribute_signal_exists(self):
+        """Users sharing a genre-determining cluster rate more similarly
+        than random pairs — attributes must carry preference signal."""
+        ds = movielens_like(num_users=120, num_items=80, seed=3)
+        values = ds.rating_values()
+        # Variance of ratings within an item should be below global variance
+        # (collaborative structure: items have consistent quality/taste).
+        items = ds.rating_items()
+        per_item_var = []
+        for item in np.unique(items):
+            vals = values[items == item]
+            if len(vals) >= 5:
+                per_item_var.append(vals.var())
+        assert np.mean(per_item_var) < values.var()
+
+    def test_popularity_skew(self):
+        ds = movielens_like(num_users=150, num_items=100, seed=2)
+        counts = np.bincount(ds.rating_items(), minlength=100)
+        # Top-decile items collect well above their uniform share.
+        top = np.sort(counts)[-10:].sum()
+        assert top > 1.5 * counts.sum() * 10 / 100
+
+    def test_social_homophily(self):
+        ds = douban_like(num_users=100, num_items=50, seed=4)
+        clusters = None  # cluster labels are internal; test degree structure
+        edges = ds.social_edges
+        assert (edges[:, 0] != edges[:, 1]).all()
+        # undirected edges stored once, sorted
+        assert (edges[:, 0] < edges[:, 1]).all()
+
+
+class TestConfigValidation:
+    def test_too_few_entities(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(name="x", num_users=1, num_items=10)
+
+    def test_bad_rating_range(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(name="x", num_users=10, num_items=10,
+                            rating_range=(5.0, 1.0))
+
+    def test_bad_attribute_cardinality(self):
+        config = SyntheticConfig(
+            name="x", num_users=10, num_items=10,
+            user_attrs=[AttributeSpec("bad", 0)],
+        )
+        with pytest.raises(ValueError):
+            generate(config)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_users=st.integers(5, 40),
+    num_items=st.integers(5, 40),
+    seed=st.integers(0, 1000),
+)
+def test_property_generated_dataset_is_valid(num_users, num_items, seed):
+    """Any configuration yields a schema-valid dataset (validation in
+    RatingDataset.__post_init__ would raise otherwise)."""
+    ds = movielens_like(num_users=num_users, num_items=num_items, seed=seed,
+                        ratings_per_user=5.0)
+    assert ds.num_ratings >= num_users  # every user rates >= 1 item
+    assert ds.rating_users().max() < num_users
+    assert ds.rating_items().max() < num_items

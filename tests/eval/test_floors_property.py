@@ -1,0 +1,69 @@
+"""Cross-cutting protocol property: the oracle ceiling dominates every real
+model, which dominates nothing less than the chance floor's neighbourhood.
+Calibrates that the metric pipeline is wired correctly end to end."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GlobalMeanScorer, ItemMeanScorer, RandomScorer
+from repro.baselines.base import RatingModel
+from repro.eval import build_eval_tasks, evaluate_model
+
+
+class _Oracle(RatingModel):
+    name = "Oracle"
+
+    def fit(self, split, tasks):
+        pass
+
+    def predict_task(self, task):
+        return task.query_ratings + 1e-9
+
+
+class _AntiOracle(RatingModel):
+    """Deliberately inverted ranking — the true floor of the metric range."""
+
+    name = "AntiOracle"
+
+    def fit(self, split, tasks):
+        pass
+
+    def predict_task(self, task):
+        return -task.query_ratings
+
+
+@pytest.mark.parametrize("scenario", ["user", "item"])
+def test_metric_ordering_oracle_floors_anti(ml_split, scenario):
+    tasks = build_eval_tasks(ml_split, scenario, min_query=5, seed=0, max_tasks=8)
+    if not tasks:
+        pytest.skip("no tasks")
+
+    def ndcg(model):
+        return evaluate_model(model, ml_split, scenario, ks=(5,),
+                              tasks=tasks).metrics[5]["ndcg"]
+
+    oracle = ndcg(_Oracle())
+    anti = ndcg(_AntiOracle())
+    chance = float(np.mean([ndcg(RandomScorer(seed=s)) for s in range(4)]))
+    item_mean = ndcg(ItemMeanScorer())
+    global_mean = ndcg(GlobalMeanScorer())
+
+    assert oracle == pytest.approx(1.0)
+    assert anti < chance           # inverted ranking is below chance
+    assert oracle > item_mean - 1e-9
+    assert oracle > global_mean - 1e-9
+    # The informative floor is at least chance level on average.
+    assert item_mean >= chance - 0.06
+
+
+def test_floors_are_reported_consistently_across_k(ml_split):
+    tasks = build_eval_tasks(ml_split, "user", min_query=9, seed=0, max_tasks=6)
+    if not tasks:
+        pytest.skip("no long-list tasks")
+    result = evaluate_model(_Oracle(), ml_split, "user", ks=(5, 7), tasks=tasks)
+    # Oracle NDCG is exactly 1 at every k.
+    for k in (5, 7):
+        assert result.metrics[k]["ndcg"] == pytest.approx(1.0)
+    # Oracle precision can only drop (or stay) as k grows: deeper cuts
+    # admit less-relevant items.
+    assert result.metrics[7]["precision"] <= result.metrics[5]["precision"] + 1e-9

@@ -1,0 +1,145 @@
+"""Ranking metrics: hand-computed examples and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    average_precision_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    rank_metrics,
+    relevance_threshold,
+)
+
+
+class TestThreshold:
+    def test_five_point_scale(self):
+        assert relevance_threshold((1.0, 5.0)) == pytest.approx(4.0)
+
+    def test_ten_point_scale(self):
+        # ratings 8, 9, 10 are relevant
+        assert relevance_threshold((1.0, 10.0)) == pytest.approx(7.75)
+
+
+class TestPrecision:
+    def test_perfect_ranking(self):
+        predicted = np.array([5.0, 4.5, 4.0, 1.0, 1.0])
+        actual = np.array([5.0, 4.0, 4.0, 1.0, 2.0])
+        assert precision_at_k(predicted, actual, 3, 4.0) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        predicted = np.array([1.0, 2.0, 3.0, 4.0])
+        actual = np.array([5.0, 5.0, 1.0, 1.0])
+        assert precision_at_k(predicted, actual, 2, 4.0) == pytest.approx(0.0)
+
+    def test_partial(self):
+        predicted = np.array([5.0, 4.0, 3.0, 2.0])
+        actual = np.array([5.0, 1.0, 4.0, 1.0])
+        assert precision_at_k(predicted, actual, 2, 4.0) == pytest.approx(0.5)
+
+    def test_short_list_truncates(self):
+        predicted = np.array([3.0, 1.0])
+        actual = np.array([5.0, 5.0])
+        assert precision_at_k(predicted, actual, 10, 4.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.array([]), np.array([]), 5, 4.0)
+        with pytest.raises(ValueError):
+            precision_at_k(np.ones(3), np.ones(3), 0, 4.0)
+        with pytest.raises(ValueError):
+            precision_at_k(np.ones(3), np.ones(2), 5, 4.0)
+
+
+class TestNDCG:
+    def test_ideal_ranking_is_one(self):
+        actual = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        assert ndcg_at_k(actual.copy(), actual, 5) == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        # Predicted order ranks items with actual [2, 5]; top-2 list = [2, 5].
+        predicted = np.array([10.0, 1.0])
+        actual = np.array([2.0, 5.0])
+        dcg = 2.0 / np.log2(2) + 5.0 / np.log2(3)
+        idcg = 5.0 / np.log2(2) + 2.0 / np.log2(3)
+        assert ndcg_at_k(predicted, actual, 2) == pytest.approx(dcg / idcg)
+
+    def test_all_zero_gains(self):
+        assert ndcg_at_k(np.array([1.0, 2.0]), np.zeros(2), 2) == 0.0
+
+    def test_reversed_worse_than_ideal(self):
+        actual = np.array([5.0, 4.0, 1.0])
+        worst = ndcg_at_k(-actual, actual, 3)
+        assert 0 < worst < 1.0
+
+
+class TestMAP:
+    def test_all_relevant_first(self):
+        predicted = np.array([9.0, 8.0, 1.0, 0.5])
+        actual = np.array([5.0, 5.0, 1.0, 1.0])
+        assert average_precision_at_k(predicted, actual, 4, 4.0) == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        # top-3 by prediction has relevance pattern [1, 0, 1]; 2 relevant total
+        predicted = np.array([9.0, 8.0, 7.0])
+        actual = np.array([5.0, 1.0, 5.0])
+        expected = (1.0 / 1 + 2.0 / 3) / 2
+        assert average_precision_at_k(predicted, actual, 3, 4.0) == pytest.approx(expected)
+
+    def test_no_relevant_is_zero(self):
+        assert average_precision_at_k(np.ones(3), np.ones(3), 3, 4.0) == 0.0
+
+
+class TestRankMetrics:
+    def test_keys_and_agreement(self):
+        predicted = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        actual = np.array([5.0, 4.0, 4.0, 1.0, 1.0])
+        out = rank_metrics(predicted, actual, 3, (1.0, 5.0))
+        assert set(out) == {"precision", "ndcg", "map"}
+        assert out["precision"] == pytest.approx(
+            precision_at_k(predicted, actual, 3, 4.0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    size=st.integers(1, 20),
+    k=st.integers(1, 10),
+    seed=st.integers(0, 10_000),
+)
+def test_property_metrics_bounded(size, k, seed):
+    rng = np.random.default_rng(seed)
+    predicted = rng.normal(size=size)
+    actual = rng.integers(1, 6, size=size).astype(float)
+    out = rank_metrics(predicted, actual, k, (1.0, 5.0))
+    for name, value in out.items():
+        assert 0.0 <= value <= 1.0, name
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=st.integers(2, 15), seed=st.integers(0, 10_000))
+def test_property_oracle_ranking_maximises_metrics(size, seed):
+    """Scoring by the true ratings is at least as good as any random score."""
+    rng = np.random.default_rng(seed)
+    actual = rng.integers(1, 6, size=size).astype(float)
+    random_scores = rng.normal(size=size)
+    k = min(5, size)
+    oracle = rank_metrics(actual + 1e-9 * rng.random(size), actual, k, (1.0, 5.0))
+    chance = rank_metrics(random_scores, actual, k, (1.0, 5.0))
+    for name in ("precision", "ndcg", "map"):
+        assert oracle[name] >= chance[name] - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=st.integers(2, 15), k=st.integers(1, 8), seed=st.integers(0, 10_000))
+def test_property_metrics_invariant_to_joint_shuffle(size, k, seed):
+    """Metrics depend on the (prediction, actual) pairing, not item order."""
+    rng = np.random.default_rng(seed)
+    predicted = rng.normal(size=size)
+    actual = rng.integers(1, 6, size=size).astype(float)
+    perm = rng.permutation(size)
+    a = rank_metrics(predicted, actual, k, (1.0, 5.0))
+    b = rank_metrics(predicted[perm], actual[perm], k, (1.0, 5.0))
+    for name in a:
+        assert a[name] == pytest.approx(b[name])

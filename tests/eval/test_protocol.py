@@ -1,0 +1,126 @@
+"""Evaluation protocol: scoring loop, aggregation, repeated runs, timing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import RatingModel
+from repro.eval import (
+    ScenarioResult,
+    build_eval_tasks,
+    evaluate_model,
+    evaluate_repeated,
+    measure_test_time,
+)
+
+
+class OracleModel(RatingModel):
+    """Predicts the true rating — the metric ceiling."""
+
+    name = "Oracle"
+
+    def fit(self, split, tasks):
+        self.fitted = True
+
+    def predict_task(self, task):
+        return task.query_ratings + 1e-9
+
+
+class NoisyModel(RatingModel):
+    """Random scores — the chance floor."""
+
+    name = "Noisy"
+
+    def __init__(self, seed=0):
+        self.rng = np.random.default_rng(seed)
+
+    def fit(self, split, tasks):
+        pass
+
+    def predict_task(self, task):
+        return self.rng.random(len(task.query_items))
+
+
+class BrokenModel(RatingModel):
+    name = "Broken"
+
+    def fit(self, split, tasks):
+        pass
+
+    def predict_task(self, task):
+        return np.zeros(1)  # wrong length
+
+
+class TestEvaluateModel:
+    def test_oracle_dominates_noise(self, ml_split):
+        oracle = evaluate_model(OracleModel(), ml_split, "user", ks=(5,), seed=0)
+        noisy = evaluate_model(NoisyModel(), ml_split, "user", ks=(5,), seed=0)
+        assert oracle.metrics[5]["ndcg"] > noisy.metrics[5]["ndcg"]
+        assert oracle.metrics[5]["ndcg"] == pytest.approx(1.0)
+
+    def test_result_fields(self, ml_split):
+        result = evaluate_model(OracleModel(), ml_split, "user", ks=(5, 7), seed=0)
+        assert isinstance(result, ScenarioResult)
+        assert result.model_name == "Oracle"
+        assert result.num_tasks > 0
+        assert set(result.metrics) == {5, 7}
+        assert result.fit_seconds >= 0
+        assert result.predict_seconds > 0
+        assert len(result.per_task[5]["ndcg"]) == result.num_tasks
+
+    def test_row_accessor(self, ml_split):
+        result = evaluate_model(OracleModel(), ml_split, "user", ks=(5,), seed=0)
+        assert result.row(5) == result.metrics[5]
+
+    def test_precomputed_tasks(self, ml_split):
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=3)
+        result = evaluate_model(OracleModel(), ml_split, "user", ks=(5,), tasks=tasks)
+        assert result.num_tasks == len(tasks)
+
+    def test_skip_fit(self, ml_split):
+        model = OracleModel()
+        result = evaluate_model(model, ml_split, "user", ks=(5,), fit=False, seed=0)
+        assert result.fit_seconds == 0.0
+        assert not hasattr(model, "fitted")
+
+    def test_wrong_score_shape_rejected(self, ml_split):
+        with pytest.raises(ValueError, match="scores"):
+            evaluate_model(BrokenModel(), ml_split, "user", ks=(5,), seed=0)
+
+    def test_no_tasks_raises(self, ml_split):
+        with pytest.raises(ValueError, match="no evaluation tasks"):
+            evaluate_model(OracleModel(), ml_split, "user", ks=(5,),
+                           min_query=10_000)
+
+
+class TestEvaluateRepeated:
+    def test_mean_std_format(self, ml_split):
+        out = evaluate_repeated(lambda seed: NoisyModel(seed), ml_split, "user",
+                                repeats=3, ks=(5,), max_tasks=4)
+        mean, std = out[5]["ndcg"]
+        assert 0 <= mean <= 1
+        assert std >= 0
+
+    def test_deterministic_model_zero_std_on_fixed_tasks(self, ml_split):
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=4)
+        out = evaluate_repeated(lambda seed: OracleModel(), ml_split, "user",
+                                repeats=2, ks=(5,), tasks=tasks)
+        assert out[5]["precision"][1] == pytest.approx(0.0)
+
+    def test_fresh_tasks_per_repeat_by_default(self, ml_split):
+        """Without pinned tasks each repeat re-splits support/query, so even
+        a deterministic model shows run-to-run variance (matching the
+        paper's mean ± std protocol)."""
+        out = evaluate_repeated(lambda seed: OracleModel(), ml_split, "user",
+                                repeats=3, ks=(5,), max_tasks=4)
+        assert out[5]["ndcg"][0] == pytest.approx(1.0)  # oracle NDCG exact
+
+
+class TestTiming:
+    def test_measures_positive_time(self, ml_split):
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=4)
+        seconds = measure_test_time(OracleModel(), tasks)
+        assert seconds > 0
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            measure_test_time(OracleModel(), [])

@@ -1,0 +1,86 @@
+"""Extended metrics: recall@k, MRR@k, MAE, RMSE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import mae, mrr_at_k, rating_metrics, recall_at_k, rmse
+
+
+class TestRecall:
+    def test_full_recall(self):
+        predicted = np.array([9.0, 8.0, 1.0])
+        actual = np.array([5.0, 5.0, 1.0])
+        assert recall_at_k(predicted, actual, 2, 4.0) == pytest.approx(1.0)
+
+    def test_partial_recall(self):
+        predicted = np.array([9.0, 1.0, 8.0, 2.0])
+        actual = np.array([5.0, 5.0, 1.0, 5.0])
+        # top-2 by prediction: items 0 and 2 -> one of three relevant found
+        assert recall_at_k(predicted, actual, 2, 4.0) == pytest.approx(1 / 3)
+
+    def test_no_relevant(self):
+        assert recall_at_k(np.ones(3), np.ones(3), 2, 4.0) == 0.0
+
+
+class TestMRR:
+    def test_first_position(self):
+        predicted = np.array([9.0, 1.0])
+        actual = np.array([5.0, 1.0])
+        assert mrr_at_k(predicted, actual, 2, 4.0) == pytest.approx(1.0)
+
+    def test_second_position(self):
+        predicted = np.array([9.0, 8.0])
+        actual = np.array([1.0, 5.0])
+        assert mrr_at_k(predicted, actual, 2, 4.0) == pytest.approx(0.5)
+
+    def test_not_in_top_k(self):
+        predicted = np.array([9.0, 8.0, 1.0])
+        actual = np.array([1.0, 1.0, 5.0])
+        assert mrr_at_k(predicted, actual, 2, 4.0) == 0.0
+
+
+class TestPointwise:
+    def test_mae_value(self):
+        assert mae(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == pytest.approx(1.5)
+
+    def test_rmse_value(self):
+        assert rmse(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == pytest.approx(
+            np.sqrt(2.5))
+
+    def test_perfect_prediction(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert mae(x, x) == 0.0
+        assert rmse(x, x) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mae(np.ones(2), np.ones(3))
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+
+    def test_rating_metrics_keys(self):
+        out = rating_metrics(np.ones(3), np.zeros(3))
+        assert out == {"mae": 1.0, "rmse": 1.0}
+
+
+@settings(max_examples=40, deadline=None)
+@given(size=st.integers(1, 30), seed=st.integers(0, 10_000))
+def test_property_rmse_dominates_mae(size, seed):
+    """RMSE >= MAE always (Jensen), equality iff constant absolute error."""
+    rng = np.random.default_rng(seed)
+    predicted = rng.normal(size=size)
+    actual = rng.normal(size=size)
+    assert rmse(predicted, actual) >= mae(predicted, actual) - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(size=st.integers(2, 20), k=st.integers(1, 10), seed=st.integers(0, 10_000))
+def test_property_recall_monotone_in_k(size, k, seed):
+    rng = np.random.default_rng(seed)
+    predicted = rng.normal(size=size)
+    actual = rng.integers(1, 6, size=size).astype(float)
+    r_small = recall_at_k(predicted, actual, k, 4.0)
+    r_large = recall_at_k(predicted, actual, k + 3, 4.0)
+    assert r_large >= r_small - 1e-12

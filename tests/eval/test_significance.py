@@ -1,0 +1,97 @@
+"""Paired bootstrap significance tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import build_eval_tasks, evaluate_model
+from repro.eval.significance import compare_results, paired_bootstrap
+
+
+class TestPairedBootstrap:
+    def test_clear_difference_is_significant(self):
+        rng = np.random.default_rng(0)
+        b = rng.normal(0.5, 0.05, size=40)
+        a = b + 0.2  # constant, large advantage
+        out = paired_bootstrap(a, b, seed=0)
+        assert out["mean_diff"] == pytest.approx(0.2)
+        assert out["p_value"] < 0.01
+        assert out["prob_a_better"] > 0.99
+        assert out["ci"][0] > 0
+
+    def test_identical_samples_not_significant(self):
+        values = np.random.default_rng(1).normal(size=30)
+        out = paired_bootstrap(values, values.copy(), seed=0)
+        assert out["mean_diff"] == 0.0
+        assert out["prob_a_better"] <= 1.0
+
+    def test_noise_not_significant(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.5, 0.1, size=25)
+        b = rng.normal(0.5, 0.1, size=25)
+        out = paired_bootstrap(a, b, seed=0)
+        assert out["p_value"] > 0.01 or abs(out["mean_diff"]) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            paired_bootstrap(np.ones(1), np.ones(1))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(size=20), rng.normal(size=20)
+        out1 = paired_bootstrap(a, b, seed=9)
+        out2 = paired_bootstrap(a, b, seed=9)
+        assert out1 == out2
+
+
+class TestCompareResults:
+    def test_oracle_vs_random_significant(self, ml_split):
+        from repro.baselines import RandomScorer
+        from repro.baselines.base import RatingModel
+
+        class Oracle(RatingModel):
+            name = "Oracle"
+
+            def fit(self, split, tasks):
+                pass
+
+            def predict_task(self, task):
+                return task.query_ratings + 1e-9
+
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=8)
+        oracle = evaluate_model(Oracle(), ml_split, "user", ks=(5,), tasks=tasks)
+        random = evaluate_model(RandomScorer(seed=0), ml_split, "user", ks=(5,),
+                                tasks=tasks)
+        out = compare_results(oracle, random, metric="ndcg", k=5, seed=0)
+        assert out["model_a"] == "Oracle"
+        assert out["mean_diff"] > 0
+        assert out["prob_a_better"] > 0.95
+
+    def test_mismatched_tasks_rejected(self, ml_split):
+        from repro.baselines import RandomScorer
+
+        t1 = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=4)
+        t2 = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=6)
+        a = evaluate_model(RandomScorer(seed=0), ml_split, "user", ks=(5,), tasks=t1)
+        b = evaluate_model(RandomScorer(seed=1), ml_split, "user", ks=(5,), tasks=t2)
+        with pytest.raises(ValueError, match="task counts"):
+            compare_results(a, b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    size=st.integers(2, 40),
+    shift=st.floats(-0.5, 0.5),
+    seed=st.integers(0, 10_000),
+)
+def test_property_mean_diff_matches_shift(size, shift, seed):
+    rng = np.random.default_rng(seed)
+    b = rng.normal(size=size)
+    a = b + shift
+    out = paired_bootstrap(a, b, num_resamples=200, seed=0)
+    assert out["mean_diff"] == pytest.approx(shift, abs=1e-12)
+    lo, hi = out["ci"]
+    assert lo <= out["mean_diff"] <= hi

@@ -1,0 +1,78 @@
+"""Evaluation task construction: support/query splits per test user."""
+
+import numpy as np
+import pytest
+
+from repro.eval import EvalTask, build_eval_tasks
+
+
+class TestEvalTask:
+    def test_valid(self):
+        task = EvalTask(
+            user=3,
+            support=np.array([[3, 0, 4.0]]),
+            query=np.array([[3, 1, 5.0], [3, 2, 1.0]]),
+        )
+        np.testing.assert_array_equal(task.query_items, [1, 2])
+        np.testing.assert_array_equal(task.support_items, [0])
+        np.testing.assert_allclose(task.query_ratings, [5.0, 1.0])
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            EvalTask(user=0, support=np.empty((0, 3)), query=np.empty((0, 3)))
+
+    def test_foreign_user_rejected(self):
+        with pytest.raises(ValueError):
+            EvalTask(user=0, support=np.array([[1, 0, 3.0]]),
+                     query=np.array([[0, 1, 4.0]]))
+
+    def test_empty_support_allowed(self):
+        task = EvalTask(user=0, support=np.empty((0, 3)),
+                        query=np.array([[0, 1, 4.0]]))
+        assert task.support_items.size == 0
+
+
+class TestBuildTasks:
+    def test_tasks_are_cold_users(self, ml_split):
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0)
+        assert tasks
+        for task in tasks:
+            assert ml_split.is_cold_user(task.user)
+
+    def test_support_query_disjoint(self, ml_split):
+        for task in build_eval_tasks(ml_split, "user", min_query=5, seed=0):
+            overlap = set(map(int, task.support_items)) & set(map(int, task.query_items))
+            assert not overlap
+
+    def test_support_fraction(self, ml_split):
+        tasks = build_eval_tasks(ml_split, "user", support_fraction=0.1,
+                                 min_query=5, seed=0)
+        for task in tasks:
+            total = len(task.support) + len(task.query)
+            assert len(task.support) == max(1, round(0.1 * total))
+
+    def test_min_query_respected(self, ml_split):
+        for task in build_eval_tasks(ml_split, "user", min_query=8, seed=0):
+            assert len(task.query) >= 8
+
+    def test_max_tasks(self, ml_split):
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=3)
+        assert len(tasks) <= 3
+
+    def test_item_scenario_users_are_warm(self, ml_split):
+        tasks = build_eval_tasks(ml_split, "item", min_query=3, seed=0)
+        for task in tasks:
+            assert not ml_split.is_cold_user(task.user)
+            for item in task.query_items:
+                assert ml_split.is_cold_item(int(item))
+
+    def test_deterministic(self, ml_split):
+        a = build_eval_tasks(ml_split, "user", min_query=5, seed=4)
+        b = build_eval_tasks(ml_split, "user", min_query=5, seed=4)
+        assert [t.user for t in a] == [t.user for t in b]
+        for ta, tb in zip(a, b):
+            np.testing.assert_array_equal(ta.query, tb.query)
+
+    def test_invalid_fraction(self, ml_split):
+        with pytest.raises(ValueError):
+            build_eval_tasks(ml_split, "user", support_fraction=1.0)

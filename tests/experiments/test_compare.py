@@ -1,0 +1,94 @@
+"""Paper-number tables and the paper-vs-measured comparison logic."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE3,
+    PAPER_TABLE6,
+    compare_overall,
+    paper_cell,
+    render_comparison,
+    shape_checks,
+)
+
+
+def synthetic_rows(hire_ndcg=0.9, cf_ndcg=0.6, meta_ndcg=0.75):
+    """Measured rows with a controllable ordering."""
+    rows = []
+    for scenario in ("user", "item", "both"):
+        for model, ndcg in (
+            ("NeuMF", cf_ndcg), ("Wide&Deep", cf_ndcg), ("DeepFM", cf_ndcg),
+            ("AFN", cf_ndcg), ("MAMO", meta_ndcg), ("TaNP", meta_ndcg),
+            ("MeLU", meta_ndcg), ("HIRE", hire_ndcg),
+        ):
+            rows.append({"scenario": scenario, "model": model, "k": 5,
+                         "precision": ndcg - 0.2, "ndcg": ndcg, "map": ndcg - 0.3})
+    return rows
+
+
+class TestPaperNumbers:
+    def test_table3_hire_leads_everywhere(self):
+        """Internal consistency of the transcription: HIRE's NDCG@5 is the
+        column max in every Table III scenario."""
+        for scenario, models in PAPER_TABLE3.items():
+            hire = models["HIRE"][1]
+            for name, values in models.items():
+                if name != "HIRE" and values[1] is not None:
+                    assert hire >= values[1], (scenario, name)
+
+    def test_table6_full_model_best_overall(self):
+        for scenario, variants in PAPER_TABLE6.items():
+            full = variants["full model"][1]
+            for name, values in variants.items():
+                assert full >= values[1] - 1e-9, (scenario, name)
+
+    def test_paper_cell_lookup(self):
+        assert paper_cell("table3", "user", "HIRE", "ndcg") == pytest.approx(0.9169)
+        assert paper_cell("table3", "user", "HIRE", "precision") == pytest.approx(0.6999)
+        assert paper_cell("table3", "both", "MeLU", "precision") is None
+
+    def test_unknown_table(self):
+        with pytest.raises(KeyError):
+            paper_cell("table9", "user", "HIRE")
+
+
+class TestCompare:
+    def test_records_pair_paper_and_measured(self):
+        rows = synthetic_rows()
+        records = compare_overall("table4", rows)
+        hire_user = next(r for r in records
+                         if r["model"] == "HIRE" and r["scenario"] == "user")
+        assert hire_user["paper"]["ndcg"] == pytest.approx(0.8931)
+        assert hire_user["measured"]["ndcg"] == pytest.approx(0.9)
+
+    def test_missing_measured_cells_are_none(self):
+        records = compare_overall("table3", [])
+        assert all(r["measured"]["ndcg"] is None for r in records)
+
+    def test_render_contains_verdicts(self):
+        text = render_comparison("table4", synthetic_rows())
+        assert "PASS" in text
+        assert "paper finding" in text
+
+
+class TestShapeChecks:
+    def test_all_pass_when_hire_dominates(self):
+        checks = shape_checks("table4", synthetic_rows(hire_ndcg=0.95))
+        assert checks["hire_beats_cf_family"] is True
+        assert checks["hire_top2_each_scenario"] is True
+        assert checks["meta_beats_cf_on_cold_items"] is True
+
+    def test_fail_when_cf_dominates(self):
+        checks = shape_checks("table4", synthetic_rows(hire_ndcg=0.4, cf_ndcg=0.9,
+                                                       meta_ndcg=0.5))
+        assert checks["hire_beats_cf_family"] is False
+        assert checks["meta_beats_cf_on_cold_items"] is False
+
+    def test_top2_allows_second_place(self):
+        rows = synthetic_rows(hire_ndcg=0.74, cf_ndcg=0.6, meta_ndcg=0.75)
+        checks = shape_checks("table4", rows)
+        assert checks["hire_top2_each_scenario"] is True
+
+    def test_empty_rows_yield_none(self):
+        checks = shape_checks("table4", [])
+        assert all(v is None for v in checks.values())

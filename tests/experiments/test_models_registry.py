@@ -1,0 +1,84 @@
+"""Model registry and the HIRE adapter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RatingModel
+from repro.core import HIREConfig, TrainerConfig
+from repro.eval import build_eval_tasks, evaluate_model
+from repro.experiments import HIREModel, MODEL_NAMES, create_model, models_for_dataset
+
+
+class TestCreateModel:
+    @pytest.mark.parametrize("name", [n for n in MODEL_NAMES if n != "GraphRec"])
+    def test_all_names_construct(self, name, ml_dataset):
+        model = create_model(name, ml_dataset, seed=0, preset="fast")
+        assert isinstance(model, RatingModel)
+        assert model.name == name
+
+    def test_graphrec_needs_social(self, ml_dataset, douban_dataset):
+        with pytest.raises(ValueError):
+            create_model("GraphRec", ml_dataset)
+        model = create_model("GraphRec", douban_dataset)
+        assert model.name == "GraphRec"
+
+    def test_unknown_name(self, ml_dataset):
+        with pytest.raises(KeyError):
+            create_model("SVD++", ml_dataset)
+
+    def test_unknown_preset(self, ml_dataset):
+        with pytest.raises(KeyError):
+            create_model("NeuMF", ml_dataset, preset="warp")
+
+    def test_name_aliases(self, ml_dataset):
+        for alias in ("Wide&Deep", "widedeep", "wide_deep"):
+            assert create_model(alias, ml_dataset).name == "Wide&Deep"
+
+
+class TestModelsForDataset:
+    def test_movielens_gets_hin_models(self, ml_dataset):
+        names = models_for_dataset(ml_dataset)
+        assert "GraphHINGE" in names and "MetaHIN" in names
+        assert "GraphRec" not in names
+        assert names[-1] == "HIRE"
+
+    def test_douban_gets_social_model(self, douban_dataset):
+        names = models_for_dataset(douban_dataset)
+        assert "GraphRec" in names
+        assert "GraphHINGE" not in names
+
+    def test_bookcrossing_gets_neither(self, book_dataset):
+        names = models_for_dataset(book_dataset)
+        assert "GraphRec" not in names and "GraphHINGE" not in names
+
+
+class TestHIREAdapter:
+    def test_fit_predict_cycle(self, ml_dataset, ml_split):
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=3)
+        model = HIREModel(
+            ml_dataset,
+            config=HIREConfig(num_blocks=1, num_heads=2, attr_dim=4, seed=0),
+            trainer_config=TrainerConfig(steps=5, batch_size=1, context_users=8,
+                                         context_items=8, seed=0),
+        )
+        result = evaluate_model(model, ml_split, "user", ks=(5,), tasks=tasks)
+        assert result.num_tasks == len(tasks)
+        assert 0 <= result.metrics[5]["ndcg"] <= 1
+
+    def test_predict_before_fit(self, ml_dataset, ml_split):
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=1)
+        with pytest.raises(RuntimeError):
+            HIREModel(ml_dataset).predict_task(tasks[0])
+
+    def test_sampler_choice_forwarded(self, ml_dataset, ml_split):
+        tasks = build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=2)
+        model = HIREModel(
+            ml_dataset,
+            config=HIREConfig(num_blocks=1, num_heads=2, attr_dim=4, seed=0),
+            trainer_config=TrainerConfig(steps=3, batch_size=1, context_users=6,
+                                         context_items=6, seed=0),
+            sampler="random",
+        )
+        model.fit(ml_split, tasks)
+        from repro.core.sampling import RandomSampler
+        assert isinstance(model.predictor.sampler, RandomSampler)

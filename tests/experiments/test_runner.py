@@ -1,0 +1,101 @@
+"""Experiment runner: tiny invocations of every paper-artifact function."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    prepare_workload,
+    run_ablation,
+    run_case_study,
+    run_experiment,
+    run_overall_performance,
+    run_sampling_ablation,
+    run_sensitivity,
+    run_test_time,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        assert set(EXPERIMENTS) == {
+            "table3", "table4", "table5", "fig6", "fig7", "table6", "fig8", "fig9",
+        }
+
+    def test_specs_have_workloads(self):
+        for spec in EXPERIMENTS.values():
+            assert spec.dataset in ("movielens", "bookcrossing", "douban")
+            assert spec.paper_artifact
+
+    def test_prepare_workload(self):
+        dataset, split = prepare_workload(EXPERIMENTS["table3"], scale="fast", seed=0)
+        assert dataset.name == "movielens-like"
+        assert len(split.train_ratings()) > 0
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table9")
+
+
+class TestOverallPerformance:
+    def test_rows_schema(self):
+        rows = run_overall_performance(
+            EXPERIMENTS["table3"], scale="fast", max_tasks=2, seed=0,
+            models=("NeuMF",))
+        assert rows
+        for row in rows:
+            for key in ("scenario", "model", "k", "precision", "ndcg", "map"):
+                assert key in row
+            assert 0 <= row["precision"] <= 1
+
+    def test_scenarios_covered(self):
+        rows = run_overall_performance(
+            EXPERIMENTS["table3"], scale="fast", max_tasks=2, seed=0,
+            models=("NeuMF",))
+        assert {r["scenario"] for r in rows} == {"user", "item", "both"}
+
+
+class TestTestTime:
+    def test_rows(self):
+        rows = run_test_time(scale="fast", max_tasks=2, seed=0,
+                             datasets=("movielens",), models=("NeuMF", "TaNP"))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["test_seconds"] > 0
+
+
+class TestSweeps:
+    def test_sensitivity_rows(self):
+        rows = run_sensitivity(scale="fast", max_tasks=2, seed=0,
+                               num_blocks=(1,), context_sizes=(16,),
+                               scenarios=("user",))
+        sweeps = {r["sweep"] for r in rows}
+        assert sweeps == {"num_him_blocks", "context_size"}
+
+    def test_ablation_rows(self):
+        rows = run_ablation(scale="fast", max_tasks=2, seed=0, scenarios=("user",))
+        variants = {r["variant"] for r in rows}
+        assert "full model" in variants
+        assert len(variants) == 7
+
+    def test_sampling_rows(self):
+        rows = run_sampling_ablation(scale="fast", max_tasks=2, seed=0,
+                                     samplers=("neighborhood", "random"),
+                                     scenarios=("user",))
+        assert {r["sampler"] for r in rows} == {"neighborhood", "random"}
+
+
+class TestCaseStudy:
+    def test_outputs(self):
+        out = run_case_study(scale="fast", seed=0, context_size=8)
+        assert set(out["attention"]) == {"user", "item", "attr"}
+        n = len(out["users"])
+        m = len(out["items"])
+        assert out["attention"]["user"].shape == (n, n)
+        assert out["attention"]["item"].shape == (m, m)
+        h = len(out["attribute_names"])
+        assert out["attention"]["attr"].shape == (h, h)
+        assert out["predictions"].shape == (n, m)
+        # attention rows are probability distributions
+        np.testing.assert_allclose(out["attention"]["user"].sum(axis=-1),
+                                   np.ones(n), atol=1e-8)

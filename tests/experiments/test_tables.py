@@ -1,0 +1,95 @@
+"""Table renderers produce readable, value-bearing text."""
+
+import numpy as np
+
+from repro.experiments import (
+    render_ablation_table,
+    render_attention_matrix,
+    render_overall_table,
+    render_sweep_table,
+    render_timing_table,
+)
+
+
+def overall_rows():
+    rows = []
+    for scenario in ("user", "item"):
+        for model in ("HIRE", "NeuMF"):
+            for k in (5, 7):
+                rows.append({
+                    "scenario": scenario, "model": model, "k": k,
+                    "precision": 0.5, "ndcg": 0.9, "map": 0.4,
+                })
+    return rows
+
+
+class TestOverall:
+    def test_contains_models_and_values(self):
+        text = render_overall_table(overall_rows(), ks=(5, 7))
+        assert "HIRE" in text and "NeuMF" in text
+        assert "0.5000" in text and "0.9000" in text
+        assert "UC" in text and "IC" in text
+
+    def test_missing_cells_dashed(self):
+        rows = [{"scenario": "user", "model": "HIRE", "k": 5,
+                 "precision": 0.1, "ndcg": 0.2, "map": 0.3}]
+        text = render_overall_table(rows, ks=(5, 10))
+        assert "-" in text
+
+    def test_empty(self):
+        assert render_overall_table([]) == "(no results)"
+
+
+class TestAblation:
+    def test_layout(self):
+        rows = [
+            {"variant": "full model", "scenario": "user",
+             "precision": 0.67, "ndcg": 0.9, "map": 0.6},
+            {"variant": "wo/ User", "scenario": "user",
+             "precision": 0.5, "ndcg": 0.8, "map": 0.4},
+        ]
+        text = render_ablation_table(rows)
+        assert "full model" in text and "wo/ User" in text
+        assert "0.6700" in text
+
+    def test_empty(self):
+        assert render_ablation_table([]) == "(no results)"
+
+
+class TestTiming:
+    def test_layout(self):
+        rows = [
+            {"dataset": "movielens", "model": "HIRE", "test_seconds": 1.5},
+            {"dataset": "movielens", "model": "NeuMF", "test_seconds": 0.1},
+        ]
+        text = render_timing_table(rows)
+        assert "HIRE" in text and "1.500s" in text
+
+    def test_empty(self):
+        assert render_timing_table([]) == "(no results)"
+
+
+class TestSweep:
+    def test_layout(self):
+        rows = [{"sweep": "num_him_blocks", "value": 3, "scenario": "user",
+                 "precision": 0.6, "ndcg": 0.9, "map": 0.55,
+                 "num_him_blocks": 3}]
+        text = render_sweep_table(rows, "value")
+        assert "0.6000" in text
+
+
+class TestAttentionHeatmap:
+    def test_renders_rows(self):
+        matrix = np.random.default_rng(0).random((4, 4))
+        text = render_attention_matrix(matrix, labels=["a", "b", "c", "d"])
+        assert text.count("\n") == 3
+        assert "a" in text
+
+    def test_constant_matrix(self):
+        text = render_attention_matrix(np.ones((2, 2)))
+        assert "|" in text
+
+    def test_truncates_to_max_width(self):
+        matrix = np.random.default_rng(0).random((30, 30))
+        text = render_attention_matrix(matrix, max_width=5)
+        assert text.count("\n") == 4

@@ -1,0 +1,63 @@
+"""Workload preparation: scales, per-profile rating densities, min_query."""
+
+import pytest
+
+from repro.experiments import DATASET_SCALES, EXPERIMENTS, prepare_workload
+from repro.experiments.runner import _min_query, _workload
+
+
+class TestScales:
+    def test_fast_and_full_defined(self):
+        assert set(DATASET_SCALES) == {"fast", "full"}
+        for scale in DATASET_SCALES.values():
+            assert scale["num_users"] > 0
+            assert set(scale["ratings_per_user"]) == {
+                "movielens", "douban", "bookcrossing"}
+
+    def test_full_is_larger(self):
+        assert DATASET_SCALES["full"]["num_users"] > DATASET_SCALES["fast"]["num_users"]
+        assert DATASET_SCALES["full"]["num_items"] > DATASET_SCALES["fast"]["num_items"]
+
+    @pytest.mark.parametrize("profile", ["movielens", "douban", "bookcrossing"])
+    def test_workload_builds_per_profile(self, profile):
+        dataset, split = _workload(profile, "fast", seed=0)
+        assert dataset.num_users == DATASET_SCALES["fast"]["num_users"]
+        assert len(split.train_ratings()) > 0
+        # Every scenario has a non-empty cold quadrant at the fast scale.
+        for scenario in ("user", "item", "both"):
+            assert len(split.eval_ratings(scenario)) > 0
+
+    def test_douban_workload_has_social(self):
+        dataset, _ = _workload("douban", "fast", seed=0)
+        assert dataset.social_edges is not None
+
+    def test_prepare_workload_uses_spec_dataset(self):
+        dataset, _ = prepare_workload(EXPERIMENTS["table4"], scale="fast", seed=0)
+        assert dataset.name == "bookcrossing-like"
+
+
+class TestMinQuery:
+    def test_single_cold_scenarios_near_largest_k(self):
+        assert _min_query("user", (5, 7, 10)) == 8
+        assert _min_query("item", (5, 7, 10)) == 8
+
+    def test_both_scenario_relaxed(self):
+        assert _min_query("both", (5, 7, 10)) == 5
+
+    def test_floor_of_five(self):
+        assert _min_query("user", (5,)) == 5
+
+    def test_workloads_support_the_min_query(self):
+        """At the fast scale, every scenario must still yield tasks under
+        its min_query — otherwise the table benches would silently skip."""
+        from repro.eval import build_eval_tasks
+
+        for profile, spec_id in (("movielens", "table3"),
+                                 ("bookcrossing", "table4"),
+                                 ("douban", "table5")):
+            _, split = _workload(profile, "fast", seed=0)
+            for scenario in ("user", "item", "both"):
+                tasks = build_eval_tasks(
+                    split, scenario,
+                    min_query=_min_query(scenario, (5, 7, 10)), seed=0)
+                assert tasks, (profile, scenario)

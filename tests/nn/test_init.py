@@ -1,0 +1,76 @@
+"""Weight initialisers: ranges, determinism, fan computation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import init
+
+
+class TestXavier:
+    def test_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((100, 50), rng)
+        bound = math.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound
+        assert w.shape == (100, 50)
+
+    def test_gain_scales_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((200, 200), rng, gain=2.0)
+        base_bound = math.sqrt(6.0 / 400)
+        assert np.abs(w).max() <= 2.0 * base_bound
+        assert np.abs(w).max() > base_bound  # gain actually widened it
+
+    def test_deterministic_per_seed(self):
+        a = init.xavier_uniform((5, 5), np.random.default_rng(7))
+        b = init.xavier_uniform((5, 5), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKaiming:
+    def test_bound_uses_fan_in(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((64, 8), rng)
+        assert np.abs(w).max() <= math.sqrt(6.0 / 64)
+
+    def test_3d_fan_in(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((4, 4, 8), rng)
+        assert np.abs(w).max() <= math.sqrt(6.0 / 16)
+
+
+class TestOthers:
+    def test_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.normal((10_000,), rng, std=0.5)
+        assert w.std() == pytest.approx(0.5, rel=0.05)
+
+    def test_zeros_ones(self):
+        assert (init.zeros((3, 2)) == 0).all()
+        assert (init.ones((4,)) == 1).all()
+
+    def test_scalar_shape_fans(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((), rng)
+        assert w.shape == ()
+
+    def test_1d_fans(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((10,), rng)
+        assert np.abs(w).max() <= math.sqrt(6.0 / 20)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(1, 64),
+    cols=st.integers(1, 64),
+    seed=st.integers(0, 10_000),
+)
+def test_property_xavier_within_bound(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    w = init.xavier_uniform((rows, cols), rng)
+    assert np.abs(w).max() <= math.sqrt(6.0 / (rows + cols)) + 1e-12

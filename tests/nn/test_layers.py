@@ -1,0 +1,140 @@
+"""Layer semantics: Linear, Embedding, LayerNorm, Dropout, MLP."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_affine_map(self, rng):
+        layer = nn.Linear(3, 2, rng)
+        x = rng.normal(size=(5, 3))
+        out = layer(nn.Tensor(x))
+        np.testing.assert_allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(3, 2, rng, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_batched_input(self, rng):
+        layer = nn.Linear(4, 2, rng)
+        out = layer(nn.Tensor(rng.normal(size=(2, 3, 4))))
+        assert out.shape == (2, 3, 2)
+
+    def test_gradients_flow(self, rng):
+        layer = nn.Linear(3, 2, rng)
+        layer(nn.Tensor(rng.normal(size=(5, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, np.full(2, 5.0))
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        table = nn.Embedding(10, 4, rng)
+        out = table(np.array([1, 5, 5]))
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out.data[1], out.data[2])
+
+    def test_out_of_range_raises(self, rng):
+        table = nn.Embedding(10, 4, rng)
+        with pytest.raises(IndexError):
+            table(np.array([10]))
+        with pytest.raises(IndexError):
+            table(np.array([-1]))
+
+    def test_gradient_reaches_rows(self, rng):
+        table = nn.Embedding(5, 3, rng)
+        table(np.array([0, 0, 4])).sum().backward()
+        grad = table.weight.grad
+        np.testing.assert_allclose(grad[0], np.full(3, 2.0))
+        np.testing.assert_allclose(grad[4], np.ones(3))
+        np.testing.assert_allclose(grad[1], np.zeros(3))
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self, rng):
+        ln = nn.LayerNorm(6)
+        x = rng.normal(loc=5.0, scale=3.0, size=(4, 6))
+        out = ln(nn.Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-4)
+
+    def test_learnable_affine(self, rng):
+        ln = nn.LayerNorm(4)
+        ln.gamma.data = np.full(4, 2.0)
+        ln.beta.data = np.full(4, 1.0)
+        out = ln(nn.Tensor(rng.normal(size=(3, 4)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.ones(3), atol=1e-10)
+
+    def test_gradcheck(self, rng):
+        from tests.nn.test_tensor import check_grad
+
+        ln = nn.LayerNorm(5)
+        check_grad(lambda t: ln(t) * 2.0, rng.normal(size=(3, 5)), tol=1e-5)
+
+
+class TestDropout:
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0, rng)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1, rng)
+
+    def test_eval_passthrough(self, rng):
+        drop = nn.Dropout(0.5, rng)
+        drop.eval()
+        x = rng.normal(size=(10, 10))
+        np.testing.assert_array_equal(drop(nn.Tensor(x)).data, x)
+
+    def test_train_zeroes_some(self, rng):
+        drop = nn.Dropout(0.5, rng)
+        out = drop(nn.Tensor(np.ones((50, 50)))).data
+        assert (out == 0).any()
+        assert (out != 0).any()
+
+
+class TestMLP:
+    def test_shapes(self, rng):
+        mlp = nn.MLP([4, 8, 2], rng)
+        assert mlp(nn.Tensor(rng.normal(size=(6, 4)))).shape == (6, 2)
+
+    def test_needs_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            nn.MLP([4], rng)
+
+    def test_unknown_activation(self, rng):
+        with pytest.raises(ValueError):
+            nn.MLP([4, 2], rng, activation="swish")
+
+    def test_final_activation_flag(self, rng):
+        bounded = nn.MLP([3, 3], rng, activation="sigmoid", final_activation=True)
+        out = bounded(nn.Tensor(rng.normal(scale=10, size=(5, 3)))).data
+        assert (out > 0).all() and (out < 1).all()
+
+    def test_all_activations_run(self, rng):
+        for act in ("relu", "gelu", "sigmoid", "tanh"):
+            mlp = nn.MLP([3, 4, 2], rng, activation=act)
+            assert mlp(nn.Tensor(rng.normal(size=(2, 3)))).shape == (2, 2)
+
+    def test_trains_to_fit_linear_target(self, rng):
+        mlp = nn.MLP([2, 16, 1], rng)
+        x = rng.normal(size=(64, 2))
+        y = (x[:, :1] * 2.0 - x[:, 1:] * 0.5)
+        optimizer = nn.Adam(mlp.parameters(), lr=1e-2)
+        first = None
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = nn.functional.mse_loss(mlp(nn.Tensor(x)), nn.Tensor(y))
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first * 0.1

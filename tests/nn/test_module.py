@@ -1,0 +1,116 @@
+"""Module system: registration, traversal, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class _Toy(nn.Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.linear = nn.Linear(4, 3, rng)
+        self.inner = nn.Sequential(nn.Linear(3, 3, rng), nn.ReLU())
+        self.scale = nn.Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.inner(self.linear(x)) * self.scale
+
+
+@pytest.fixture
+def toy():
+    return _Toy(np.random.default_rng(0))
+
+
+class TestTraversal:
+    def test_named_parameters_nested(self, toy):
+        names = dict(toy.named_parameters())
+        assert "linear.weight" in names
+        assert "linear.bias" in names
+        assert "inner.layers.0.weight" in names
+        assert "scale" in names
+
+    def test_parameters_count(self, toy):
+        # linear: 4*3+3, inner linear: 3*3+3, scale: 1
+        assert toy.num_parameters() == 12 + 3 + 9 + 3 + 1
+
+    def test_modules_iteration(self, toy):
+        kinds = [type(m).__name__ for m in toy.modules()]
+        assert "_Toy" in kinds
+        assert "Linear" in kinds
+        assert "ReLU" in kinds
+
+    def test_parameter_stays_trainable_under_no_grad(self):
+        with nn.no_grad():
+            p = nn.Parameter(np.ones(2))
+        assert p.requires_grad
+
+
+class TestModes:
+    def test_train_eval_propagates(self, toy):
+        toy.eval()
+        assert all(not m.training for m in toy.modules())
+        toy.train()
+        assert all(m.training for m in toy.modules())
+
+    def test_zero_grad(self, toy):
+        x = nn.Tensor(np.ones((2, 4)))
+        toy(x).sum().backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, toy):
+        state = toy.state_dict()
+        other = _Toy(np.random.default_rng(99))
+        before = other(nn.Tensor(np.ones((1, 4)))).data.copy()
+        other.load_state_dict(state)
+        after = other(nn.Tensor(np.ones((1, 4)))).data
+        expected = toy(nn.Tensor(np.ones((1, 4)))).data
+        np.testing.assert_allclose(after, expected)
+        assert not np.allclose(before, after)
+
+    def test_state_dict_copies(self, toy):
+        state = toy.state_dict()
+        state["scale"][0] = 42.0
+        assert toy.scale.data[0] == 1.0
+
+    def test_missing_key_raises(self, toy):
+        state = toy.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, toy):
+        state = toy.state_dict()
+        state["ghost"] = np.ones(1)
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, toy):
+        state = toy.state_dict()
+        state["scale"] = np.ones(5)
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_order(self):
+        rng = np.random.default_rng(1)
+        seq = nn.Sequential(nn.Linear(2, 3, rng), nn.ReLU(), nn.Linear(3, 1, rng))
+        assert len(seq) == 3
+        out = seq(nn.Tensor(np.ones((4, 2))))
+        assert out.shape == (4, 1)
+        assert isinstance(seq[1], nn.ReLU)
+
+    def test_modulelist_registration(self):
+        rng = np.random.default_rng(2)
+        ml = nn.ModuleList([nn.Linear(2, 2, rng)])
+        ml.append(nn.Linear(2, 2, rng))
+        assert len(ml) == 2
+        assert len(list(ml)) == 2
+        params = list(p for m in ml for p in m.parameters())
+        assert len(params) == 4
+        assert ml[0] is not ml[1]

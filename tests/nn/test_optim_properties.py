@@ -1,0 +1,109 @@
+"""Property-based optimiser invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import LAMB, SGD, Adam, Lookahead, Parameter
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lr=st.floats(1e-4, 0.5),
+    seed=st.integers(0, 10_000),
+)
+def test_property_sgd_step_is_exact_gradient_descent(lr, seed):
+    """One SGD step equals p - lr * grad, for any lr and gradient."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=5)
+    grad = rng.normal(size=5)
+    p = Parameter(data.copy())
+    p.grad = grad.copy()
+    SGD([p], lr=lr).step()
+    np.testing.assert_allclose(p.data, data - lr * grad, rtol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_adam_step_bounded_by_lr(seed):
+    """Adam's bias-corrected first step per coordinate is ≈ lr in magnitude
+    regardless of the gradient's scale."""
+    rng = np.random.default_rng(seed)
+    p = Parameter(rng.normal(size=4))
+    before = p.data.copy()
+    p.grad = rng.normal(size=4) * 10.0 ** float(rng.integers(-3, 4))
+    Adam([p], lr=0.01).step()
+    steps = np.abs(p.data - before)
+    assert (steps <= 0.0101).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    alpha=st.floats(0.1, 1.0),
+    k=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_property_lookahead_interpolation(alpha, k, seed):
+    """After exactly k inner steps, weights equal
+    start + alpha * (fast - start) where fast is the inner trajectory."""
+    rng = np.random.default_rng(seed)
+    start = rng.normal(size=3)
+
+    # Trajectory of the bare inner optimiser.
+    p_fast = Parameter(start.copy())
+    inner_fast = SGD([p_fast], lr=0.1)
+    grads = [rng.normal(size=3) for _ in range(k)]
+    for g in grads:
+        p_fast.grad = g.copy()
+        inner_fast.step()
+    fast_end = p_fast.data.copy()
+
+    p = Parameter(start.copy())
+    look = Lookahead(SGD([p], lr=0.1), alpha=alpha, k=k)
+    for g in grads:
+        p.grad = g.copy()
+        look.step()
+    np.testing.assert_allclose(p.data, start + alpha * (fast_end - start),
+                               rtol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_lamb_update_direction_descends(seed):
+    """On a convex quadratic, a LAMB step never increases the loss by much
+    (trust-ratio scaled steps stay productive)."""
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=4)
+    p = Parameter(target + rng.normal(size=4))
+
+    def loss_value():
+        diff = p.data - target
+        return float((diff * diff).sum())
+
+    opt = LAMB([p], lr=0.01)
+    before = loss_value()
+    for _ in range(5):
+        opt.zero_grad()
+        diff = p - nn.Tensor(target)
+        (diff * diff).sum().backward()
+        opt.step()
+    assert loss_value() <= before + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    max_norm=st.floats(0.1, 5.0),
+)
+def test_property_clip_grad_norm_postcondition(seed, max_norm):
+    from repro.nn import clip_grad_norm
+
+    rng = np.random.default_rng(seed)
+    params = [Parameter(np.zeros(3)) for _ in range(3)]
+    for p in params:
+        p.grad = rng.normal(scale=10.0, size=3)
+    clip_grad_norm(params, max_norm)
+    total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    assert total <= max_norm * (1 + 1e-9)

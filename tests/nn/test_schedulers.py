@@ -1,0 +1,107 @@
+"""Schedulers and gradient clipping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    ConstantLR,
+    FlatThenAnnealLR,
+    Parameter,
+    clip_grad_norm,
+)
+
+
+def make_optimizer(lr=1.0):
+    return SGD([Parameter(np.ones(3))], lr=lr)
+
+
+class TestFlatThenAnneal:
+    def test_flat_phase_holds_base_lr(self):
+        opt = make_optimizer(lr=0.5)
+        sched = FlatThenAnnealLR(opt, total_steps=100, flat_fraction=0.7)
+        for _ in range(70):
+            assert sched.step() == pytest.approx(0.5)
+
+    def test_anneals_to_zero(self):
+        opt = make_optimizer(lr=0.5)
+        sched = FlatThenAnnealLR(opt, total_steps=100, flat_fraction=0.7)
+        values = [sched.step() for _ in range(100)]
+        assert values[-1] == pytest.approx(0.0, abs=1e-12)
+        # Monotonically non-increasing after the flat phase.
+        anneal = values[70:]
+        assert all(a >= b for a, b in zip(anneal, anneal[1:]))
+
+    def test_cosine_midpoint(self):
+        opt = make_optimizer(lr=1.0)
+        sched = FlatThenAnnealLR(opt, total_steps=10, flat_fraction=0.0)
+        # halfway through the anneal, lr = 0.5*(1+cos(pi/2)) = 0.5
+        assert sched.lr_at(5) == pytest.approx(0.5 * (1 + math.cos(math.pi / 2)))
+
+    def test_steps_clamp_at_total(self):
+        opt = make_optimizer()
+        sched = FlatThenAnnealLR(opt, total_steps=5, flat_fraction=0.0)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            FlatThenAnnealLR(make_optimizer(), total_steps=10, flat_fraction=1.5)
+
+    def test_invalid_total_steps(self):
+        with pytest.raises(ValueError):
+            FlatThenAnnealLR(make_optimizer(), total_steps=0)
+
+    def test_mutates_optimizer_lr(self):
+        opt = make_optimizer(lr=0.3)
+        sched = FlatThenAnnealLR(opt, total_steps=4, flat_fraction=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(0.3)
+        for _ in range(3):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+
+class TestConstantLR:
+    def test_never_changes(self):
+        opt = make_optimizer(lr=0.2)
+        sched = ConstantLR(opt, total_steps=10)
+        for _ in range(20):
+            assert sched.step() == pytest.approx(0.2)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([0.3, 0.0, 0.4])  # norm 0.5
+        norm = clip_grad_norm([p], 1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.3, 0.0, 0.4])
+
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        norm = clip_grad_norm([p], 1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_norm_across_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        clip_grad_norm([a, b], 1.0)
+        total = math.sqrt(float(a.grad[0] ** 2 + b.grad[0] ** 2))
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_ignores_none_grads(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad = np.array([2.0])
+        norm = clip_grad_norm([a, b], 10.0)
+        assert norm == pytest.approx(2.0)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], 0.0)
