@@ -14,6 +14,19 @@ import pytest
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="run benchmarks at a shrunken smoke scale (seconds, not minutes); "
+             "smoke runs skip artifact/JSON writes",
+    )
+
+
+@pytest.fixture
+def smoke_mode(request) -> bool:
+    return request.config.getoption("--smoke")
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -90,7 +90,7 @@ class ContextEncoder(nn.Module):
         levels = np.rint(context.ratings - self.rating_low).astype(np.int64)
         levels = np.clip(levels, 0, self.num_rating_levels - 1)
         embedded = self.rating_transform(levels)  # (n, m, f)
-        visible = nn.Tensor(context.revealed.astype(np.float64)[:, :, None])
+        visible = nn.Tensor(context.revealed.astype(embedded.data.dtype)[:, :, None])
         out = embedded * visible
         if self.mask_token is not None:
             out = out + self.mask_token * (1.0 - visible)
@@ -103,9 +103,10 @@ class ContextEncoder(nn.Module):
         x_items = self.encode_items(context.items)  # (m, hi*f)
         x_ratings = self.encode_ratings(context)    # (n, m, f)
 
-        # Broadcast user rows across item columns and vice versa.
+        # Broadcast user rows across item columns and vice versa — lazy
+        # views, materialized once by the concatenate below.
         hu_f = self.num_user_attrs * self.attr_dim
         hi_f = self.num_item_attrs * self.attr_dim
-        user_block = x_users.reshape(n, 1, hu_f) + nn.Tensor(np.zeros((n, m, hu_f)))
-        item_block = x_items.reshape(1, m, hi_f) + nn.Tensor(np.zeros((n, m, hi_f)))
+        user_block = x_users.reshape(n, 1, hu_f).broadcast_to(n, m, hu_f)
+        item_block = x_items.reshape(1, m, hi_f).broadcast_to(n, m, hi_f)
         return nn.functional.concatenate([user_block, item_block, x_ratings], axis=-1)

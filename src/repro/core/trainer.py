@@ -91,28 +91,40 @@ class HIRETrainer:
         self.loss_history: list[float] = []
         self.validation_history: list[float] = []
         self._validation_set: list[PredictionContext] | None = None
+        self._attention_layers = [
+            m for m in model.modules()
+            if isinstance(m, nn.MultiHeadSelfAttention)
+        ]
 
     # ------------------------------------------------------------------ #
     # Context generation (line 2 / line 4 of Algorithm 1)
     # ------------------------------------------------------------------ #
-    def sample_training_context(self) -> PredictionContext:
-        """One context seeded at a random warm (user, item) rating pair."""
+    def sample_training_context(self, rng: np.random.Generator | None = None
+                                ) -> PredictionContext:
+        """One context seeded at a random warm (user, item) rating pair.
+
+        ``rng`` defaults to the trainer's stream; passing an explicit
+        generator (as :meth:`validation_loss` does) keeps independent
+        sampling streams without touching shared trainer state.
+        """
         cfg = self.config
+        if rng is None:
+            rng = self.rng
         for _ in range(16):
-            seed_row = self.train_ratings[self.rng.integers(len(self.train_ratings))]
+            seed_row = self.train_ratings[rng.integers(len(self.train_ratings))]
             users, items = self.sampler.sample(
                 self.graph,
                 target_users=np.array([int(seed_row[0])]),
                 target_items=np.array([int(seed_row[1])]),
                 n=cfg.context_users, m=cfg.context_items,
-                rng=self.rng,
+                rng=rng,
                 candidate_users=self.split.train_users,
                 candidate_items=self.split.train_items,
             )
             reveal = cfg.reveal_fraction
             if cfg.reveal_fraction_high is not None:
-                reveal = self.rng.uniform(cfg.reveal_fraction, cfg.reveal_fraction_high)
-            context = build_context(self.graph, users, items, self.rng,
+                reveal = rng.uniform(cfg.reveal_fraction, cfg.reveal_fraction_high)
+            context = build_context(self.graph, users, items, rng,
                                     reveal_fraction=reveal)
             if context.num_query() > 0:
                 return context
@@ -124,6 +136,11 @@ class HIRETrainer:
     def train_step(self) -> float:
         """One mini-batch update; returns the batch MSE loss."""
         cfg = self.config
+        if any(layer.capture_attention for layer in self._attention_layers):
+            raise RuntimeError(
+                "capture_attention is enabled on an attention layer; disable "
+                "it during training (it retains per-step attention maps)"
+            )
         self.optimizer.zero_grad()
         contexts = [self.sample_training_context() for _ in range(cfg.batch_size)]
         if cfg.batched_forward:
@@ -161,13 +178,11 @@ class HIRETrainer:
         comparable.
         """
         if self._validation_set is None:
-            rng_backup = self.rng
-            self.rng = np.random.default_rng(self.config.seed + 7919)
+            val_rng = np.random.default_rng(self.config.seed + 7919)
             self._validation_set = [
-                self.sample_training_context()
+                self.sample_training_context(rng=val_rng)
                 for _ in range(self.config.validation_contexts)
             ]
-            self.rng = rng_backup
         self.model.eval()
         total = 0.0
         with nn.no_grad():

@@ -11,6 +11,7 @@ from .paper_numbers import (
     paper_cell,
 )
 from .models import HIREModel, MODEL_NAMES, create_model, models_for_dataset
+from .substrate_bench import run_substrate_microbench, write_bench_json
 from .runner import (
     prepare_workload,
     run_ablation,
@@ -47,6 +48,8 @@ __all__ = [
     "create_model",
     "models_for_dataset",
     "prepare_workload",
+    "run_substrate_microbench",
+    "write_bench_json",
     "run_experiment",
     "run_overall_performance",
     "run_test_time",

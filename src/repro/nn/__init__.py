@@ -26,12 +26,22 @@ from .module import Module, ModuleList, Parameter, Sequential
 from .optim import LAMB, SGD, Adam, Lookahead, Optimizer
 from .schedulers import ConstantLR, FlatThenAnnealLR, LRScheduler
 from .serialization import load_checkpoint, load_module, save_checkpoint, save_module
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import (
+    Tensor,
+    dtype_policy,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+)
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "dtype_policy",
     "functional",
     "init",
     "Module",

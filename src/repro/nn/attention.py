@@ -10,6 +10,13 @@ item axis for each user row, and MBA over the attribute axis for each
 MHSA is permutation-equivariant over the token axis (Eq. 5), the inductive
 bias that makes HIRE order-independent over users and items (Property 5.1);
 ``tests/nn/test_attention.py`` checks this exactly.
+
+The Q/K/V projections are packed into a single ``(d, 3d)`` weight so the
+projection runs as one GEMM; the attention core is the fused
+:func:`~repro.nn.functional.multi_head_attention_qkv` node.  Checkpoints
+written by the older three-matrix layout load transparently — the packed
+weight is the exact column concatenation ``[W_q | W_k | W_v]``, so upgraded
+checkpoints produce bitwise-identical forward output.
 """
 
 from __future__ import annotations
@@ -19,11 +26,40 @@ import math
 import numpy as np
 
 from . import functional as F
+from . import init
 from .layers import Linear
-from .module import Module
+from .module import Module, Parameter
 from .tensor import Tensor
 
 __all__ = ["MultiHeadSelfAttention"]
+
+
+class _ProjectionView:
+    """Read-only view of one third of the packed QKV weight.
+
+    Kept so code written against the historical ``w_query`` / ``w_key`` /
+    ``w_value`` Linear sub-modules (``layer.w_query.weight.data/.grad``)
+    keeps working on the packed layout.
+    """
+
+    __slots__ = ("_param", "_sl")
+
+    def __init__(self, param: Parameter, sl: slice):
+        self._param = param
+        self._sl = sl
+
+    @property
+    def weight(self) -> "_ProjectionView":
+        return self
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._param.data[:, self._sl]
+
+    @property
+    def grad(self) -> np.ndarray | None:
+        grad = self._param.grad
+        return None if grad is None else grad[:, self._sl]
 
 
 class MultiHeadSelfAttention(Module):
@@ -36,7 +72,7 @@ class MultiHeadSelfAttention(Module):
     num_heads:
         Number of parallel attention heads ``l``; must divide ``embed_dim``.
     rng:
-        Generator used to initialise the four projection matrices.
+        Generator used to initialise the projection matrices.
 
     Attributes
     ----------
@@ -53,27 +89,67 @@ class MultiHeadSelfAttention(Module):
         self.embed_dim = embed_dim
         self.num_heads = num_heads
         self.head_dim = embed_dim // num_heads
-        self.w_query = Linear(embed_dim, embed_dim, rng, bias=False)
-        self.w_key = Linear(embed_dim, embed_dim, rng, bias=False)
-        self.w_value = Linear(embed_dim, embed_dim, rng, bias=False)
+        # Columns [W_q | W_k | W_v]; each block initialised exactly like the
+        # historical standalone (d, d) Linear so seeds reproduce per-block
+        # fan-in/fan-out statistics.
+        self.w_qkv = Parameter(np.concatenate(
+            [init.xavier_uniform((embed_dim, embed_dim), rng) for _ in range(3)],
+            axis=1,
+        ))
         self.w_output = Linear(embed_dim, embed_dim, rng, bias=False)
         self.capture_attention = False
         self.last_attention: np.ndarray | None = None
 
+    # Legacy accessors for the pre-packed three-matrix layout.
+    @property
+    def w_query(self) -> _ProjectionView:
+        return _ProjectionView(self.w_qkv, slice(0, self.embed_dim))
+
+    @property
+    def w_key(self) -> _ProjectionView:
+        return _ProjectionView(self.w_qkv, slice(self.embed_dim, 2 * self.embed_dim))
+
+    @property
+    def w_value(self) -> _ProjectionView:
+        return _ProjectionView(self.w_qkv, slice(2 * self.embed_dim, 3 * self.embed_dim))
+
+    def _upgrade_state_dict(self, prefix: str, state: dict) -> None:
+        """Pack an old three-matrix checkpoint into the ``w_qkv`` layout."""
+        old = [prefix + name for name in
+               ("w_query.weight", "w_key.weight", "w_value.weight")]
+        if prefix + "w_qkv" not in state and all(key in state for key in old):
+            state[prefix + "w_qkv"] = np.concatenate(
+                [np.asarray(state.pop(key)) for key in old], axis=1)
+
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[-1] != self.embed_dim:
             raise ValueError(f"expected last dim {self.embed_dim}, got {x.shape[-1]}")
+        if F.fused_kernels_enabled():
+            qkv = F.linear(x, self.w_qkv)
+            if self.capture_attention:
+                fused, attn = F.multi_head_attention_qkv(
+                    qkv, self.num_heads, need_weights=True)
+                self.last_attention = attn
+            else:
+                fused = F.multi_head_attention_qkv(qkv, self.num_heads)
+            return self.w_output(fused)
+        return self._forward_reference(x)
+
+    def _forward_reference(self, x: Tensor) -> Tensor:
+        """Decomposed path mirroring the pre-fusion implementation: three
+        separate QKV matmuls and a many-node attention graph."""
         t = x.shape[-2]
         lead = x.shape[:-2]
+        d = self.embed_dim
 
         def split_heads(proj: Tensor) -> Tensor:
             # (..., t, d) -> (..., heads, t, head_dim)
             reshaped = proj.reshape(*lead, t, self.num_heads, self.head_dim)
             return reshaped.swapaxes(-3, -2)
 
-        q = split_heads(self.w_query(x))
-        k = split_heads(self.w_key(x))
-        v = split_heads(self.w_value(x))
+        q = split_heads(x @ self.w_qkv[:, :d])
+        k = split_heads(x @ self.w_qkv[:, d:2 * d])
+        v = split_heads(x @ self.w_qkv[:, 2 * d:])
 
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(self.head_dim))
         attn = F.softmax(scores, axis=-1)

@@ -4,6 +4,15 @@ These free functions complement the methods on ``Tensor`` with multi-input
 operations (stack, concatenate), numerically stable softmax / log-softmax,
 activation functions, and the loss functions used by the paper (MSE on masked
 ratings) and the baselines (binary cross-entropy, etc.).
+
+The hot ops of the HIRE forward/backward — :func:`layer_norm`, :func:`gelu`,
+:func:`linear`, and the attention cores :func:`scaled_dot_product_attention`
+/ :func:`multi_head_attention_qkv` — each run as a *single* autograd node
+with an analytic backward, instead of the many small nodes their unfused
+compositions would record.  :func:`set_fused_kernels` (or the
+:class:`fused_kernels` context manager) switches the substrate back to the
+decomposed reference path, which exists for equivalence testing and as the
+honest baseline for ``benchmarks/bench_substrate_micro.py``.
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ import math
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import SparseRowGrad, Tensor
 
 __all__ = [
     "stack",
@@ -21,8 +30,14 @@ __all__ = [
     "log_softmax",
     "relu",
     "gelu",
+    "gelu_reference",
     "sigmoid",
     "tanh",
+    "layer_norm",
+    "layer_norm_reference",
+    "linear",
+    "scaled_dot_product_attention",
+    "multi_head_attention_qkv",
     "mse_loss",
     "masked_mse_loss",
     "bce_loss",
@@ -30,7 +45,38 @@ __all__ = [
     "dropout",
     "embedding_lookup",
     "pad_to",
+    "set_fused_kernels",
+    "fused_kernels_enabled",
+    "fused_kernels",
 ]
+
+_FUSED = True
+
+
+def set_fused_kernels(enabled: bool) -> None:
+    """Globally enable/disable the single-node fused kernels."""
+    global _FUSED
+    _FUSED = bool(enabled)
+
+
+def fused_kernels_enabled() -> bool:
+    return _FUSED
+
+
+class fused_kernels:
+    """Context manager scoping :func:`set_fused_kernels` to a block."""
+
+    def __init__(self, enabled: bool):
+        self._enabled = enabled
+
+    def __enter__(self):
+        self._prev = _FUSED
+        set_fused_kernels(self._enabled)
+        return self
+
+    def __exit__(self, *exc):
+        set_fused_kernels(self._prev)
+        return False
 
 
 def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
@@ -101,18 +147,167 @@ def tanh(x: Tensor) -> Tensor:
 
 
 _GELU_C = math.sqrt(2.0 / math.pi)
+_GELU_A = 0.044715
+
+
+def gelu_reference(x: Tensor) -> Tensor:
+    """GELU (tanh approximation) composed from Tensor primitives (~8 nodes)."""
+    inner = _GELU_C * (x + _GELU_A * x * x * x)
+    return 0.5 * x * (1.0 + inner.tanh())
 
 
 def gelu(x: Tensor) -> Tensor:
-    """Gaussian error linear unit (tanh approximation)."""
-    inner = _GELU_C * (x + 0.044715 * x * x * x)
-    return 0.5 * x * (1.0 + inner.tanh())
+    """Gaussian error linear unit (tanh approximation), one fused node."""
+    if not _FUSED:
+        return gelu_reference(x)
+    xd = x.data
+    t = np.tanh(_GELU_C * (xd + _GELU_A * xd * xd * xd))
+
+    def backward(g):
+        dinner = _GELU_C * (1.0 + 3.0 * _GELU_A * xd * xd)
+        return ((x, g * (0.5 * (1.0 + t) + 0.5 * xd * (1.0 - t * t) * dinner)),)
+
+    return Tensor._from_op(0.5 * xd * (1.0 + t), (x,), backward)
+
+
+def layer_norm_reference(x: Tensor, gamma: Tensor, beta: Tensor,
+                         eps: float = 1e-5) -> Tensor:
+    """Layer norm over the last axis from Tensor primitives (~7 nodes)."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normed = centered / (var + eps).sqrt()
+    return normed * gamma + beta
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis as one fused autograd node."""
+    if not _FUSED:
+        return layer_norm_reference(x, gamma, beta, eps)
+    xd = x.data
+    mean = xd.mean(axis=-1, keepdims=True)
+    centered = xd - mean
+    var = np.mean(centered * centered, axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = centered * inv_std
+    out = xhat * gamma.data + beta.data
+
+    def backward(g):
+        # d gamma / d beta: _unbroadcast folds the leading axes.
+        dxhat = g * gamma.data
+        m1 = dxhat.mean(axis=-1, keepdims=True)
+        m2 = np.mean(dxhat * xhat, axis=-1, keepdims=True)
+        dx = inv_std * (dxhat - m1 - xhat * m2)
+        return ((x, dx), (gamma, g * xhat), (beta, g))
+
+    return Tensor._from_op(out, (x, gamma, beta), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """``x @ weight (+ bias)`` over the last axis as one fused node.
+
+    ``weight`` is 2-D ``(in, out)``; ``x`` may carry arbitrary leading axes.
+    """
+    if not _FUSED:
+        out = x @ weight
+        return out if bias is None else out + bias
+    out_data = x.data @ weight.data
+    if bias is not None:
+        out_data += bias.data
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g):
+        gx = g @ weight.data.T
+        x2 = x.data.reshape(-1, x.data.shape[-1])
+        g2 = g.reshape(-1, g.shape[-1])
+        gw = x2.T @ g2
+        if bias is None:
+            return ((x, gx), (weight, gw))
+        return ((x, gx), (weight, gw), (bias, g2.sum(axis=0)))
+
+    return Tensor._from_op(out_data, parents, backward)
+
+
+def _softmax_array(scores: np.ndarray) -> np.ndarray:
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    return scores
+
+
+def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
+                                 need_weights: bool = False):
+    """``softmax(q kᵀ / √d) v`` as one fused node, scale folded into ``q``.
+
+    Inputs are ``(..., t, d)``; attention runs over the token axis ``t``
+    independently for every leading batch axis.  With ``need_weights`` the
+    row-stochastic attention matrix ``(..., t, t)`` is returned alongside
+    (a plain ndarray, outside the graph).
+    """
+    scale = 1.0 / math.sqrt(q.shape[-1])
+    qd, kd, vd = q.data, k.data, v.data
+    probs = _softmax_array((qd * scale) @ np.swapaxes(kd, -1, -2))
+    out = probs @ vd
+
+    def backward(g):
+        dv = np.swapaxes(probs, -1, -2) @ g
+        dp = g @ np.swapaxes(vd, -1, -2)
+        ds = probs * (dp - (dp * probs).sum(axis=-1, keepdims=True))
+        dq = (ds @ kd) * scale
+        dk = (np.swapaxes(ds, -1, -2) @ qd) * scale
+        return ((q, dq), (k, dk), (v, dv))
+
+    result = Tensor._from_op(out, (q, k, v), backward)
+    return (result, probs) if need_weights else result
+
+
+def multi_head_attention_qkv(qkv: Tensor, num_heads: int,
+                             need_weights: bool = False):
+    """Multi-head attention over a packed QKV projection, one fused node.
+
+    ``qkv`` is ``(..., t, 3d)`` — the output of one ``(d, 3d)`` projection
+    whose columns are ``[W_q | W_k | W_v]``.  Splits heads, attends with the
+    1/√head_dim scale folded into ``q``, and re-merges heads, all inside a
+    single autograd node whose backward assembles the packed ``(..., t, 3d)``
+    gradient in one allocation.
+    """
+    *lead, t, packed = qkv.shape
+    d = packed // 3
+    head_dim = d // num_heads
+    scale = 1.0 / math.sqrt(head_dim)
+    # (..., t, 3, H, hd) -> (3, ..., H, t, hd); copies make the gemms contiguous.
+    split = np.moveaxis(
+        qkv.data.reshape(*lead, t, 3, num_heads, head_dim), -3, 0
+    ).swapaxes(-3, -2)
+    qd = np.ascontiguousarray(split[0])
+    kd = np.ascontiguousarray(split[1])
+    vd = np.ascontiguousarray(split[2])
+    probs = _softmax_array((qd * scale) @ np.swapaxes(kd, -1, -2))
+    fused = probs @ vd  # (..., H, t, hd)
+    out = fused.swapaxes(-3, -2).reshape(*lead, t, d)
+
+    def backward(g):
+        gh = g.reshape(*lead, t, num_heads, head_dim).swapaxes(-3, -2)
+        dv = np.swapaxes(probs, -1, -2) @ gh
+        dp = gh @ np.swapaxes(vd, -1, -2)
+        ds = probs * (dp - (dp * probs).sum(axis=-1, keepdims=True))
+        dq = (ds @ kd) * scale
+        dk = (np.swapaxes(ds, -1, -2) @ qd) * scale
+        dqkv = np.empty(qkv.shape, dtype=g.dtype)
+        view = dqkv.reshape(*lead, t, 3, num_heads, head_dim)
+        view[..., 0, :, :] = dq.swapaxes(-3, -2)
+        view[..., 1, :, :] = dk.swapaxes(-3, -2)
+        view[..., 2, :, :] = dv.swapaxes(-3, -2)
+        return ((qkv, dqkv),)
+
+    result = Tensor._from_op(out, (qkv,), backward)
+    return (result, probs) if need_weights else result
 
 
 def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
     """Mean squared error over all elements."""
     if not isinstance(target, Tensor):
-        target = Tensor(target)
+        target = Tensor(np.asarray(target, dtype=prediction.data.dtype))
     diff = prediction - target
     return (diff * diff).mean()
 
@@ -121,19 +316,22 @@ def masked_mse_loss(prediction: Tensor, target: np.ndarray, mask: np.ndarray) ->
     """MSE over entries where ``mask`` is True (Eq. 17 of the paper).
 
     ``mask`` marks the query ratings Q whose ground truth was hidden from the
-    model; the loss averages squared error over exactly those cells.
+    model; the loss averages squared error over exactly those cells.  The
+    mask and target follow the prediction's dtype (no float64 upcasts on the
+    float32 path).
     """
-    mask = np.asarray(mask, dtype=np.float64)
+    dtype = prediction.data.dtype
+    mask = np.asarray(mask, dtype=dtype)
     count = mask.sum()
     if count == 0:
         raise ValueError("masked_mse_loss requires at least one masked entry")
-    diff = prediction - Tensor(target)
+    diff = prediction - Tensor(np.asarray(target, dtype=dtype))
     return (diff * diff * Tensor(mask)).sum() * (1.0 / count)
 
 
 def bce_loss(prediction: Tensor, target: np.ndarray, eps: float = 1e-9) -> Tensor:
     """Binary cross entropy on probabilities in (0, 1)."""
-    target_t = Tensor(np.asarray(target, dtype=np.float64))
+    target_t = Tensor(np.asarray(target, dtype=prediction.data.dtype))
     clipped = prediction.clip(eps, 1.0 - eps)
     losses = -(target_t * clipped.log() + (1.0 - target_t) * (1.0 - clipped).log())
     return losses.mean()
@@ -151,23 +349,42 @@ def l2_penalty(parameters) -> Tensor:
 
 
 def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
-    """Inverted dropout: scales kept activations by ``1 / (1 - rate)``."""
+    """Inverted dropout: scales kept activations by ``1 / (1 - rate)``.
+
+    In eval mode (or at rate 0) this is the identity — no mask is ever
+    allocated.  The keep-mask follows ``x.dtype``, so the float32 path never
+    pays a float64 mask multiply.
+    """
     if not training or rate <= 0.0:
         return x
     keep = 1.0 - rate
-    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype)
+    mask /= keep
     return x * Tensor(mask)
 
 
 def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
-    """Row lookup into an embedding matrix with scatter-add backward."""
+    """Row lookup into an embedding matrix.
+
+    The backward reduces the incoming gradient over the *unique* indices
+    (sort + segmented ``np.add.reduceat``) and hands the autograd sweep a
+    row-sparse :class:`~repro.nn.tensor.SparseRowGrad` — no full-size zero
+    table and no elementwise ``np.add.at`` over duplicate rows.
+    """
     indices = np.asarray(indices)
     out_data = table.data[indices]
 
     def backward(g):
-        full = np.zeros_like(table.data)
-        np.add.at(full, indices.reshape(-1), g.reshape(-1, table.data.shape[-1]))
-        return ((table, full),)
+        width = table.data.shape[-1]
+        flat = indices.reshape(-1)
+        g2 = g.reshape(-1, width)
+        uniq, inv, counts = np.unique(flat, return_inverse=True, return_counts=True)
+        if uniq.size == 0:
+            return ((table, SparseRowGrad(uniq, g2)),)
+        order = np.argsort(inv, kind="stable")
+        starts = np.concatenate(([0], np.cumsum(counts[:-1])))
+        sums = np.add.reduceat(g2[order], starts, axis=0)
+        return ((table, SparseRowGrad(uniq, sums)),)
 
     return Tensor._from_op(out_data, (table,), backward)
 

@@ -1,7 +1,9 @@
 """Weight initialisers for the ``repro.nn`` substrate.
 
 All initialisers take an explicit ``numpy.random.Generator`` so that every
-model in the library is reproducible from a single integer seed.
+model in the library is reproducible from a single integer seed.  Random
+draws always happen in float64 (so a seed yields the same weights under any
+dtype policy) and are then cast to the active default dtype.
 """
 
 from __future__ import annotations
@@ -10,6 +12,8 @@ import math
 
 import numpy as np
 
+from .tensor import get_default_dtype
+
 __all__ = ["xavier_uniform", "kaiming_uniform", "normal", "zeros", "ones"]
 
 
@@ -17,26 +21,26 @@ def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float
     """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fans(shape)
     bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """He uniform for ReLU networks: U(-a, a) with a = sqrt(6 / fan_in)."""
     fan_in, _ = _fans(shape)
     bound = math.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype(), copy=False)
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape: tuple[int, ...]) -> np.ndarray:
-    return np.ones(shape)
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

@@ -24,10 +24,7 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return F.linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features})"
@@ -45,11 +42,13 @@ class Embedding(Module):
 
     def forward(self, indices) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)
-        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
-            raise IndexError(
-                f"embedding index out of range [0, {self.num_embeddings}) "
-                f"(got min={indices.min()}, max={indices.max()})"
-            )
+        if indices.size:
+            low, high = int(indices.min()), int(indices.max())
+            if low < 0 or high >= self.num_embeddings:
+                raise IndexError(
+                    f"embedding index out of range [0, {self.num_embeddings}) "
+                    f"(got min={low}, max={high})"
+                )
         return F.embedding_lookup(self.weight, indices)
 
     def __repr__(self) -> str:
@@ -66,11 +65,7 @@ class LayerNorm(Module):
         self.beta = Parameter(init.zeros((normalized_shape,)))
 
     def forward(self, x: Tensor) -> Tensor:
-        mean = x.mean(axis=-1, keepdims=True)
-        centered = x - mean
-        var = (centered * centered).mean(axis=-1, keepdims=True)
-        normed = centered / (var + self.eps).sqrt()
-        return normed * self.gamma + self.beta
+        return F.layer_norm(x, self.gamma, self.beta, self.eps)
 
 
 class Dropout(Module):

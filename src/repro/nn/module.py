@@ -67,6 +67,11 @@ class Module:
         for child in self._modules.values():
             yield from child.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            yield from child.named_modules(prefix + name + ".")
+
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
@@ -91,14 +96,26 @@ class Module:
     def state_dict(self) -> dict[str, np.ndarray]:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
+    def _upgrade_state_dict(self, prefix: str, state: dict) -> None:
+        """Hook: rewrite legacy checkpoint keys under ``prefix`` in place.
+
+        Called for every submodule before :meth:`load_state_dict` matches
+        keys; e.g. attention packs old per-projection weights into ``w_qkv``.
+        """
+
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        state = dict(state)
+        for prefix, module in self.named_modules():
+            module._upgrade_state_dict(prefix, state)
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
         if missing or unexpected:
             raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            # Cast to the parameter's dtype so checkpoints follow the
+            # module's dtype policy rather than forcing float64.
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
             param.data = value.copy()

@@ -15,7 +15,12 @@ __all__ = ["Optimizer", "SGD", "Adam", "LAMB", "Lookahead"]
 
 
 class Optimizer:
-    """Base optimiser holding a parameter list and a mutable learning rate."""
+    """Base optimiser holding a parameter list and a mutable learning rate.
+
+    Moment/velocity state is allocated with ``np.zeros_like`` on each
+    parameter, so it follows the parameter dtype — under the float32 policy
+    the whole optimiser state is float32.
+    """
 
     def __init__(self, parameters, lr: float):
         self.parameters: list[Parameter] = list(parameters)
@@ -28,6 +33,15 @@ class Optimizer:
     def zero_grad(self) -> None:
         for p in self.parameters:
             p.grad = None
+
+    @staticmethod
+    def _grad_of(p: Parameter) -> np.ndarray:
+        # Guard against mixed-dtype graphs handing a float64 gradient to a
+        # float32 parameter: in-place moment updates would raise otherwise.
+        grad = p.grad
+        if grad.dtype != p.data.dtype:
+            grad = grad.astype(p.data.dtype)
+        return grad
 
     def step(self) -> None:
         raise NotImplementedError
@@ -46,7 +60,7 @@ class SGD(Optimizer):
         for p, vel in zip(self.parameters, self._velocity):
             if p.grad is None:
                 continue
-            grad = p.grad
+            grad = self._grad_of(p)
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
             if self.momentum:
@@ -76,7 +90,7 @@ class Adam(Optimizer):
         for p, m, v in zip(self.parameters, self._m, self._v):
             if p.grad is None:
                 continue
-            grad = p.grad
+            grad = self._grad_of(p)
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
             m *= self.beta1
@@ -113,7 +127,7 @@ class LAMB(Optimizer):
         for p, m, v in zip(self.parameters, self._m, self._v):
             if p.grad is None:
                 continue
-            grad = p.grad
+            grad = self._grad_of(p)
             m *= self.beta1
             m += (1.0 - self.beta1) * grad
             v *= self.beta2

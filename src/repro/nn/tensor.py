@@ -8,21 +8,88 @@ into ``.grad`` of every tensor created with ``requires_grad=True``.
 
 Design choices:
 
-* ``float64`` by default — the library targets correctness and testability
-  (gradients are validated against finite differences), not GPU throughput.
+* ``float64`` by default — gradcheck territory; a process-wide dtype policy
+  (:func:`set_default_dtype` / :class:`dtype_policy`) switches new tensors,
+  initialisers, and optimizer state to ``float32`` for production throughput.
 * Broadcasting follows numpy semantics; :func:`_unbroadcast` folds gradients
   back onto the original shapes.
 * The graph holds strong references to parents only while a tensor is alive,
   so ordinary Python GC reclaims whole graphs between training steps.
+* The backward sweep accumulates gradients in place: the first accumulation
+  into a tensor allocates its buffer, every later one is an in-place
+  ``np.add`` — no per-edge temporaries.  Ops may also return a
+  :class:`SparseRowGrad` (rows + per-row values) instead of a dense array;
+  embedding lookups use this to scatter only the touched rows.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "SparseRowGrad",
+    "get_default_dtype",
+    "set_default_dtype",
+    "dtype_policy",
+]
 
 _GRAD_ENABLED = True
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype newly created tensors, initialisers, and masks use."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the process-wide compute dtype (float32 or float64).
+
+    Existing tensors keep their dtype; parameters inherit the policy at
+    module construction time and all downstream compute (activations,
+    gradients, optimizer state, dropout masks) follows the parameter dtype.
+    """
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError(f"default dtype must be float32 or float64, got {dtype}")
+    _DEFAULT_DTYPE = dtype
+
+
+class dtype_policy:
+    """Context manager scoping :func:`set_default_dtype` to a block."""
+
+    def __init__(self, dtype):
+        self._dtype = dtype
+
+    def __enter__(self):
+        self._prev = _DEFAULT_DTYPE
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, *exc):
+        set_default_dtype(self._prev)
+        return False
+
+
+class SparseRowGrad:
+    """Row-sparse gradient for 2-D tables: ``grad[rows] += values``.
+
+    ``rows`` must be unique (so fancy-index ``+=`` accumulates correctly);
+    the backward sweep densifies it into ``.grad`` only at the consuming
+    tensor, never materializing intermediate full-size zero tables.
+    """
+
+    __slots__ = ("rows", "values")
+
+    def __init__(self, rows: np.ndarray, values: np.ndarray):
+        self.rows = rows
+        self.values = values
 
 
 class no_grad:
@@ -48,7 +115,7 @@ def is_grad_enabled() -> bool:
 def _as_array(value) -> np.ndarray:
     if isinstance(value, Tensor):
         raise TypeError("expected raw data, got Tensor")
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -74,7 +141,12 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        if isinstance(data, np.ndarray) and data.dtype in _FLOAT_DTYPES:
+            # Preserve an explicit float32/float64 array; everything else
+            # (lists, scalars, int/bool arrays) follows the dtype policy.
+            self.data = data
+        else:
+            self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward = None
@@ -143,7 +215,7 @@ class Tensor:
                 raise RuntimeError("grad must be supplied for non-scalar backward()")
             grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
             if grad.shape != self.data.shape:
                 raise ValueError(f"grad shape {grad.shape} != tensor shape {self.data.shape}")
 
@@ -163,21 +235,52 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
-        self.grad = grad if self.grad is None else self.grad + grad
+        # Tensors whose .grad buffer was allocated by this sweep: those are
+        # safe to np.add into in place.  A first accumulation may alias an
+        # upstream array (or a read-only broadcast view), so it is never
+        # mutated — the second accumulation allocates the owned buffer once
+        # and every further one reuses it.
+        owned: set[int] = set()
+
+        def accumulate(target: "Tensor", pgrad) -> None:
+            if isinstance(pgrad, SparseRowGrad):
+                if target.grad is None:
+                    target.grad = np.zeros(target.data.shape, dtype=target.data.dtype)
+                    owned.add(id(target))
+                elif id(target) not in owned:
+                    target.grad = target.grad.copy()
+                    owned.add(id(target))
+                target.grad[pgrad.rows] += pgrad.values
+                return
+            pgrad = _unbroadcast(
+                np.asarray(pgrad, dtype=target.data.dtype), target.data.shape
+            )
+            if target.grad is None:
+                target.grad = pgrad
+            elif id(target) in owned:
+                np.add(target.grad, pgrad, out=target.grad)
+            else:
+                target.grad = target.grad + pgrad
+                owned.add(id(target))
+
+        accumulate(self, grad)
         for node in reversed(topo):
             if node._backward is None or node.grad is None:
                 continue
             for parent, pgrad in node._backward(node.grad):
                 if pgrad is None:
                     continue
-                pgrad = _unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
-                parent.grad = pgrad if parent.grad is None else parent.grad + pgrad
+                accumulate(parent, pgrad)
 
     # ------------------------------------------------------------------ #
     # Elementwise arithmetic
     # ------------------------------------------------------------------ #
     def _coerce(self, other) -> "Tensor":
-        return other if isinstance(other, Tensor) else Tensor(other)
+        if isinstance(other, Tensor):
+            return other
+        # Constants follow this tensor's dtype so float32 graphs are not
+        # silently promoted to float64 by python scalars.
+        return Tensor(np.asarray(other, dtype=self.data.dtype))
 
     def __add__(self, other) -> "Tensor":
         other = self._coerce(other)
@@ -314,6 +417,16 @@ class Tensor:
             lambda g: ((self, g.reshape(original)),),
         )
 
+    def broadcast_to(self, *shape) -> "Tensor":
+        """Broadcast to ``shape`` without copying (backward sums the view)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return Tensor._from_op(
+            np.broadcast_to(self.data, shape),
+            (self,),
+            lambda g: ((self, g),),  # _unbroadcast folds g back to self.shape
+        )
+
     def __getitem__(self, key) -> "Tensor":
         out_data = self.data[key]
 
@@ -359,7 +472,7 @@ class Tensor:
 
         def backward(g):
             if axis is None:
-                mask = (self.data == out_data).astype(np.float64)
+                mask = (self.data == out_data).astype(self.data.dtype)
                 mask /= mask.sum()
                 return ((self, mask * g),)
             g_expanded = g
@@ -369,7 +482,7 @@ class Tensor:
                 axes = tuple(a % self.data.ndim for a in axes)
                 g_expanded = np.expand_dims(g, axes)
                 out_expanded = np.expand_dims(out_data, axes)
-            mask = (self.data == out_expanded).astype(np.float64)
+            mask = (self.data == out_expanded).astype(self.data.dtype)
             mask /= mask.sum(axis=axis, keepdims=True)
             return ((self, mask * g_expanded),)
 

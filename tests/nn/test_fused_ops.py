@@ -1,0 +1,330 @@
+"""Fused-kernel guarantees: finite-difference gradchecks for every fused op,
+float64 fused-vs-reference equivalence at <= 1e-10, packed-QKV checkpoint
+compatibility, and the float32 dtype policy."""
+
+import numpy as np
+import pytest
+
+import repro.nn.functional as F
+from repro import nn
+from repro.nn import MultiHeadSelfAttention, Parameter, Tensor
+
+from .test_tensor import check_grad
+
+EQ_TOL = 1e-10
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def _clone_param(t: Tensor) -> Tensor:
+    return Tensor(t.data.copy(), requires_grad=True)
+
+
+class TestGradchecks:
+    def test_layer_norm_wrt_input(self, rng):
+        gamma = Tensor(rng.normal(size=(6,)))
+        beta = Tensor(rng.normal(size=(6,)))
+        check_grad(lambda t: F.layer_norm(t, gamma, beta),
+                   rng.normal(size=(3, 4, 6)), tol=1e-5)
+
+    def test_layer_norm_wrt_gamma_beta(self, rng):
+        x = Tensor(rng.normal(size=(5, 6)))
+        check_grad(lambda g: F.layer_norm(x, g, Tensor(np.zeros(6))),
+                   rng.normal(size=(6,)), tol=1e-5)
+        check_grad(lambda b: F.layer_norm(x, Tensor(np.ones(6)), b),
+                   rng.normal(size=(6,)), tol=1e-5)
+
+    def test_gelu(self, rng):
+        check_grad(lambda t: F.gelu(t), rng.normal(size=(4, 3)), tol=1e-5)
+
+    def test_linear_wrt_input(self, rng):
+        w = Tensor(rng.normal(size=(4, 3)))
+        b = Tensor(rng.normal(size=(3,)))
+        check_grad(lambda t: F.linear(t, w, b), rng.normal(size=(2, 5, 4)), tol=1e-5)
+
+    def test_linear_wrt_weight_and_bias(self, rng):
+        x = Tensor(rng.normal(size=(5, 4)))
+        b = Tensor(rng.normal(size=(3,)))
+        check_grad(lambda w: F.linear(x, w, b), rng.normal(size=(4, 3)), tol=1e-5)
+        w = Tensor(rng.normal(size=(4, 3)))
+        check_grad(lambda bb: F.linear(x, w, bb), rng.normal(size=(3,)), tol=1e-5)
+
+    def test_scaled_dot_product_attention_each_input(self, rng):
+        q0 = rng.normal(size=(2, 5, 4))
+        k0 = rng.normal(size=(2, 5, 4))
+        v0 = rng.normal(size=(2, 5, 4))
+        check_grad(lambda q: F.scaled_dot_product_attention(q, Tensor(k0), Tensor(v0)),
+                   q0, tol=1e-5)
+        check_grad(lambda k: F.scaled_dot_product_attention(Tensor(q0), k, Tensor(v0)),
+                   k0, tol=1e-5)
+        check_grad(lambda v: F.scaled_dot_product_attention(Tensor(q0), Tensor(k0), v),
+                   v0, tol=1e-5)
+
+    def test_multi_head_attention_qkv(self, rng):
+        # (batch, t, 3d) packed projection, d = 4, 2 heads.
+        check_grad(lambda t: F.multi_head_attention_qkv(t, num_heads=2),
+                   rng.normal(size=(2, 3, 12)), tol=1e-5)
+
+    def test_gradcheck_through_packed_mhsa(self, rng):
+        mhsa = MultiHeadSelfAttention(4, 2, rng)
+        check_grad(lambda t: mhsa(t), rng.normal(size=(3, 4)), tol=1e-5)
+
+
+class TestFusedVsReferenceEquivalence:
+    def test_layer_norm(self, rng):
+        x = rng.normal(size=(3, 7, 6))
+        gamma, beta = rng.normal(size=(6,)), rng.normal(size=(6,))
+
+        fused_in = Tensor(x, requires_grad=True)
+        fused = F.layer_norm(fused_in, g1 := Tensor(gamma, requires_grad=True),
+                             b1 := Tensor(beta, requires_grad=True))
+        ref_in = Tensor(x, requires_grad=True)
+        ref = F.layer_norm_reference(ref_in, g2 := Tensor(gamma, requires_grad=True),
+                                     b2 := Tensor(beta, requires_grad=True))
+        np.testing.assert_allclose(fused.data, ref.data, atol=EQ_TOL, rtol=0)
+
+        upstream = rng.normal(size=fused.shape)
+        (fused * Tensor(upstream)).sum().backward()
+        (ref * Tensor(upstream)).sum().backward()
+        np.testing.assert_allclose(fused_in.grad, ref_in.grad, atol=EQ_TOL, rtol=0)
+        np.testing.assert_allclose(g1.grad, g2.grad, atol=EQ_TOL, rtol=0)
+        np.testing.assert_allclose(b1.grad, b2.grad, atol=EQ_TOL, rtol=0)
+
+    def test_gelu(self, rng):
+        x = rng.normal(size=(5, 4))
+        a = Tensor(x, requires_grad=True)
+        b = Tensor(x, requires_grad=True)
+        fused, ref = F.gelu(a), F.gelu_reference(b)
+        np.testing.assert_allclose(fused.data, ref.data, atol=EQ_TOL, rtol=0)
+        fused.sum().backward()
+        ref.sum().backward()
+        np.testing.assert_allclose(a.grad, b.grad, atol=EQ_TOL, rtol=0)
+
+    def test_linear(self, rng):
+        x = rng.normal(size=(3, 5, 4))
+        w, bias = rng.normal(size=(4, 2)), rng.normal(size=(2,))
+        a = Tensor(x, requires_grad=True)
+        w1, b1 = Tensor(w, requires_grad=True), Tensor(bias, requires_grad=True)
+        fused = F.linear(a, w1, b1)
+        c = Tensor(x, requires_grad=True)
+        w2, b2 = Tensor(w, requires_grad=True), Tensor(bias, requires_grad=True)
+        ref = c @ w2 + b2
+        np.testing.assert_allclose(fused.data, ref.data, atol=EQ_TOL, rtol=0)
+        fused.sum().backward()
+        ref.sum().backward()
+        np.testing.assert_allclose(a.grad, c.grad, atol=EQ_TOL, rtol=0)
+        np.testing.assert_allclose(w1.grad, w2.grad, atol=EQ_TOL, rtol=0)
+        np.testing.assert_allclose(b1.grad, b2.grad, atol=EQ_TOL, rtol=0)
+
+    def test_packed_attention_forward_and_grads(self, rng):
+        """Fused MHSA path matches the decomposed reference path."""
+        mhsa = MultiHeadSelfAttention(8, 2, rng)
+        x = rng.normal(size=(3, 5, 8))
+
+        with F.fused_kernels(True):
+            out_fused = mhsa(Tensor(x))
+            mhsa.zero_grad()
+            mhsa(Tensor(x)).sum().backward()
+            grad_fused = mhsa.w_qkv.grad.copy()
+        with F.fused_kernels(False):
+            out_ref = mhsa(Tensor(x))
+            mhsa.zero_grad()
+            mhsa(Tensor(x)).sum().backward()
+            grad_ref = mhsa.w_qkv.grad.copy()
+
+        np.testing.assert_allclose(out_fused.data, out_ref.data, atol=EQ_TOL, rtol=0)
+        np.testing.assert_allclose(grad_fused, grad_ref, atol=EQ_TOL, rtol=0)
+
+    def test_sdpa_matches_manual_composition(self, rng):
+        q = rng.normal(size=(2, 4, 6))
+        k = rng.normal(size=(2, 4, 6))
+        v = rng.normal(size=(2, 4, 6))
+        fused = F.scaled_dot_product_attention(Tensor(q), Tensor(k), Tensor(v))
+        scores = (Tensor(q) @ Tensor(k).swapaxes(-1, -2)) * (1.0 / np.sqrt(6.0))
+        ref = F.softmax(scores, axis=-1) @ Tensor(v)
+        np.testing.assert_allclose(fused.data, ref.data, atol=EQ_TOL, rtol=0)
+
+
+class TestCheckpointCompatibility:
+    def test_old_three_matrix_state_dict_loads(self, rng):
+        mhsa = MultiHeadSelfAttention(8, 2, rng)
+        d = mhsa.embed_dim
+        state = mhsa.state_dict()
+        # Rewrite as a pre-packing checkpoint: separate W_q / W_k / W_v.
+        old_state = {
+            "w_query.weight": state["w_qkv"][:, :d],
+            "w_key.weight": state["w_qkv"][:, d:2 * d],
+            "w_value.weight": state["w_qkv"][:, 2 * d:],
+            "w_output.weight": state["w_output.weight"],
+        }
+        fresh = MultiHeadSelfAttention(8, 2, np.random.default_rng(99))
+        fresh.load_state_dict(old_state)
+        np.testing.assert_array_equal(fresh.w_qkv.data, mhsa.w_qkv.data)
+
+    def test_old_checkpoint_forward_is_bitwise_identical(self, rng, tmp_path):
+        """Loading a pre-PR (three-matrix) checkpoint must give bitwise the
+        same float64 forward output as the natively packed weights."""
+        mhsa = MultiHeadSelfAttention(16, 4, rng)
+        d = mhsa.embed_dim
+        state = mhsa.state_dict()
+        old_state = {
+            "w_query.weight": state["w_qkv"][:, :d],
+            "w_key.weight": state["w_qkv"][:, d:2 * d],
+            "w_value.weight": state["w_qkv"][:, 2 * d:],
+            "w_output.weight": state["w_output.weight"],
+        }
+        nn.save_checkpoint(tmp_path / "old.npz", old_state)
+        loaded_state, _ = nn.load_checkpoint(tmp_path / "old.npz")
+        restored = MultiHeadSelfAttention(16, 4, np.random.default_rng(123))
+        restored.load_state_dict(loaded_state)
+
+        x = Tensor(rng.normal(size=(3, 7, 16)))
+        np.testing.assert_array_equal(restored(x).data, mhsa(x).data)
+
+    def test_round_trip_new_format(self, rng, tmp_path):
+        mhsa = MultiHeadSelfAttention(8, 2, rng)
+        nn.save_module(tmp_path / "new.npz", mhsa)
+        fresh = MultiHeadSelfAttention(8, 2, np.random.default_rng(7))
+        nn.load_module(tmp_path / "new.npz", fresh)
+        np.testing.assert_array_equal(fresh.w_qkv.data, mhsa.w_qkv.data)
+
+    def test_legacy_projection_views(self, rng):
+        """w_query/w_key/w_value stay readable on the packed layout."""
+        mhsa = MultiHeadSelfAttention(8, 2, rng)
+        d = mhsa.embed_dim
+        np.testing.assert_array_equal(mhsa.w_query.weight.data,
+                                      mhsa.w_qkv.data[:, :d])
+        assert mhsa.w_key.weight.grad is None
+        mhsa(Tensor(rng.normal(size=(4, 8)))).sum().backward()
+        for view in (mhsa.w_query, mhsa.w_key, mhsa.w_value):
+            assert view.weight.grad is not None
+            assert view.weight.grad.shape == (d, d)
+
+
+class TestDtypePolicy:
+    def test_default_is_float64(self):
+        assert nn.get_default_dtype() == np.dtype(np.float64)
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+    def test_policy_scopes_new_tensors_and_params(self, rng):
+        with nn.dtype_policy(np.float32):
+            layer = nn.Linear(4, 3, rng)
+            assert layer.weight.data.dtype == np.float32
+            assert Tensor([1.0]).data.dtype == np.float32
+        assert nn.get_default_dtype() == np.dtype(np.float64)
+        assert layer.weight.data.dtype == np.float32  # params keep their dtype
+
+    def test_float32_graph_stays_float32_end_to_end(self, rng):
+        with nn.dtype_policy(np.float32):
+            mhsa = MultiHeadSelfAttention(8, 2, rng)
+            ln = nn.LayerNorm(8)
+            x = Tensor(rng.normal(size=(4, 8)).astype(np.float32), requires_grad=True)
+            out = F.gelu(mhsa(ln(x)))
+            assert out.data.dtype == np.float32
+            loss = F.masked_mse_loss(out, np.zeros((4, 8)), np.ones((4, 8), bool))
+            assert loss.data.dtype == np.float32
+            loss.backward()
+        assert x.grad.dtype == np.float32
+        assert mhsa.w_qkv.grad.dtype == np.float32
+        assert ln.gamma.grad.dtype == np.float32
+
+    def test_optimizer_state_follows_policy(self, rng):
+        with nn.dtype_policy(np.float32):
+            layer = nn.Linear(3, 2, rng)
+            opt = nn.LAMB(layer.parameters(), lr=1e-3)
+        assert all(m.dtype == np.float32 for m in opt._m)
+        layer(Tensor(np.ones((2, 3), dtype=np.float32))).sum().backward()
+        opt.step()
+        assert layer.weight.data.dtype == np.float32
+
+    def test_dropout_mask_follows_input_dtype(self, rng):
+        x32 = Tensor(rng.normal(size=(64, 64)).astype(np.float32), requires_grad=True)
+        out = F.dropout(x32, 0.5, rng, training=True)
+        assert out.data.dtype == np.float32
+        # Eval mode is the identity — same object, no mask allocated.
+        assert F.dropout(x32, 0.5, rng, training=False) is x32
+
+    def test_scalar_constants_do_not_upcast(self):
+        x = Tensor(np.ones(3, dtype=np.float32))
+        assert (x * 2.0 + 1.0).data.dtype == np.float32
+        assert (1.0 / x).data.dtype == np.float32
+
+    def test_load_checkpoint_dtype_cast(self, rng, tmp_path):
+        layer = nn.Linear(3, 2, rng)
+        nn.save_module(tmp_path / "ckpt.npz", layer)
+        with nn.dtype_policy(np.float32):
+            state, _ = nn.load_checkpoint(tmp_path / "ckpt.npz", dtype="default")
+            assert state["weight"].dtype == np.float32
+            target = nn.Linear(3, 2, rng)
+            target.load_state_dict(state)
+            assert target.weight.data.dtype == np.float32
+
+    def test_rejects_non_float_dtype(self):
+        with pytest.raises(ValueError):
+            nn.set_default_dtype(np.int32)
+
+
+class TestEmbeddingBackward:
+    def test_duplicate_indices_accumulate(self, rng):
+        table = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        idx = np.array([[5, 1, 1], [0, 5, 5]])
+        out = F.embedding_lookup(table, idx)
+        upstream = rng.normal(size=out.shape)
+        out.backward(upstream)
+        expected = np.zeros((6, 3))
+        np.add.at(expected, idx.reshape(-1), upstream.reshape(-1, 3))
+        np.testing.assert_allclose(table.grad, expected, atol=EQ_TOL)
+
+    def test_two_lookups_accumulate_into_same_table(self, rng):
+        table = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        a = F.embedding_lookup(table, np.array([0, 1]))
+        b = F.embedding_lookup(table, np.array([1, 3]))
+        (a.sum() + b.sum()).backward()
+        expected = np.zeros((4, 2))
+        expected[0] += 1.0
+        expected[1] += 2.0
+        expected[3] += 1.0
+        np.testing.assert_allclose(table.grad, expected, atol=EQ_TOL)
+
+    def test_grad_is_dense_for_optimizer(self, rng):
+        table = Parameter(rng.normal(size=(5, 2)))
+        F.embedding_lookup(table, np.array([2])).sum().backward()
+        assert isinstance(table.grad, np.ndarray)
+        assert table.grad.shape == (5, 2)
+
+
+class TestBackwardAccumulation:
+    def test_repeated_use_accumulates_correctly(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        out = x * 1.0 + x * 2.0 + x * 3.0 + x * 4.0
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 10.0), atol=EQ_TOL)
+
+    def test_shared_upstream_grad_not_corrupted(self, rng):
+        # y feeds two adds; the accumulation must not mutate a shared buffer.
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        y = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        ((x + y) + (x + y)).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 2.0), atol=EQ_TOL)
+        np.testing.assert_allclose(y.grad, np.full(3, 2.0), atol=EQ_TOL)
+
+    def test_grad_accumulates_across_backward_calls(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (x * 2.0).sum().backward()
+        first = x.grad.copy()
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, first + 3.0, atol=EQ_TOL)
+
+
+def test_substrate_microbench_smoke(tmp_path):
+    """Tier-1 smoke of the benchmark harness: runs in seconds, no JSON write."""
+    from repro.experiments.substrate_bench import run_substrate_microbench
+
+    payload = run_substrate_microbench(smoke=True)
+    assert payload["smoke"] is True
+    assert payload["baseline_float64_unfused"]["dtype"] == "float64"
+    assert payload["fused_float32"]["dtype"] == "float32"
+    assert payload["speedup_train_step"] > 0
