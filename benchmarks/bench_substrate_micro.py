@@ -12,6 +12,7 @@ skips the JSON write.
 import pytest
 
 from repro.experiments.substrate_bench import (
+    run_observability_overhead,
     run_substrate_microbench,
     write_bench_json,
 )
@@ -24,6 +25,9 @@ def test_substrate_micro_fused_speedup(benchmark, save, smoke_mode):
         rounds=1, iterations=1,
     )
 
+    overhead = run_observability_overhead(smoke=smoke_mode)
+    payload["observability"] = overhead
+
     base = payload["baseline_float64_unfused"]
     fused = payload["fused_float32"]
     lines = [
@@ -33,9 +37,15 @@ def test_substrate_micro_fused_speedup(benchmark, save, smoke_mode):
         f"   forward {fused['forward_seconds'] * 1e3:8.1f} ms",
         f"speedup  train_step {payload['speedup_train_step']:.2f}x"
         f"   forward {payload['speedup_forward']:.2f}x",
+        "telemetry overhead vs disabled: "
+        f"sinks+spans {overhead['overhead_sinks_and_spans'] * 100:+.2f}%"
+        f"   +op hooks {overhead['overhead_sinks_spans_and_ophooks'] * 100:+.2f}%"
+        f"   trajectories identical: {overhead['trajectories_identical']}",
     ]
     text = "\n".join(lines)
     print("\nSubstrate microbenchmark\n" + text)
+
+    assert overhead["trajectories_identical"]
 
     if not smoke_mode:
         save("substrate_micro", text)
@@ -44,9 +54,15 @@ def test_substrate_micro_fused_speedup(benchmark, save, smoke_mode):
         # Full scale: the fused float32 path must be decisively faster.
         # (The acceptance target is 1.8x; assert with headroom for CI noise.)
         assert payload["speedup_train_step"] >= 1.2
+        # Telemetry acceptance: all sinks + spans within 5% of disabled
+        # (assert with headroom for CI noise).
+        assert overhead["overhead_sinks_and_spans"] <= 0.10
 
     benchmark.extra_info.update({
         "speedup_train_step": payload["speedup_train_step"],
         "speedup_forward": payload["speedup_forward"],
+        "overhead_sinks_and_spans": overhead["overhead_sinks_and_spans"],
+        "overhead_sinks_spans_and_ophooks":
+            overhead["overhead_sinks_spans_and_ophooks"],
         "smoke": smoke_mode,
     })

@@ -12,7 +12,8 @@ including:
   Interaction Module, training (Algorithm 1) and cold-start inference,
 * ``repro.baselines`` — the ten comparison systems of §VI-A,
 * ``repro.eval`` — Precision/NDCG/MAP@k and the uniform protocol,
-* ``repro.experiments`` — a registry regenerating every table and figure.
+* ``repro.experiments`` — a registry regenerating every table and figure,
+* ``repro.obs`` — telemetry: profiling spans, metrics, structured run logs.
 
 Quickstart::
 
@@ -27,6 +28,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import baselines, core, data, eval, experiments, nn
+from . import baselines, core, data, eval, experiments, nn, obs
 
-__all__ = ["nn", "data", "core", "baselines", "eval", "experiments", "__version__"]
+__all__ = ["nn", "data", "core", "baselines", "eval", "experiments", "obs",
+           "__version__"]

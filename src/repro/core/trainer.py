@@ -12,9 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import time
+
 import numpy as np
 
-from .. import nn
+from .. import nn, obs
 from ..data.bipartite import RatingGraph
 from ..data.splits import ColdStartSplit
 from .context import PredictionContext, build_context
@@ -69,12 +71,20 @@ class HIRETrainer:
 
     def __init__(self, model: HIRE, split: ColdStartSplit,
                  sampler: ContextSampler | None = None,
-                 config: TrainerConfig | None = None):
+                 config: TrainerConfig | None = None,
+                 observers: list[obs.TrainerObserver] | None = None):
         self.model = model
         self.split = split
         self.sampler = sampler or NeighborhoodSampler()
         self.config = config or TrainerConfig()
         self.rng = np.random.default_rng(self.config.seed)
+        # Telemetry is passive: observers receive plain values and never
+        # touch model/optimiser/RNG state, so trajectories are identical
+        # with or without them.
+        self.observers: list[obs.TrainerObserver] = list(observers or [])
+        self.last_grad_norm: float = 0.0
+        self.last_lr: float = self.config.base_lr
+        self._last_step_stats: tuple[int, int, int] = (0, 0, 0)
 
         self.train_ratings = split.train_ratings()
         if len(self.train_ratings) == 0:
@@ -141,32 +151,44 @@ class HIRETrainer:
                 "capture_attention is enabled on an attention layer; disable "
                 "it during training (it retains per-step attention maps)"
             )
-        self.optimizer.zero_grad()
-        contexts = [self.sample_training_context() for _ in range(cfg.batch_size)]
-        if cfg.batched_forward:
-            predicted = self.model.forward_many(contexts)  # (B, n, m)
-            batch_loss = None
-            for index, context in enumerate(contexts):
-                loss = nn.functional.masked_mse_loss(
-                    predicted[index], context.ratings, context.query)
-                batch_loss = loss if batch_loss is None else batch_loss + loss
-        else:
-            batch_loss = None
-            for context in contexts:
-                loss = nn.functional.masked_mse_loss(
-                    self.model(context), context.ratings, context.query)
-                batch_loss = loss if batch_loss is None else batch_loss + loss
-        batch_loss = batch_loss * (1.0 / cfg.batch_size)
-        value = batch_loss.item()
-        if not np.isfinite(value):
-            raise RuntimeError(
-                f"training diverged at step {len(self.loss_history)}: "
-                f"loss={value}; lower base_lr or raise grad_clip headroom"
-            )
-        batch_loss.backward()
-        nn.clip_grad_norm(self.optimizer.parameters, cfg.grad_clip)
-        self.optimizer.step()
-        self.scheduler.step()
+        with obs.span("train_step"):
+            self.optimizer.zero_grad()
+            with obs.span("sample"):
+                contexts = [self.sample_training_context()
+                            for _ in range(cfg.batch_size)]
+            with obs.span("forward"):
+                if cfg.batched_forward:
+                    predicted = self.model.forward_many(contexts)  # (B, n, m)
+                    batch_loss = None
+                    for index, context in enumerate(contexts):
+                        loss = nn.functional.masked_mse_loss(
+                            predicted[index], context.ratings, context.query)
+                        batch_loss = loss if batch_loss is None else batch_loss + loss
+                else:
+                    batch_loss = None
+                    for context in contexts:
+                        loss = nn.functional.masked_mse_loss(
+                            self.model(context), context.ratings, context.query)
+                        batch_loss = loss if batch_loss is None else batch_loss + loss
+                batch_loss = batch_loss * (1.0 / cfg.batch_size)
+            value = batch_loss.item()
+            if not np.isfinite(value):
+                raise RuntimeError(
+                    f"training diverged at step {len(self.loss_history)}: "
+                    f"loss={value}; lower base_lr or raise grad_clip headroom"
+                )
+            with obs.span("backward"):
+                batch_loss.backward()
+            with obs.span("optimizer"):
+                self.last_grad_norm = nn.clip_grad_norm(
+                    self.optimizer.parameters, cfg.grad_clip)
+                self.last_lr = self.optimizer.lr
+                self.optimizer.step()
+                self.scheduler.step()
+        self._last_step_stats = (
+            contexts[0].n, contexts[0].m,
+            sum(c.num_query() for c in contexts),
+        )
         self.loss_history.append(value)
         return value
 
@@ -194,33 +216,87 @@ class HIRETrainer:
         self.model.train()
         return total / len(self._validation_set)
 
-    def fit(self, log_every: int = 0) -> list[float]:
+    def add_observer(self, observer: obs.TrainerObserver) -> None:
+        """Attach an observer for subsequent :meth:`fit` calls."""
+        self.observers.append(observer)
+
+    def fit(self, log_every: int = 0,
+            observers: list[obs.TrainerObserver] | None = None) -> list[float]:
         """Run the configured number of steps; returns the loss history.
 
         With ``early_stopping_patience > 0``, validation loss is checked
         every ``validate_every`` steps; after ``patience`` consecutive
         non-improving checks training stops and the best parameters are
         restored.
+
+        ``log_every > 0`` attaches a :class:`repro.obs.ConsoleSink` at that
+        cadence for this call (unless one is already observing);
+        ``observers`` adds further per-call observers on top of the
+        trainer-level ones.
         """
         cfg = self.config
+        active = list(self.observers)
+        if observers:
+            active.extend(observers)
+        if log_every and not any(isinstance(o, obs.ConsoleSink) for o in active):
+            active.append(obs.ConsoleSink(log_every=log_every))
+        for observer in active:
+            observer.on_fit_start(self, cfg)
         best_val = float("inf")
         best_state = None
         stale_checks = 0
+        stopped_early = False
+        steps_run = 0
+        fit_start = time.perf_counter()
         for step in range(cfg.steps):
+            step_start = time.perf_counter()
             loss = self.train_step()
-            if log_every and (step + 1) % log_every == 0:
-                print(f"step {step + 1:5d}/{cfg.steps}  loss {loss:.4f}")
-            if cfg.early_stopping_patience and (step + 1) % cfg.validate_every == 0:
-                val = self.validation_loss()
+            step_seconds = time.perf_counter() - step_start
+            steps_run = step + 1
+            if active:
+                n, m, masked = self._last_step_stats
+                event = obs.StepEvent(
+                    step=steps_run, total_steps=cfg.steps, loss=loss,
+                    grad_norm=self.last_grad_norm, lr=self.last_lr,
+                    step_seconds=step_seconds,
+                    steps_per_second=1.0 / step_seconds if step_seconds > 0 else 0.0,
+                    context_n=n, context_m=m, masked_cells=masked,
+                )
+                for observer in active:
+                    observer.on_step(event)
+            if cfg.early_stopping_patience and steps_run % cfg.validate_every == 0:
+                with obs.span("validation"):
+                    val = self.validation_loss()
                 self.validation_history.append(val)
-                if val < best_val - 1e-6:
+                improved = val < best_val - 1e-6
+                if improved:
                     best_val = val
                     best_state = self.model.state_dict()
                     stale_checks = 0
                 else:
                     stale_checks += 1
-                    if stale_checks >= cfg.early_stopping_patience:
-                        break
+                if active:
+                    event = obs.ValidationEvent(step=steps_run, loss=val,
+                                                best_loss=best_val,
+                                                improved=improved)
+                    for observer in active:
+                        observer.on_validation(event)
+                if stale_checks >= cfg.early_stopping_patience:
+                    stopped_early = True
+                    break
+        wall_seconds = time.perf_counter() - fit_start
         if best_state is not None:
             self.model.load_state_dict(best_state)
+        if active:
+            summary = obs.FitSummary(
+                steps_run=steps_run, total_steps=cfg.steps,
+                stopped_early=stopped_early,
+                restored_best=best_state is not None,
+                final_loss=self.loss_history[-1] if self.loss_history else float("nan"),
+                best_validation=best_val if np.isfinite(best_val) else None,
+                wall_seconds=wall_seconds,
+                steps_per_second=steps_run / wall_seconds if wall_seconds > 0 else 0.0,
+            )
+            for observer in active:
+                observer.on_fit_end(summary)
         return self.loss_history

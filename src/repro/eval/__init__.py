@@ -15,7 +15,7 @@ from .metrics import (
 from .protocol import METRIC_NAMES, ScenarioResult, evaluate_model, evaluate_repeated
 from .significance import compare_results, paired_bootstrap
 from .tasks import EvalTask, build_eval_tasks
-from .timing import measure_test_time
+from .timing import TestTimeResult, measure_test_time
 
 __all__ = [
     "precision_at_k",
@@ -35,6 +35,7 @@ __all__ = [
     "evaluate_repeated",
     "METRIC_NAMES",
     "measure_test_time",
+    "TestTimeResult",
     "paired_bootstrap",
     "compare_results",
 ]

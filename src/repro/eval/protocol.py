@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..data.splits import ColdStartSplit
 from .metrics import rank_metrics
 from .tasks import EvalTask, build_eval_tasks
@@ -54,27 +55,29 @@ def evaluate_model(model, split: ColdStartSplit, scenario: str,
 
     fit_seconds = 0.0
     if fit:
-        start = time.perf_counter()
-        model.fit(split, tasks)
-        fit_seconds = time.perf_counter() - start
+        with obs.span("evaluate/fit"):
+            start = time.perf_counter()
+            model.fit(split, tasks)
+            fit_seconds = time.perf_counter() - start
 
     rating_range = split.dataset.rating_range
     per_task: dict[int, dict[str, list[float]]] = {
         k: {name: [] for name in METRIC_NAMES} for k in ks
     }
-    start = time.perf_counter()
-    for task in tasks:
-        scores = np.asarray(model.predict_task(task), dtype=np.float64)
-        if scores.shape != (len(task.query_items),):
-            raise ValueError(
-                f"{model.name} returned {scores.shape} scores for "
-                f"{len(task.query_items)} query items"
-            )
-        for k in ks:
-            values = rank_metrics(scores, task.query_ratings, k, rating_range)
-            for name in METRIC_NAMES:
-                per_task[k][name].append(values[name])
-    predict_seconds = time.perf_counter() - start
+    with obs.span("evaluate/predict"):
+        start = time.perf_counter()
+        for task in tasks:
+            scores = np.asarray(model.predict_task(task), dtype=np.float64)
+            if scores.shape != (len(task.query_items),):
+                raise ValueError(
+                    f"{model.name} returned {scores.shape} scores for "
+                    f"{len(task.query_items)} query items"
+                )
+            for k in ks:
+                values = rank_metrics(scores, task.query_ratings, k, rating_range)
+                for name in METRIC_NAMES:
+                    per_task[k][name].append(values[name])
+        predict_seconds = time.perf_counter() - start
 
     metrics = {
         k: {name: float(np.mean(vals)) for name, vals in by_metric.items()}

@@ -2,26 +2,86 @@
 
 The paper times only the *prediction* phase on the user cold-start scenario
 (test time is similar across scenarios).  :func:`measure_test_time` times
-the predict loop of an already-fitted model over a task list.
+the predict loop of an already-fitted model over a task list: one untimed
+warmup pass first (so BLAS initialisation, lazy caches, and first-touch
+allocations don't pollute the samples), then ``repeats`` timed passes.
+
+The return value is a :class:`TestTimeResult` — a ``float`` equal to the
+best pass (the historical scalar contract), carrying the per-repeat
+``samples`` plus ``best`` / ``mean`` / ``p50`` as attributes.  Each pass is
+also recorded as a ``measure_test_time/repeat`` profiling span (see
+:mod:`repro.obs.spans`) when profiling is enabled.
 """
 
 from __future__ import annotations
 
+import statistics
 import time
 
+from .. import obs
 from .tasks import EvalTask
 
-__all__ = ["measure_test_time"]
+__all__ = ["TestTimeResult", "measure_test_time"]
 
 
-def measure_test_time(model, tasks: list[EvalTask], repeats: int = 1) -> float:
-    """Seconds to score all tasks, best of ``repeats`` passes."""
+class TestTimeResult(float):
+    """Best-pass seconds as a float, with the full sample set attached."""
+
+    __test__ = False  # "Test" prefix is domain language, not a pytest class
+
+    samples: tuple[float, ...]
+
+    def __new__(cls, samples: tuple[float, ...]):
+        if not samples:
+            raise ValueError("TestTimeResult needs at least one sample")
+        self = super().__new__(cls, min(samples))
+        self.samples = tuple(samples)
+        return self
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def p50(self) -> float:
+        return statistics.median(self.samples)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (f"TestTimeResult(best={self.best:.6f}, mean={self.mean:.6f}, "
+                f"p50={self.p50:.6f}, repeats={self.repeats})")
+
+
+def measure_test_time(model, tasks: list[EvalTask], repeats: int = 1,
+                      warmup: bool = True) -> TestTimeResult:
+    """Seconds to score all tasks: best of ``repeats`` timed passes.
+
+    Runs one untimed warmup pass first (disable with ``warmup=False`` to
+    reproduce the pre-telemetry cold-cache numbers).  The result compares
+    equal to the historical scalar return value and additionally exposes
+    ``samples`` / ``best`` / ``mean`` / ``p50``.
+    """
     if not tasks:
         raise ValueError("no tasks to time")
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        for task in tasks:
-            model.predict_task(task)
-        best = min(best, time.perf_counter() - start)
-    return best
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    with obs.span("measure_test_time"):
+        if warmup:
+            with obs.span("warmup"):
+                for task in tasks:
+                    model.predict_task(task)
+        samples = []
+        for _ in range(repeats):
+            with obs.span("repeat"):
+                start = time.perf_counter()
+                for task in tasks:
+                    model.predict_task(task)
+                samples.append(time.perf_counter() - start)
+    return TestTimeResult(tuple(samples))

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..core import HIRE, HIREConfig, HIRETrainer, TrainerConfig, build_context
 from ..core.sampling import NeighborhoodSampler
 from ..data import dataset_by_name, make_cold_start_split
@@ -70,7 +71,9 @@ def run_overall_performance(spec: ExperimentSpec, scale: str = "fast",
             continue
         for name in model_names:
             model = create_model(name, dataset, seed=seed, preset=preset)
-            result = evaluate_model(model, split, scenario, ks=spec.ks, tasks=tasks)
+            with obs.span(f"runner/{spec.experiment_id}/{scenario}/{name}"):
+                result = evaluate_model(model, split, scenario, ks=spec.ks,
+                                        tasks=tasks)
             for k in spec.ks:
                 rows.append({
                     "experiment": spec.experiment_id,
@@ -100,10 +103,15 @@ def run_test_time(scale: str = "fast", max_tasks: int | None = 8,
         names = models or models_for_dataset(dataset)
         for name in names:
             model = create_model(name, dataset, seed=seed, preset=preset)
-            model.fit(split, tasks)
-            seconds = measure_test_time(model, tasks)
+            with obs.span(f"runner/fig6/{profile}/{name}"):
+                with obs.span("fit"):
+                    model.fit(split, tasks)
+                seconds = measure_test_time(model, tasks)
             rows.append({"dataset": profile, "model": name,
-                         "test_seconds": seconds, "num_tasks": len(tasks)})
+                         "test_seconds": float(seconds),
+                         "test_seconds_mean": seconds.mean,
+                         "test_seconds_p50": seconds.p50,
+                         "num_tasks": len(tasks)})
     return rows
 
 
@@ -152,7 +160,8 @@ def run_sensitivity(scale: str = "fast", max_tasks: int | None = 8, seed: int = 
                 continue
             model = HIREModel(dataset, config=config, trainer_config=trainer_config,
                               seed=seed)
-            result = evaluate_model(model, split, scenario, ks=(5,), tasks=tasks)
+            with obs.span(f"runner/fig7/{sweep}={value}/{scenario}"):
+                result = evaluate_model(model, split, scenario, ks=(5,), tasks=tasks)
             rows.append({"sweep": sweep, "value": value, "scenario": scenario,
                          **result.metrics[5]})
 
@@ -182,7 +191,8 @@ def run_ablation(scale: str = "fast", max_tasks: int | None = 8, seed: int = 0,
                 continue
             model = HIREModel(dataset, config=config, trainer_config=trainer_config,
                               seed=seed)
-            result = evaluate_model(model, split, scenario, ks=(5,), tasks=tasks)
+            with obs.span(f"runner/table6/{variant}/{scenario}"):
+                result = evaluate_model(model, split, scenario, ks=(5,), tasks=tasks)
             rows.append({"variant": variant, "scenario": scenario,
                          **result.metrics[5]})
     return rows
@@ -205,7 +215,8 @@ def run_sampling_ablation(scale: str = "fast", max_tasks: int | None = 8,
                 continue
             model = HIREModel(dataset, config=config,
                               trainer_config=trainer_config, sampler=sampler, seed=seed)
-            result = evaluate_model(model, split, scenario, ks=(5,), tasks=tasks)
+            with obs.span(f"runner/fig8/{sampler}/{scenario}"):
+                result = evaluate_model(model, split, scenario, ks=(5,), tasks=tasks)
             rows.append({"sampler": sampler, "scenario": scenario,
                          **result.metrics[5]})
     return rows
@@ -226,7 +237,8 @@ def run_case_study(scale: str = "fast", seed: int = 0,
 
     model = HIRE(dataset, config)
     trainer = HIRETrainer(model, split, config=trainer_config)
-    trainer.fit()
+    with obs.span("runner/fig9/fit"):
+        trainer.fit()
 
     rng = np.random.default_rng(seed)
     graph = RatingGraph(split.train_ratings(), dataset.num_users, dataset.num_items)
@@ -239,7 +251,8 @@ def run_case_study(scale: str = "fast", seed: int = 0,
     context = build_context(graph, users, items, rng, reveal_fraction=0.1)
 
     model.capture_attention(True)
-    predictions = model.predict(context)
+    with obs.span("runner/fig9/predict"):
+        predictions = model.predict(context)
     model.capture_attention(False)
     captured = model.captured_attention()[-1]  # last HIM block
 

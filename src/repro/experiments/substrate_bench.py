@@ -19,16 +19,23 @@ shrunken config in a couple of seconds without touching the JSON.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
-from .. import nn
+from .. import nn, obs
 from ..core import HIRE, HIREConfig, HIRETrainer, TrainerConfig
 from ..data import make_cold_start_split, movielens_like
 
-__all__ = ["run_substrate_microbench", "write_bench_json", "BENCH_FILENAME"]
+__all__ = [
+    "run_substrate_microbench",
+    "run_observability_overhead",
+    "write_bench_json",
+    "BENCH_FILENAME",
+]
 
 BENCH_FILENAME = "BENCH_substrate.json"
 
@@ -106,6 +113,89 @@ def run_substrate_microbench(smoke: bool = False, steps: int | None = None,
         "speedup_train_step": baseline["train_step_seconds"] / fused["train_step_seconds"],
         "speedup_forward": baseline["forward_seconds"] / fused["forward_seconds"],
     }
+
+
+def _time_fit(dataset, split, model_cfg: dict, train_cfg: dict,
+              observers=None) -> dict:
+    """Wall-time one full ``fit`` (fresh model/trainer) and return stats."""
+    model = HIRE(dataset, HIREConfig(**model_cfg))
+    trainer = HIRETrainer(model, split, config=TrainerConfig(**train_cfg),
+                          observers=observers)
+    trainer.train_step()  # warm-up (first-touch allocations, BLAS init)
+    steps = train_cfg["steps"]
+    start = time.perf_counter()
+    trainer.fit()
+    seconds = time.perf_counter() - start
+    return {
+        "fit_seconds": seconds,
+        "train_step_seconds": seconds / steps,
+        "loss_history": [float(v) for v in trainer.loss_history],
+    }
+
+
+def run_observability_overhead(smoke: bool = False,
+                               steps: int | None = None) -> dict:
+    """Instrumented-vs-uninstrumented ``train_step`` overhead (PR 2 gate).
+
+    Times the same seeded ``fit`` twice on the fused float32 path:
+
+    * **disabled** — no observers, profiling off, op hooks off: the
+      telemetry code is present but every switch is cold (the ≤ 1 %
+      acceptance configuration).
+    * **enabled** — every sink at once: JSONL recorder, metrics registry,
+      console sink (to ``os.devnull``), profiling spans, *and* per-op
+      hooks (the ≤ 5 % configuration, measured without op hooks as well).
+
+    Both runs share the seed, so the identical ``loss_history`` doubles as
+    the passivity check; the result records ``trajectories_identical``.
+    """
+    dataset, split, model_cfg, train_cfg = _paper_setup(smoke)
+    train_cfg = dict(train_cfg, steps=steps or (8 if smoke else 40))
+
+    with nn.dtype_policy(np.float32), nn.functional.fused_kernels(True):
+        disabled = _time_fit(dataset, split, model_cfg, train_cfg)
+
+        with tempfile.TemporaryDirectory() as tmp, \
+                open(os.devnull, "w", encoding="utf-8") as devnull:
+            recorder = obs.RunRecorder(Path(tmp) / "bench_run.jsonl",
+                                       config=train_cfg)
+            observers = [
+                obs.RecorderSink(recorder),
+                obs.MetricsSink(obs.MetricsRegistry()),
+                obs.ConsoleSink(log_every=10, stream=devnull),
+            ]
+            with obs.profiling(True):
+                sinks_only = _time_fit(dataset, split, model_cfg, train_cfg,
+                                       observers=observers)
+            recorder.close()
+
+            recorder = obs.RunRecorder(Path(tmp) / "bench_run_ophooks.jsonl",
+                                       config=train_cfg)
+            observers = [
+                obs.RecorderSink(recorder),
+                obs.MetricsSink(obs.MetricsRegistry()),
+                obs.ConsoleSink(log_every=10, stream=devnull),
+            ]
+            with obs.profiling(True), obs.ophooks.op_hooks():
+                enabled = _time_fit(dataset, split, model_cfg, train_cfg,
+                                    observers=observers)
+            recorder.close()
+
+    identical = (disabled["loss_history"] == sinks_only["loss_history"]
+                 == enabled["loss_history"])
+    payload = {
+        "steps_timed": train_cfg["steps"],
+        "trajectories_identical": identical,
+    }
+    for name, run in (("disabled", disabled), ("sinks_and_spans", sinks_only),
+                      ("sinks_spans_and_ophooks", enabled)):
+        payload[name] = {"fit_seconds": run["fit_seconds"],
+                         "train_step_seconds": run["train_step_seconds"]}
+    payload["overhead_sinks_and_spans"] = (
+        sinks_only["train_step_seconds"] / disabled["train_step_seconds"] - 1.0)
+    payload["overhead_sinks_spans_and_ophooks"] = (
+        enabled["train_step_seconds"] / disabled["train_step_seconds"] - 1.0)
+    return payload
 
 
 def write_bench_json(payload: dict, repo_root: Path | None = None) -> Path:

@@ -1,0 +1,86 @@
+"""measure_test_time: warmup pass, per-repeat samples, scalar compatibility."""
+
+import pytest
+
+from repro import obs
+from repro.eval import TestTimeResult, build_eval_tasks, measure_test_time
+
+
+class CountingModel:
+    name = "Counting"
+
+    def __init__(self):
+        self.calls = 0
+
+    def predict_task(self, task):
+        self.calls += 1
+        return task.query_ratings
+
+
+@pytest.fixture
+def tasks(ml_split):
+    return build_eval_tasks(ml_split, "user", min_query=5, seed=0, max_tasks=4)
+
+
+class TestScalarCompatibility:
+    def test_result_is_a_float_equal_to_best(self, tasks):
+        result = measure_test_time(CountingModel(), tasks, repeats=3)
+        assert isinstance(result, float)
+        assert float(result) == min(result.samples)
+        assert result == result.best
+
+    def test_arithmetic_still_works(self, tasks):
+        result = measure_test_time(CountingModel(), tasks)
+        assert result + 0.0 >= 0.0
+        assert result * 2 == pytest.approx(2 * float(result))
+
+
+class TestSamples:
+    def test_per_repeat_samples(self, tasks):
+        result = measure_test_time(CountingModel(), tasks, repeats=4)
+        assert result.repeats == 4
+        assert len(result.samples) == 4
+        assert all(s > 0 for s in result.samples)
+        assert result.best == min(result.samples)
+        assert result.mean == pytest.approx(sum(result.samples) / 4)
+        assert result.best <= result.p50 <= max(result.samples)
+
+    def test_result_requires_samples(self):
+        with pytest.raises(ValueError):
+            TestTimeResult(())
+
+
+class TestWarmup:
+    def test_warmup_runs_one_untimed_pass(self, tasks):
+        model = CountingModel()
+        measure_test_time(model, tasks, repeats=2)
+        assert model.calls == 3 * len(tasks)  # 1 warmup + 2 timed
+
+    def test_warmup_can_be_disabled(self, tasks):
+        model = CountingModel()
+        measure_test_time(model, tasks, repeats=2, warmup=False)
+        assert model.calls == 2 * len(tasks)
+
+
+class TestValidation:
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            measure_test_time(CountingModel(), [])
+
+    def test_repeats_validated(self, tasks):
+        with pytest.raises(ValueError):
+            measure_test_time(CountingModel(), tasks, repeats=0)
+
+
+class TestSpans:
+    def test_passes_recorded_as_spans(self, tasks):
+        obs.reset_spans()
+        try:
+            with obs.profiling(True):
+                measure_test_time(CountingModel(), tasks, repeats=3)
+            totals = obs.span_totals()
+            assert totals["measure_test_time/repeat"].count == 3
+            assert totals["measure_test_time/warmup"].count == 1
+        finally:
+            obs.reset_spans()
+            obs.enable_profiling(False)

@@ -1,0 +1,123 @@
+"""Metrics registry: counters, gauges, streaming histogram quantiles."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, metrics
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("steps")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("steps").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("lr")
+        g.set(1e-3)
+        g.set(5e-4)
+        assert g.value == pytest.approx(5e-4)
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        h = Histogram("loss")
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(7.0)
+        assert h.min == pytest.approx(1.0)
+        assert h.max == pytest.approx(4.0)
+        assert h.mean == pytest.approx(7.0 / 3.0)
+
+    def test_quantiles_track_numpy_percentile(self):
+        rng = np.random.default_rng(42)
+        values = rng.lognormal(mean=0.0, sigma=1.0, size=50_000)
+        h = Histogram("x")
+        for v in values:
+            h.observe(v)
+        for q in (0.50, 0.90, 0.99):
+            true = float(np.percentile(values, q * 100))
+            est = h.quantile(q)
+            # Log-bucketed estimate: bounded relative error ~ growth - 1.
+            assert est == pytest.approx(true, rel=0.10)
+
+    def test_memory_is_bounded(self):
+        rng = np.random.default_rng(0)
+        h = Histogram("x")
+        for v in rng.uniform(1e-6, 1e6, size=20_000):
+            h.observe(v)
+        # Bucket count scales with the value *range* (log), not the sample
+        # count: 12 decades at ~5% resolution is ~570 buckets.
+        assert h.num_buckets() < 700
+
+    def test_nonpositive_values_underflow(self):
+        h = Histogram("x")
+        h.observe(-1.0)
+        h.observe(0.0)
+        h.observe(3.0)
+        assert h.count == 3
+        assert h.min == pytest.approx(-1.0)
+        assert h.quantile(0.0) == pytest.approx(-1.0)
+        assert h.quantile(1.0) == pytest.approx(3.0)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("x").quantile(0.5) == 0.0
+
+    def test_quantile_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("x").quantile(1.5)
+
+    def test_growth_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("x", growth=1.0)
+
+    def test_percentiles_keys(self):
+        h = Histogram("x")
+        h.observe(1.0)
+        assert set(h.percentiles()) == {"p50", "p90", "p99"}
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 2.0}
+        assert snap["g"] == {"type": "gauge", "value": 0.5}
+        assert snap["h"]["type"] == "histogram"
+        assert snap["h"]["count"] == 1
+        assert "p99" in snap["h"]
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.names() == []
+
+    def test_default_registry_swap(self):
+        fresh = MetricsRegistry()
+        previous = metrics.set_registry(fresh)
+        try:
+            assert metrics.get_registry() is fresh
+        finally:
+            metrics.set_registry(previous)

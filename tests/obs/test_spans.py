@@ -1,0 +1,116 @@
+"""Hierarchical spans: nesting, aggregation, disabled-path behaviour."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import spans
+
+
+@pytest.fixture(autouse=True)
+def clean_spans():
+    obs.reset_spans()
+    obs.enable_profiling(False)
+    yield
+    obs.reset_spans()
+    obs.enable_profiling(False)
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+        assert obs.span_totals() == {}
+
+    def test_disabled_returns_shared_noop(self):
+        assert obs.span("a") is obs.span("b")
+
+    def test_disabled_path_is_empty(self):
+        with obs.span("a"):
+            assert obs.current_span_path() == ""
+
+
+class TestNesting:
+    def test_paths_join_with_slash(self):
+        with obs.profiling():
+            with obs.span("fit"):
+                with obs.span("train_step"):
+                    with obs.span("forward"):
+                        pass
+        totals = obs.span_totals()
+        assert set(totals) == {"fit", "fit/train_step", "fit/train_step/forward"}
+
+    def test_counts_accumulate(self):
+        with obs.profiling():
+            for _ in range(5):
+                with obs.span("step"):
+                    pass
+        stats = obs.span_totals()["step"]
+        assert stats.count == 5
+        assert stats.total_seconds >= stats.count * stats.min_seconds
+        assert stats.min_seconds <= stats.mean_seconds <= stats.max_seconds
+
+    def test_current_span_path_tracks_stack(self):
+        with obs.profiling():
+            with obs.span("a"):
+                assert obs.current_span_path() == "a"
+                with obs.span("b/c"):
+                    assert obs.current_span_path() == "a/b/c"
+                assert obs.current_span_path() == "a"
+            assert obs.current_span_path() == ""
+
+    def test_sibling_spans_share_path(self):
+        with obs.profiling():
+            for name in ("x", "x"):
+                with obs.span(name):
+                    pass
+        assert obs.span_totals()["x"].count == 2
+
+
+class TestControls:
+    def test_profiling_context_restores_previous_state(self):
+        obs.enable_profiling(True)
+        with obs.profiling(False):
+            assert not obs.profiling_enabled()
+        assert obs.profiling_enabled()
+
+    def test_reset_clears(self):
+        with obs.profiling():
+            with obs.span("a"):
+                pass
+        obs.reset_spans()
+        assert obs.span_totals() == {}
+
+    def test_record_span_direct(self):
+        obs.record_span("manual/path", 0.5)
+        obs.record_span("manual/path", 1.5)
+        stats = obs.span_totals()["manual/path"]
+        assert stats.count == 2
+        assert stats.total_seconds == pytest.approx(2.0)
+        assert stats.min_seconds == pytest.approx(0.5)
+        assert stats.max_seconds == pytest.approx(1.5)
+        assert stats.mean_seconds == pytest.approx(1.0)
+
+
+class TestThreading:
+    def test_stacks_are_thread_local(self):
+        paths = {}
+
+        def worker(name):
+            with obs.span(name):
+                paths[name] = obs.current_span_path()
+
+        obs.enable_profiling(True)
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # No cross-thread nesting: every worker saw only its own span.
+        assert paths == {f"t{i}": f"t{i}" for i in range(4)}
+        totals = obs.span_totals()
+        for i in range(4):
+            assert totals[f"t{i}"].count == 1

@@ -1,0 +1,48 @@
+"""Lint gate: no bare ``print(`` in library code.
+
+All human-facing output must go through the telemetry layer
+(``repro.obs`` sinks and report renderers) so it can be captured,
+redirected, and rate-limited.  Only the CLI entry point, whose job *is*
+stdout, is allowlisted.  Tokenising (rather than grepping) keeps
+docstrings and comments from tripping the gate.
+"""
+
+import tokenize
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# Paths (relative to src/repro) whose purpose is writing to stdout.
+ALLOWED = {
+    "experiments/cli.py",
+}
+
+
+def _print_call_lines(path: Path) -> list[int]:
+    with tokenize.open(path) as handle:
+        tokens = list(tokenize.generate_tokens(handle.readline))
+    lines = []
+    for token, following in zip(tokens, tokens[1:]):
+        if (token.type == tokenize.NAME and token.string == "print"
+                and following.type == tokenize.OP and following.string == "("):
+            lines.append(token.start[0])
+    return lines
+
+
+def test_no_bare_print_in_library_code():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel in ALLOWED:
+            continue
+        offenders.extend(f"src/repro/{rel}:{line}"
+                         for line in _print_call_lines(path))
+    assert not offenders, (
+        "bare print() in library code (route output through repro.obs "
+        "sinks, or allowlist a renderer):\n  " + "\n  ".join(offenders)
+    )
+
+
+def test_allowlist_entries_exist():
+    for rel in ALLOWED:
+        assert (SRC / rel).is_file(), f"stale allowlist entry: {rel}"
