@@ -1,0 +1,58 @@
+"""Throughput benchmark of the online serving subsystem.
+
+Replays a skewed workload through ``repro.serve.PredictionService`` across
+micro-batch sizes with the context cache on and off, against a sequential
+one-request-at-a-time baseline on the same predictor code path.  Every
+serviced run must stay bit-identical to the baseline.  The full run writes
+``BENCH_serve.json`` at the repo root so the throughput trajectory is
+tracked across PRs; ``--smoke`` runs a shrunken grid in seconds and skips
+the JSON write.
+"""
+
+import pytest
+
+from repro.experiments.serve_bench import (
+    run_serve_benchmark,
+    write_serve_bench_json,
+)
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_throughput(benchmark, save, smoke_mode):
+    payload = benchmark.pedantic(
+        lambda: run_serve_benchmark(smoke=smoke_mode),
+        rounds=1, iterations=1,
+    )
+
+    base = payload["baseline_sequential"]
+    lines = [
+        f"sequential baseline: {base['requests_per_second']:7.1f} req/s "
+        f"({base['seconds']:.2f}s for {payload['config']['num_requests']} requests)",
+    ]
+    for run in payload["runs"]:
+        cache = "cache on " if run["cache"] else "cache off"
+        lines.append(
+            f"batch={run['batch_size']:<2d} {cache}: "
+            f"{run['requests_per_second']:7.1f} req/s "
+            f"({run['speedup_vs_sequential']:.2f}x)  "
+            f"p50 {run['latency_p50_ms']:7.1f} ms  "
+            f"p99 {run['latency_p99_ms']:7.1f} ms  "
+            f"bit-identical: {run['bit_identical_to_sequential']}")
+    lines.append(
+        f"best: batch={payload['best_config']['batch_size']} "
+        f"cache={'on' if payload['best_config']['cache'] else 'off'} "
+        f"-> {payload['best_speedup']:.2f}x")
+    text = "\n".join(lines)
+    print("\nServe throughput benchmark\n" + text)
+
+    # Bit-identity is non-negotiable at every scale: batching and caching
+    # may never change a score.
+    assert payload["bit_identical_all_runs"]
+
+    if not smoke_mode:
+        save("serve_throughput", text)
+        path = write_serve_bench_json(payload)
+        print(f"wrote {path}")
+        # Acceptance: batched+cached serving at least 2x the sequential
+        # baseline (assert with headroom for CI noise).
+        assert payload["best_speedup"] >= 1.5

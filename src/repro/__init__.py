@@ -13,7 +13,9 @@ including:
 * ``repro.baselines`` — the ten comparison systems of §VI-A,
 * ``repro.eval`` — Precision/NDCG/MAP@k and the uniform protocol,
 * ``repro.experiments`` — a registry regenerating every table and figure,
-* ``repro.obs`` — telemetry: profiling spans, metrics, structured run logs.
+* ``repro.obs`` — telemetry: profiling spans, metrics, structured run logs,
+* ``repro.serve`` — online inference: model registry with hot swap, request
+  micro-batching, context caching, and backpressure.
 
 Quickstart::
 
@@ -28,7 +30,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import baselines, core, data, eval, experiments, nn, obs
+from . import baselines, core, data, eval, experiments, nn, obs, serve
 
 __all__ = ["nn", "data", "core", "baselines", "eval", "experiments", "obs",
-           "__version__"]
+           "serve", "__version__"]

@@ -13,7 +13,14 @@ from .context import PredictionContext, build_context
 from .encoder import ContextEncoder
 from .him import HIM
 from .model import HIRE, HIREConfig
-from .predictor import HIREPredictor
+from .predictor import (
+    AssembledChunk,
+    HIREPredictor,
+    assemble_user_chunks,
+    build_serving_graph,
+    ensure_targets,
+    task_chunk_rng,
+)
 from .sampling import (
     ContextSampler,
     FeatureSimilaritySampler,
@@ -31,6 +38,11 @@ __all__ = [
     "HIRE",
     "HIREConfig",
     "HIREPredictor",
+    "AssembledChunk",
+    "assemble_user_chunks",
+    "build_serving_graph",
+    "ensure_targets",
+    "task_chunk_rng",
     "ContextSampler",
     "NeighborhoodSampler",
     "RandomSampler",

@@ -114,15 +114,32 @@ class HIRE(nn.Module):
         self.train()
         return out.data
 
+    def predict_many(self, contexts: list[PredictionContext]) -> np.ndarray:
+        """Inference-only stacked forward: (B, n, m) ratings as numpy.
+
+        Bit-identical per slice to :meth:`predict` on each context (the
+        substrate batches over leading axes without reassociating the
+        per-slice arithmetic) — the serving layer relies on this to batch
+        requests without changing their scores.
+        """
+        self.eval()
+        with nn.no_grad():
+            out = self.forward_many(contexts)
+        self.train()
+        return out.data
+
     # ------------------------------------------------------------------ #
     # Checkpointing
     # ------------------------------------------------------------------ #
-    def save(self, path) -> None:
-        """Checkpoint parameters and config to an ``.npz`` file."""
+    def save(self, path):
+        """Checkpoint parameters and config to an ``.npz`` file.
+
+        Returns the real path written (``.npz`` appended when missing).
+        """
         from ..nn.serialization import save_module
 
-        save_module(path, self, metadata={"config": self.config.__dict__,
-                                          "alpha": self.alpha})
+        return save_module(path, self, metadata={"config": self.config.__dict__,
+                                                 "alpha": self.alpha})
 
     def load(self, path) -> None:
         """Restore parameters from a checkpoint with a matching config."""

@@ -71,6 +71,18 @@ class RatingGraph:
     def has_rating(self, user: int, item: int) -> bool:
         return (int(user), int(item)) in self._rating_lookup
 
+    def triples(self) -> np.ndarray:
+        """All observed (user, item, rating) triples as an (E, 3) array.
+
+        The graph is immutable; growing the visible rating set means
+        building a new graph from ``triples()`` plus the additions (this is
+        what :meth:`repro.serve.PredictionService.update_ratings` does).
+        """
+        if not self._rating_lookup:
+            return np.empty((0, 3))
+        return np.array([[user, item, value]
+                         for (user, item), value in self._rating_lookup.items()])
+
     def rating_matrix(self, users: np.ndarray, items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Dense sub-matrix of observed ratings for a user × item block.
 

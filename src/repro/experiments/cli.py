@@ -6,9 +6,14 @@ Examples::
     python -m repro.experiments.cli run table3 --scale fast --max-tasks 6
     python -m repro.experiments.cli run fig9 --scale fast -o results/
     python -m repro.experiments.cli run all --scale fast -o results/
+    python -m repro.experiments.cli serve --requests 64 --workers 2
+    python -m repro.experiments.cli serve --checkpoint ckpt.npz \
+        --workload traffic.jsonl -o results/
 
 ``run`` prints the paper-style rendering of the chosen artifact and, with
-``--output``, writes it to ``<output>/<experiment>.txt``.
+``--output``, writes it to ``<output>/<experiment>.txt``.  ``serve`` stands
+up a :class:`repro.serve.PredictionService`, replays a workload through it,
+and prints the service's latency/queue/cache report.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import time
 from pathlib import Path
 
 from .compare import render_comparison
-from .configs import EXPERIMENTS
+from .configs import DATASET_SCALES, EXPERIMENTS
 from .paper_numbers import _TABLES
 from .runner import run_experiment
 from .tables import (
@@ -136,6 +141,80 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Stand up a PredictionService, replay a workload, print its report."""
+    from ..core import HIRE, HIREConfig, HIRETrainer, TrainerConfig
+    from ..data import dataset_by_name, make_cold_start_split
+    from ..eval.tasks import build_eval_tasks
+    from ..serve import (
+        ModelRegistry,
+        PredictionService,
+        ServiceConfig,
+        load_workload,
+        replay_workload,
+        synthesize_workload,
+    )
+    from .runner import _SPLIT_FRACTIONS
+
+    sizes = DATASET_SCALES[args.scale]
+    dataset = dataset_by_name(
+        args.dataset, seed=args.seed,
+        num_users=sizes["num_users"], num_items=sizes["num_items"],
+        ratings_per_user=sizes["ratings_per_user"][args.dataset],
+    )
+    fraction = _SPLIT_FRACTIONS[args.dataset]
+    split = make_cold_start_split(dataset, fraction, fraction, seed=args.seed)
+    tasks = build_eval_tasks(split, "user", min_query=2, seed=args.seed,
+                             max_tasks=args.max_tasks)
+
+    registry = ModelRegistry(dataset)
+    if args.checkpoint:
+        # The checkpoint must come from a model trained on this same
+        # dataset profile/scale/seed (the registry rebuilds HIRE from the
+        # stored config against the dataset's attribute schema).
+        registry.register("checkpoint", args.checkpoint, activate=True)
+    else:
+        model = HIRE(dataset, HIREConfig(seed=args.seed))
+        HIRETrainer(model, split,
+                    config=TrainerConfig(steps=args.train_steps,
+                                         seed=args.seed)).fit()
+        registry.add("freshly-trained", model)
+
+    if args.workload:
+        requests = load_workload(args.workload)
+    else:
+        requests = synthesize_workload(tasks, args.requests, seed=args.seed)
+
+    config = ServiceConfig(
+        max_batch_size=args.batch_size,
+        num_workers=args.workers,
+        queue_size=args.queue_size,
+        cache_enabled=not args.no_cache,
+        seed=args.seed,
+    )
+    service = PredictionService.from_split(registry, split, tasks, config=config)
+    start = time.perf_counter()
+    replay_workload(service, requests)
+    elapsed = time.perf_counter() - start
+    service.close()
+
+    lines = [
+        f"== serve replay ({args.dataset}, scale={args.scale}, "
+        f"model={registry.active_name}) ==",
+        f"{len(requests)} requests in {elapsed:.2f}s "
+        f"({len(requests) / elapsed:.1f} req/s)",
+        "",
+        service.report(),
+    ]
+    text = "\n".join(lines)
+    print(text)
+    if args.output:
+        out = Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "serve.txt").write_text(text + "\n")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -165,6 +244,35 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--max-tasks", type=int, default=6)
     compare.add_argument("-o", "--output", default=None)
     compare.set_defaults(func=_cmd_compare)
+
+    serve = sub.add_parser(
+        "serve", help="replay a workload through the online prediction service")
+    serve.add_argument("--checkpoint", default=None,
+                       help="HIRE checkpoint (.npz) to serve; trains a fresh "
+                            "model when omitted")
+    serve.add_argument("--workload", default=None,
+                       help="JSONL workload to replay (one "
+                            '{"user", "items"} per line); synthesized from '
+                            "eval tasks when omitted")
+    serve.add_argument("--dataset",
+                       choices=("movielens", "bookcrossing", "douban"),
+                       default="movielens")
+    serve.add_argument("--scale", choices=("fast", "full"), default="fast")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-tasks", type=int, default=12,
+                       help="evaluation tasks the workload is drawn from")
+    serve.add_argument("--requests", type=int, default=48,
+                       help="synthesized workload size (ignored with --workload)")
+    serve.add_argument("--train-steps", type=int, default=30,
+                       help="training steps for the fresh model (no --checkpoint)")
+    serve.add_argument("--batch-size", type=int, default=8)
+    serve.add_argument("--workers", type=int, default=1)
+    serve.add_argument("--queue-size", type=int, default=64)
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the assembled-context cache")
+    serve.add_argument("-o", "--output", default=None,
+                       help="directory to write serve.txt into")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

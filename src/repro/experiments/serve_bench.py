@@ -1,0 +1,181 @@
+"""Throughput benchmark of the ``repro.serve`` online inference subsystem.
+
+Replays one skewed workload (hot users dominate, as real traffic does)
+through :class:`repro.serve.PredictionService` across a grid of micro-batch
+sizes with the context cache on and off, against a **sequential baseline**
+that scores one request at a time through the same predictor code path —
+no queue, no batching, no cache.
+
+Every serviced run is checked **bit-identical** to the baseline (the
+per-request RNG derivation makes batched/cached scores exactly equal to
+sequential ones), so the speedup is never bought with a numerics change.
+
+``benchmarks/bench_serve_throughput.py`` writes the result as
+``BENCH_serve.json`` at the repo root; ``--smoke`` runs a shrunken grid in
+seconds and skips the JSON write.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .. import nn
+from ..core import HIRE, HIREConfig
+from ..core.predictor import assemble_user_chunks, build_serving_graph, task_chunk_rng
+from ..core.sampling import NeighborhoodSampler
+from ..data import make_cold_start_split, movielens_like
+from ..eval.tasks import build_eval_tasks
+from ..serve import PredictionService, ServiceConfig, replay_workload, synthesize_workload
+
+__all__ = [
+    "run_serve_benchmark",
+    "write_serve_bench_json",
+    "SERVE_BENCH_FILENAME",
+]
+
+SERVE_BENCH_FILENAME = "BENCH_serve.json"
+
+
+def _setup(smoke: bool):
+    if smoke:
+        dataset = movielens_like(num_users=60, num_items=50, seed=0,
+                                 ratings_per_user=15.0)
+        model_cfg = dict(num_blocks=1, num_heads=2, attr_dim=4, seed=0)
+        max_tasks, num_requests = 6, 18
+        batch_sizes = (1, 4)
+    else:
+        dataset = movielens_like(num_users=150, num_items=100, seed=0,
+                                 ratings_per_user=30.0)
+        model_cfg = dict(num_blocks=3, num_heads=8, attr_dim=16, seed=0)
+        max_tasks, num_requests = 12, 96
+        batch_sizes = (1, 4, 8, 16)
+    split = make_cold_start_split(dataset, 0.2, 0.2, seed=0)
+    tasks = build_eval_tasks(split, "user", min_query=2, seed=0,
+                             max_tasks=max_tasks)
+    model = HIRE(dataset, HIREConfig(**model_cfg))
+    workload = synthesize_workload(tasks, num_requests, seed=0)
+    return dataset, split, tasks, model, workload, batch_sizes
+
+
+def _score_sequential(model, split, tasks, workload, config: ServiceConfig):
+    """One-request-at-a-time reference: the exact predictor code path,
+    assembled and forwarded per request with no batching or caching."""
+    graph, candidate_users, candidate_items = build_serving_graph(split, tasks)
+    sampler = NeighborhoodSampler()
+    scores = []
+    for request in workload:
+        query_items = np.asarray(request.item_ids, dtype=np.int64)
+        support_items = np.asarray(request.support_items, dtype=np.int64)
+        total = None
+        for sample_index in range(config.num_context_samples):
+            def rng_factory(start, _sample=sample_index):
+                return task_chunk_rng(config.seed, request.user, _sample, start)
+            chunks = assemble_user_chunks(
+                graph, sampler, request.user, query_items, support_items,
+                context_users=config.context_users,
+                context_items=config.context_items,
+                reveal_fraction=config.reveal_fraction,
+                candidate_users=candidate_users,
+                candidate_items=candidate_items,
+                rng_factory=rng_factory)
+            part = np.empty(len(query_items), dtype=np.float64)
+            with nn.no_grad():
+                for chunk in chunks:
+                    out = model.forward(chunk.context).data
+                    part[chunk.start:chunk.start + len(chunk)] = (
+                        out[chunk.user_row, chunk.cols])
+            total = part if total is None else total + part
+        scores.append(total / config.num_context_samples)
+    return scores
+
+
+def _run_service(model, split, tasks, workload, config: ServiceConfig):
+    service = PredictionService.from_split(model, split, tasks, config=config)
+    try:
+        start = time.perf_counter()
+        scores = replay_workload(service, workload)
+        seconds = time.perf_counter() - start
+        snapshot = service.metrics.snapshot()
+        latency = snapshot["serve.latency_seconds"]
+        result = {
+            "batch_size": config.max_batch_size,
+            "cache": config.cache_enabled,
+            "num_workers": config.num_workers,
+            "seconds": seconds,
+            "requests_per_second": len(workload) / seconds,
+            "latency_p50_ms": latency["p50"] * 1e3,
+            "latency_p99_ms": latency["p99"] * 1e3,
+            "mean_batch_size": snapshot["serve.batch_size"]["mean"],
+        }
+        if service.cache is not None:
+            result["cache_hit_rate"] = service.cache.stats.hit_rate
+        return result, scores
+    finally:
+        service.close()
+
+
+def run_serve_benchmark(smoke: bool = False) -> dict:
+    """Sequential baseline vs. service across batch sizes × cache on/off."""
+    dataset, split, tasks, model, workload, batch_sizes = _setup(smoke)
+    config = ServiceConfig()  # shared assembly knobs for every mode
+
+    # Warm-up: one forward (first-touch allocations, BLAS init).
+    _score_sequential(model, split, tasks, workload[:1], config)
+
+    start = time.perf_counter()
+    expected = _score_sequential(model, split, tasks, workload, config)
+    baseline_seconds = time.perf_counter() - start
+
+    runs = []
+    bit_identical = True
+    for cache_enabled in (False, True):
+        for batch_size in batch_sizes:
+            run_config = ServiceConfig(
+                max_batch_size=batch_size,
+                cache_enabled=cache_enabled,
+                queue_size=max(len(workload), 8),
+                seed=config.seed,
+            )
+            result, scores = _run_service(model, split, tasks, workload,
+                                          run_config)
+            result["bit_identical_to_sequential"] = all(
+                np.array_equal(a, b) for a, b in zip(expected, scores))
+            bit_identical = bit_identical and result["bit_identical_to_sequential"]
+            result["speedup_vs_sequential"] = baseline_seconds / result["seconds"]
+            runs.append(result)
+
+    best = max(runs, key=lambda r: r["speedup_vs_sequential"])
+    return {
+        "benchmark": "serve_throughput",
+        "smoke": smoke,
+        "config": {
+            "num_requests": len(workload),
+            "num_tasks": len(tasks),
+            "context_users": config.context_users,
+            "context_items": config.context_items,
+            "num_users": dataset.num_users,
+            "num_items": dataset.num_items,
+        },
+        "baseline_sequential": {
+            "seconds": baseline_seconds,
+            "requests_per_second": len(workload) / baseline_seconds,
+        },
+        "runs": runs,
+        "bit_identical_all_runs": bit_identical,
+        "best_speedup": best["speedup_vs_sequential"],
+        "best_config": {"batch_size": best["batch_size"],
+                        "cache": best["cache"]},
+    }
+
+
+def write_serve_bench_json(payload: dict, repo_root: Path | None = None) -> Path:
+    """Write the trajectory file ``BENCH_serve.json`` at the repo root."""
+    if repo_root is None:
+        repo_root = Path(__file__).resolve().parents[3]
+    path = repo_root / SERVE_BENCH_FILENAME
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

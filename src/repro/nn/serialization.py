@@ -21,10 +21,23 @@ __all__ = ["save_checkpoint", "load_checkpoint", "save_module", "load_module"]
 _META_KEY = "__meta__"
 
 
-def save_checkpoint(path: str | Path, state: dict[str, np.ndarray],
-                    metadata: dict | None = None) -> None:
-    """Write a state dict (plus JSON-serialisable metadata) to ``path``."""
+def _with_npz_suffix(path: str | Path) -> Path:
+    """``np.savez`` silently appends ``.npz`` to paths lacking it; normalise
+    up front so save and load agree on the on-disk name."""
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_checkpoint(path: str | Path, state: dict[str, np.ndarray],
+                    metadata: dict | None = None) -> Path:
+    """Write a state dict (plus JSON-serialisable metadata) to ``path``.
+
+    Returns the real path written — ``<path>.npz`` when the suffix was
+    missing — so callers never have to second-guess ``np.savez``.
+    """
+    path = _with_npz_suffix(path)
     arrays = dict(state)
     if _META_KEY in arrays:
         raise ValueError(f"{_META_KEY!r} is reserved")
@@ -34,6 +47,7 @@ def save_checkpoint(path: str | Path, state: dict[str, np.ndarray],
         )
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **arrays)
+    return path
 
 
 def load_checkpoint(path: str | Path, dtype=None) -> tuple[dict[str, np.ndarray], dict]:
@@ -48,7 +62,10 @@ def load_checkpoint(path: str | Path, dtype=None) -> tuple[dict[str, np.ndarray]
     """
     if dtype == "default":
         dtype = get_default_dtype()
-    with np.load(Path(path)) as archive:
+    path = Path(path)
+    if not path.exists():
+        path = _with_npz_suffix(path)
+    with np.load(path) as archive:
         state = {}
         for key in archive.files:
             if key == _META_KEY:
@@ -63,9 +80,9 @@ def load_checkpoint(path: str | Path, dtype=None) -> tuple[dict[str, np.ndarray]
     return state, metadata
 
 
-def save_module(path: str | Path, module: Module, metadata: dict | None = None) -> None:
-    """Checkpoint a module's parameters."""
-    save_checkpoint(path, module.state_dict(), metadata)
+def save_module(path: str | Path, module: Module, metadata: dict | None = None) -> Path:
+    """Checkpoint a module's parameters; returns the real path written."""
+    return save_checkpoint(path, module.state_dict(), metadata)
 
 
 def load_module(path: str | Path, module: Module) -> dict:

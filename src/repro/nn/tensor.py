@@ -24,6 +24,8 @@ Design choices:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = [
@@ -36,7 +38,15 @@ __all__ = [
     "dtype_policy",
 ]
 
-_GRAD_ENABLED = True
+
+class _GradState(threading.local):
+    """Per-thread autograd switch (each new thread starts grad-enabled)."""
+
+    def __init__(self):
+        self.enabled = True
+
+
+_GRAD_STATE = _GradState()
 
 _FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 _DEFAULT_DTYPE = np.dtype(np.float64)
@@ -93,23 +103,27 @@ class SparseRowGrad:
 
 
 class no_grad:
-    """Context manager that disables graph construction (like torch.no_grad)."""
+    """Context manager that disables graph construction (like torch.no_grad).
+
+    The flag is thread-local: a serving worker running inference under
+    ``no_grad`` never turns autograd off for a concurrently training thread
+    (and vice versa), and interleaved enter/exit across threads cannot
+    corrupt each other's state.
+    """
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _GRAD_STATE.enabled
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
         return False
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded on the autograd graph."""
-    return _GRAD_ENABLED
+    return _GRAD_STATE.enabled
 
 
 def _as_array(value) -> np.ndarray:
@@ -148,7 +162,7 @@ class Tensor:
         else:
             self.data = np.asarray(data, dtype=_DEFAULT_DTYPE)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_STATE.enabled
         self._backward = None
         self._parents: tuple[Tensor, ...] = ()
 
@@ -158,7 +172,7 @@ class Tensor:
     @classmethod
     def _from_op(cls, data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
         out = cls(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if _GRAD_STATE.enabled and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._backward = backward

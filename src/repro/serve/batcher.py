@@ -1,0 +1,110 @@
+"""Request micro-batching over the bounded queue.
+
+A :class:`MicroBatcher` coalesces pending requests into batches of up to
+``max_batch_size``, waiting at most ``max_wait_seconds`` after the first
+request before dispatching — the classic latency/throughput knob.  Batches
+are formed by whichever worker thread asks next; each request lands in
+exactly exactly one batch (queue pops are atomic).
+
+Identical requests inside a batch — same user, same items, same supports —
+are *coalesced* by :func:`group_requests`: the context is assembled and
+scored once and the result fans out to every caller's future.  HIRE scores
+an n × m context matrix in one forward pass, so requests for different
+users stack into one batched forward downstream (see
+:meth:`repro.core.HIRE.predict_many`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from concurrent.futures import Future
+
+import numpy as np
+
+from .errors import ServiceClosedError
+from .workers import BoundedQueue
+
+__all__ = ["PredictRequest", "MicroBatcher", "group_requests"]
+
+
+@dataclass
+class PredictRequest:
+    """One pending ``(user, item_ids)`` prediction with its result future."""
+
+    user: int
+    item_ids: np.ndarray
+    support_items: np.ndarray
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+    def key(self) -> tuple:
+        """Coalescing identity: requests with equal keys share one result."""
+        return (self.user, tuple(self.item_ids.tolist()),
+                tuple(self.support_items.tolist()))
+
+
+def group_requests(batch: list[PredictRequest]
+                   ) -> list[tuple[tuple, list[PredictRequest]]]:
+    """Group a batch by request identity, preserving first-seen order."""
+    groups: dict[tuple, list[PredictRequest]] = {}
+    for request in batch:
+        groups.setdefault(request.key(), []).append(request)
+    return list(groups.items())
+
+
+class MicroBatcher:
+    """Coalesce queued requests into bounded, deadline-limited batches."""
+
+    def __init__(self, max_batch_size: int = 8, max_wait_seconds: float = 0.002,
+                 queue_size: int = 64, clock=time.monotonic):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_seconds < 0:
+            raise ValueError("max_wait_seconds must be >= 0")
+        self.max_batch_size = max_batch_size
+        self.max_wait_seconds = max_wait_seconds
+        self.queue = BoundedQueue(queue_size)
+        self._clock = clock
+
+    def submit(self, request: PredictRequest) -> None:
+        """Enqueue a request (non-blocking; sheds load when full)."""
+        self.queue.put(request)
+
+    def next_batch(self, timeout: float = 0.05) -> list[PredictRequest]:
+        """Gather the next batch, or ``[]`` if nothing arrived in time.
+
+        Blocks up to ``timeout`` for the first request, then keeps
+        gathering until ``max_batch_size`` requests are in hand or
+        ``max_wait_seconds`` has elapsed since the first one.  Raises
+        :class:`~repro.serve.errors.ServiceClosedError` once the queue is
+        closed and fully drained.
+        """
+        first = self.queue.get(timeout)
+        if first is None:
+            return []
+        batch = [first]
+        deadline = self._clock() + self.max_wait_seconds
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                break
+            try:
+                request = self.queue.get(remaining)
+            except ServiceClosedError:
+                break  # closed-and-drained: ship what we have
+            if request is None:
+                break
+            batch.append(request)
+        return batch
+
+    def close(self) -> None:
+        self.queue.close()
+
+    def drain(self) -> list[PredictRequest]:
+        """Remove and return every queued request (non-draining shutdown)."""
+        return self.queue.drain()
+
+    @property
+    def depth(self) -> int:
+        return len(self.queue)

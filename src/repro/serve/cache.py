@@ -1,0 +1,139 @@
+"""LRU + TTL cache for assembled prediction contexts.
+
+Neighbourhood sampling is the dominant online cost of a request (BFS over
+the rating graph, Python-heavy — the same observation GraphHINGE makes for
+metapath neighbourhoods), and under the serving layer's per-request RNG
+derivation (:func:`repro.core.task_chunk_rng`) context assembly is a *pure
+function* of its key.  That makes assembled contexts safely memoisable:
+a cache hit returns bit-identical contexts to a fresh assembly.
+
+Keys are built by :func:`context_cache_key` from the entity frontier
+(user, query items, support items), the sampler, the context budgets, and
+a graph generation counter — any update to the visible rating graph bumps
+the generation, so stale neighbourhoods can never be served (the service
+additionally calls :meth:`ContextCache.invalidate` to free the memory).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+__all__ = ["ContextCache", "CacheStats", "context_cache_key"]
+
+_MISSING = object()
+
+
+def context_cache_key(graph_generation: int, sampler_name: str, user: int,
+                      query_items, support_items, context_users: int,
+                      context_items: int, reveal_fraction: float,
+                      seed: int) -> tuple:
+    """Hashable key identifying one request's assembled contexts.
+
+    Everything that influences assembly appears in the key; two requests
+    with equal keys are guaranteed (by the pure per-request RNG derivation)
+    to assemble identical contexts.
+    """
+    return (
+        int(graph_generation),
+        str(sampler_name),
+        int(user),
+        tuple(int(i) for i in query_items),
+        tuple(int(i) for i in support_items),
+        int(context_users),
+        int(context_items),
+        float(reveal_fraction),
+        int(seed),
+    )
+
+
+class CacheStats:
+    """Hit/miss/eviction/expiry counts of one cache (snapshot-friendly)."""
+
+    __slots__ = ("hits", "misses", "evictions", "expirations", "invalidations")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ContextCache:
+    """Thread-safe LRU cache with optional TTL expiry.
+
+    ``max_entries`` bounds memory (least-recently-used eviction);
+    ``ttl_seconds`` bounds staleness (entries older than the TTL are
+    treated as misses and dropped).  ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, max_entries: int = 1024, ttl_seconds: float | None = None,
+                 clock=time.monotonic):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[tuple, tuple[float, object]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get(self, key: tuple, default=None):
+        """The cached value, refreshing recency; ``default`` on miss."""
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                self.stats.misses += 1
+                return default
+            stored_at, value = entry
+            if (self.ttl_seconds is not None
+                    and self._clock() - stored_at > self.ttl_seconds):
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: tuple, value) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (self._clock(), value)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (the visible rating graph changed)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats.invalidations += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries

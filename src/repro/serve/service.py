@@ -1,0 +1,513 @@
+"""The :class:`PredictionService` façade: online HIRE inference.
+
+Ties the serving pieces together behind ``submit()`` / ``predict()`` /
+``close()``:
+
+* requests enter a bounded queue (:mod:`~repro.serve.workers`) and are
+  coalesced into micro-batches (:mod:`~repro.serve.batcher`);
+* context assembly reuses the offline predictor's code path
+  (:func:`repro.core.assemble_user_chunks`) with the deterministic
+  per-request RNG derivation (:func:`repro.core.task_chunk_rng`), so
+  served scores are **bit-identical** to a sequential
+  ``HIREPredictor(per_task_rng=True)`` — regardless of batch composition,
+  worker count, or cache state;
+* assembled contexts are memoised in an LRU+TTL cache
+  (:mod:`~repro.serve.cache`), invalidated whenever the visible rating
+  graph is updated;
+* all same-shape contexts of a batch run through one stacked
+  :meth:`HIRE.forward_many` pass (bit-identical per slice), and the
+  opt-in ``share_contexts`` mode additionally packs several cold users
+  into the rows of a *single* n × m context (faster still, but sampled
+  jointly — documented as not bit-identical to per-user scoring);
+* latency histograms (p50/p99), queue-depth gauges and cache hit-rate
+  counters stream into a :class:`repro.obs.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from concurrent.futures import Future
+
+import numpy as np
+
+from .. import nn, obs
+from ..core.model import HIRE
+from ..core.predictor import (
+    assemble_user_chunks,
+    build_serving_graph,
+    task_chunk_rng,
+)
+from ..core.sampling import ContextSampler, NeighborhoodSampler
+from ..core.context import build_context
+from ..data.bipartite import RatingGraph
+from .batcher import MicroBatcher, PredictRequest, group_requests
+from .cache import ContextCache, context_cache_key
+from .errors import QueueFullError, RequestError, ServiceClosedError
+from .registry import ModelRegistry
+from .workers import WorkerPool
+
+__all__ = ["PredictionService", "ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of the online prediction service."""
+
+    # Context assembly (mirrors HIREPredictor's defaults).
+    context_users: int = 32
+    context_items: int = 32
+    reveal_fraction: float = 0.1
+    num_context_samples: int = 1
+    seed: int = 0
+    # Micro-batching.
+    max_batch_size: int = 8
+    max_wait_seconds: float = 0.002
+    queue_size: int = 64
+    num_workers: int = 1
+    # Context cache.
+    cache_enabled: bool = True
+    cache_entries: int = 2048
+    cache_ttl_seconds: float | None = None
+    # Pack several cold users into one shared n x m context (approximate:
+    # jointly sampled contexts differ from per-user ones, so scores are not
+    # bit-identical to sequential prediction; see docs/serving.md).
+    share_contexts: bool = False
+    metrics_prefix: str = "serve"
+
+    def __post_init__(self):
+        if self.num_context_samples < 1:
+            raise ValueError("num_context_samples must be >= 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+
+
+class PredictionService:
+    """Online rating prediction over a trained (registry of) HIRE model(s).
+
+    Parameters
+    ----------
+    models:
+        A :class:`~repro.serve.registry.ModelRegistry` (hot-swappable) or a
+        bare :class:`HIRE`.
+    graph:
+        The visible rating graph requests are scored against (warm training
+        ratings plus any revealed cold supports).
+    candidate_users / candidate_items:
+        Entity pools the context sampler may draw from.
+    """
+
+    def __init__(self, models: ModelRegistry | HIRE, graph: RatingGraph,
+                 candidate_users: np.ndarray, candidate_items: np.ndarray,
+                 sampler: ContextSampler | None = None,
+                 config: ServiceConfig | None = None,
+                 metrics: obs.MetricsRegistry | None = None):
+        self.config = config or ServiceConfig()
+        self._registry = models if isinstance(models, ModelRegistry) else None
+        self._model = None if self._registry is not None else models
+        if self._model is not None:
+            self._model.eval()
+        self.sampler = sampler or NeighborhoodSampler()
+        self.metrics = metrics if metrics is not None else obs.MetricsRegistry()
+        self.cache = (ContextCache(self.config.cache_entries,
+                                   self.config.cache_ttl_seconds)
+                      if self.config.cache_enabled else None)
+        self._graph_lock = threading.Lock()
+        # (graph, candidate_users, candidate_items, generation) swapped as
+        # one tuple so a batch always sees a consistent view.
+        self._graph_state = (
+            graph,
+            np.asarray(candidate_users, dtype=np.int64),
+            np.asarray(candidate_items, dtype=np.int64),
+            0,
+        )
+        self._batcher = MicroBatcher(self.config.max_batch_size,
+                                     self.config.max_wait_seconds,
+                                     self.config.queue_size)
+        self._pool = WorkerPool(self._worker_loop, self.config.num_workers)
+        self._closed = False
+        self._pool.start()
+
+    @classmethod
+    def from_split(cls, models, split, tasks, **kwargs) -> "PredictionService":
+        """Build the serving state exactly like :class:`HIREPredictor` does."""
+        graph, candidate_users, candidate_items = build_serving_graph(split, tasks)
+        return cls(models, graph, candidate_users, candidate_items, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, user: int, item_ids, support_items=None) -> Future:
+        """Enqueue one prediction; resolves to scores in ``item_ids`` order.
+
+        Never blocks: raises :class:`QueueFullError` when the bounded queue
+        is full (load shedding), :class:`ServiceClosedError` after
+        :meth:`close`, and :class:`RequestError` for requests that can
+        never succeed.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        user = int(user)
+        item_ids = np.asarray(item_ids, dtype=np.int64).ravel()
+        graph = self._graph_state[0]
+        if item_ids.size == 0:
+            raise RequestError("a request needs at least one item")
+        if not 0 <= user < graph.num_users:
+            raise RequestError(f"user {user} outside [0, {graph.num_users})")
+        if (item_ids < 0).any() or (item_ids >= graph.num_items).any():
+            raise RequestError(f"item ids outside [0, {graph.num_items})")
+        for item in item_ids:
+            if graph.has_rating(user, int(item)):
+                raise RequestError(
+                    f"({user}, {int(item)}) is already rated in the visible "
+                    "graph; serving scores unrated pairs only")
+        if support_items is None:
+            support_items = graph.items_of_user(user)
+        support_items = np.asarray(support_items, dtype=np.int64).ravel()
+
+        request = PredictRequest(user=user, item_ids=item_ids,
+                                 support_items=support_items)
+        try:
+            self._batcher.submit(request)
+        except (QueueFullError, ServiceClosedError):
+            self._counter("rejected_total").inc()
+            raise
+        self._counter("requests_total").inc()
+        self._gauge("queue_depth").set(self._batcher.depth)
+        return request.future
+
+    def predict(self, user: int, item_ids, support_items=None,
+                timeout: float | None = 30.0) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(user, item_ids, support_items).result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # Graph updates
+    # ------------------------------------------------------------------ #
+    def update_ratings(self, ratings: np.ndarray) -> int:
+        """Add (user, item, rating) triples to the visible graph.
+
+        Builds a fresh immutable graph, extends the candidate pools with
+        the new entities, bumps the graph generation and invalidates the
+        context cache (cached neighbourhoods may have changed).  Returns
+        the new generation number.
+        """
+        ratings = np.asarray(ratings, dtype=np.float64).reshape(-1, 3)
+        with self._graph_lock:
+            graph, candidate_users, candidate_items, generation = self._graph_state
+            combined = np.concatenate([graph.triples(), ratings])
+            new_graph = RatingGraph(combined, graph.num_users, graph.num_items)
+            self._graph_state = (
+                new_graph,
+                np.union1d(candidate_users, ratings[:, 0].astype(np.int64)),
+                np.union1d(candidate_items, ratings[:, 1].astype(np.int64)),
+                generation + 1,
+            )
+        if self.cache is not None:
+            self.cache.invalidate()
+        return self._graph_state[3]
+
+    @property
+    def graph_generation(self) -> int:
+        return self._graph_state[3]
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop intake and shut the workers down.
+
+        ``drain=True`` processes every queued request before returning;
+        ``drain=False`` fails the still-queued requests' futures with
+        :class:`ServiceClosedError`.  Either way every submitted request's
+        future resolves exactly once — none are lost.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        if not drain:
+            leftovers = self._batcher.drain()
+            error = ServiceClosedError("service closed before execution")
+            for request in leftovers:
+                if not request.future.done():
+                    request.future.set_exception(error)
+        self._pool.join(timeout)
+        self._pool.close(1.0)
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Queue, cache, and metric state as one JSON-able snapshot."""
+        out = {
+            "queue_depth": self._batcher.depth,
+            "graph_generation": self.graph_generation,
+            "metrics": self.metrics.snapshot(),
+        }
+        if self.cache is not None:
+            out["cache"] = {**self.cache.stats.snapshot(), "entries": len(self.cache)}
+        return out
+
+    def report(self) -> str:
+        """The service's metrics as an ``obs.report`` text table."""
+        lines = [obs.render_metrics_table(self.metrics)]
+        if self.cache is not None:
+            snap = self.cache.stats.snapshot()
+            lines.append("")
+            lines.append(
+                f"context cache: {len(self.cache)} entries"
+                f"   hit rate {snap['hit_rate'] * 100:.1f}%"
+                f"   ({snap['hits']} hits / {snap['misses']} misses,"
+                f" {snap['evictions']} evicted)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Worker internals
+    # ------------------------------------------------------------------ #
+    def _metric_name(self, name: str) -> str:
+        return f"{self.config.metrics_prefix}.{name}"
+
+    def _counter(self, name: str):
+        return self.metrics.counter(self._metric_name(name))
+
+    def _gauge(self, name: str):
+        return self.metrics.gauge(self._metric_name(name))
+
+    def _histogram(self, name: str):
+        return self.metrics.histogram(self._metric_name(name))
+
+    def _resolve_model(self) -> HIRE:
+        if self._registry is not None:
+            return self._registry.active()[1]
+        return self._model
+
+    def _worker_loop(self, stop_event) -> bool | None:
+        try:
+            batch = self._batcher.next_batch(timeout=0.05)
+        except ServiceClosedError:
+            return False  # closed and drained: exit
+        if not batch:
+            return None  # idle tick; keep polling (or notice stop_event)
+        self._process_batch(batch)
+        return None
+
+    def _process_batch(self, batch: list[PredictRequest]) -> None:
+        self._gauge("queue_depth").set(self._batcher.depth)
+        self._histogram("batch_size").observe(len(batch))
+        self._counter("batches_total").inc()
+        try:
+            model = self._resolve_model()
+            graph_state = self._graph_state
+            groups = group_requests(batch)
+            if self.config.share_contexts:
+                shared, solo = self._partition_for_sharing(groups)
+            else:
+                shared, solo = [], groups
+
+            plans = []
+            with obs.span("serve/assemble"):
+                for key, requests in solo:
+                    plans.append((requests, self._chunks_for(requests[0],
+                                                             graph_state)))
+            with obs.span("serve/forward"):
+                scores_by_plan = self._score_plans(model, plans)
+                if shared:
+                    shared_scores = self._score_shared(model, shared, graph_state)
+
+            now = time.perf_counter()
+            for (requests, _), scores in zip(plans, scores_by_plan):
+                self._resolve(requests, scores, now)
+            if shared:
+                for (key, requests), scores in zip(shared, shared_scores):
+                    self._resolve(requests, scores, now)
+        except Exception as error:  # fail the whole batch, never hang callers
+            self._counter("failed_total").inc(len(batch))
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(error)
+
+    def _resolve(self, requests: list[PredictRequest], scores: np.ndarray,
+                 now: float) -> None:
+        latency = self._histogram("latency_seconds")
+        for index, request in enumerate(requests):
+            # Coalesced requests each get their own array (no sharing).
+            request.future.set_result(scores if index == 0 else scores.copy())
+            latency.observe(now - request.enqueued_at)
+            self._counter("completed_total").inc()
+
+    # -- exact path ---------------------------------------------------- #
+    def _chunks_for(self, request: PredictRequest, graph_state) -> list:
+        """Per-sample assembled chunks for one request (cache-aware)."""
+        graph, candidate_users, candidate_items, generation = graph_state
+        cfg = self.config
+        key = context_cache_key(generation, self.sampler.name, request.user,
+                                request.item_ids, request.support_items,
+                                cfg.context_users, cfg.context_items,
+                                cfg.reveal_fraction, cfg.seed)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._counter("cache_hits_total").inc()
+                return cached
+            self._counter("cache_misses_total").inc()
+
+        samples = []
+        for sample_index in range(cfg.num_context_samples):
+            def rng_factory(start, _sample=sample_index):
+                return task_chunk_rng(cfg.seed, request.user, _sample, start)
+            samples.append(assemble_user_chunks(
+                graph, self.sampler, request.user,
+                request.item_ids, request.support_items,
+                context_users=cfg.context_users,
+                context_items=cfg.context_items,
+                reveal_fraction=cfg.reveal_fraction,
+                candidate_users=candidate_users,
+                candidate_items=candidate_items,
+                rng_factory=rng_factory,
+            ))
+        if self.cache is not None:
+            self.cache.put(key, samples)
+        return samples
+
+    def _score_plans(self, model: HIRE, plans) -> list[np.ndarray]:
+        """Score every plan's chunks, stacking same-shape contexts into one
+        ``forward_many`` pass (bit-identical per slice to solo forwards)."""
+        entries = []  # (plan_index, sample_index, chunk)
+        for plan_index, (_requests, samples) in enumerate(plans):
+            for sample_index, chunks in enumerate(samples):
+                for chunk in chunks:
+                    entries.append((plan_index, sample_index, chunk))
+        if not entries:
+            return []
+
+        by_shape: dict[tuple[int, int], list] = {}
+        for entry in entries:
+            chunk = entry[2]
+            by_shape.setdefault((chunk.context.n, chunk.context.m), []).append(entry)
+
+        predicted: dict[int, np.ndarray] = {}
+        with nn.no_grad():
+            for shape_entries in by_shape.values():
+                contexts = [chunk.context for _, _, chunk in shape_entries]
+                if len(contexts) == 1:
+                    outputs = [model.forward(contexts[0]).data]
+                else:
+                    outputs = model.forward_many(contexts).data
+                for (_, _, chunk), output in zip(shape_entries, outputs):
+                    predicted[id(chunk)] = output
+
+        scores_by_plan: list[np.ndarray] = []
+        for plan_index, (requests, samples) in enumerate(plans):
+            num_items = len(requests[0].item_ids)
+            total: np.ndarray | None = None
+            for chunks in samples:
+                part = np.empty(num_items, dtype=np.float64)
+                for chunk in chunks:
+                    output = predicted[id(chunk)]
+                    part[chunk.start:chunk.start + len(chunk)] = (
+                        output[chunk.user_row, chunk.cols])
+                # Same accumulation order as HIREPredictor.predict_task, so
+                # multi-sample averages stay bit-identical too.
+                total = part if total is None else total + part
+            scores_by_plan.append(total / len(samples))
+        return scores_by_plan
+
+    # -- shared-context path (opt-in, approximate) --------------------- #
+    def _partition_for_sharing(self, groups):
+        """Greedily pick requests that fit together in one shared context."""
+        cfg = self.config
+        # Leave half the user budget for sampled warm neighbours.
+        max_shared_users = max(cfg.context_users // 2, 1)
+        shared, solo, used_items = [], [], 0
+        for key, requests in groups:
+            request = requests[0]
+            reserve = min(len(request.support_items),
+                          max(cfg.context_items // 4, 1))
+            need = len(request.item_ids) + reserve
+            fits = (len(shared) < max_shared_users
+                    and used_items + need <= cfg.context_items
+                    and cfg.num_context_samples == 1)
+            if fits:
+                shared.append((key, requests))
+                used_items += need
+            else:
+                solo.append((key, requests))
+        if len(shared) < 2:  # nothing gained by sharing a single request
+            return [], shared + solo
+        return shared, solo
+
+    def _score_shared(self, model: HIRE, shared, graph_state) -> list[np.ndarray]:
+        """One n × m context whose rows serve several cold users at once."""
+        graph, candidate_users, candidate_items, generation = graph_state
+        cfg = self.config
+        requests = [entry[1][0] for entry in shared]
+        target_users = np.unique(np.array([r.user for r in requests],
+                                          dtype=np.int64))
+        pieces = []
+        for request in requests:
+            reserve = min(len(request.support_items),
+                          max(cfg.context_items // 4, 1))
+            pieces.append(request.item_ids)
+            pieces.append(request.support_items[:reserve])
+        target_items = np.unique(np.concatenate(pieces))
+
+        # Jointly sampled -> deterministic in the set of packed users.
+        rng = np.random.default_rng(
+            [cfg.seed, generation, len(target_items)] + target_users.tolist())
+        users, items = self.sampler.sample(
+            graph, target_users=target_users, target_items=target_items,
+            n=cfg.context_users, m=cfg.context_items, rng=rng,
+            candidate_users=candidate_users, candidate_items=candidate_items)
+        users = _ensure_members(users, target_users)
+        items = _ensure_members(items, target_items)
+
+        user_row = {int(user): row for row, user in enumerate(users)}
+        item_pos = {int(item): col for col, item in enumerate(items)}
+        forced_reveal = np.zeros((len(users), len(items)), dtype=bool)
+        for request in requests:
+            row = user_row[request.user]
+            for item in request.support_items:
+                col = item_pos.get(int(item))
+                if col is not None and graph.has_rating(request.user, int(item)):
+                    forced_reveal[row, col] = True
+        context = build_context(graph, users, items, rng,
+                                reveal_fraction=cfg.reveal_fraction,
+                                forced_reveal=forced_reveal)
+        with nn.no_grad():
+            output = model.forward(context).data
+
+        self._counter("shared_context_users_total").inc(len(requests))
+        scores = []
+        for request in requests:
+            row = user_row[request.user]
+            cols = np.array([item_pos[int(i)] for i in request.item_ids],
+                            dtype=np.int64)
+            assert not context.observed[row, cols].any(), (
+                "query ratings leaked into the shared serving context")
+            scores.append(output[row, cols].astype(np.float64))
+        return scores
+
+
+def _ensure_members(selected: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Group variant of :func:`repro.core.ensure_targets`: force every
+    target entity into ``selected`` without growing it."""
+    selected = np.asarray(selected, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    missing = targets[~np.isin(targets, selected)]
+    if missing.size:
+        keep = selected[~np.isin(selected, missing[: len(selected)])]
+        selected = np.concatenate([missing, keep])[: len(selected)]
+    return selected

@@ -1,0 +1,127 @@
+"""Serving workloads: synthesis, JSONL persistence, and replay.
+
+A workload is a list of :class:`WorkloadRequest` — the offline stand-in for
+online traffic.  :func:`synthesize_workload` draws requests from evaluation
+tasks with a skewed hot set (a small fraction of users receives most of the
+traffic, as real request streams do), which is what makes the context cache
+earn its keep in benchmarks.  :func:`replay_workload` pushes a workload
+through a :class:`~repro.serve.service.PredictionService`, retrying briefly
+when backpressure sheds a request.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..eval.tasks import EvalTask
+from .errors import QueueFullError
+
+__all__ = [
+    "WorkloadRequest",
+    "synthesize_workload",
+    "save_workload",
+    "load_workload",
+    "replay_workload",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One replayable ``(user, items)`` request; supports may be explicit."""
+
+    user: int
+    item_ids: tuple[int, ...]
+    support_items: tuple[int, ...] | None = None
+
+    @classmethod
+    def from_task(cls, task: EvalTask) -> "WorkloadRequest":
+        return cls(user=int(task.user),
+                   item_ids=tuple(int(i) for i in task.query_items),
+                   support_items=tuple(int(i) for i in task.support_items))
+
+
+def synthesize_workload(tasks: list[EvalTask], num_requests: int,
+                        seed: int = 0, hot_fraction: float = 0.8,
+                        hot_set_size: int | None = None) -> list[WorkloadRequest]:
+    """Draw a skewed request stream from evaluation tasks.
+
+    ``hot_fraction`` of the requests target a random ``hot_set_size``-task
+    hot set (default: a quarter of the tasks), the rest are uniform over all
+    tasks.  Repeats are intentional — they exercise request coalescing and
+    the context cache.
+    """
+    if not tasks:
+        raise ValueError("need at least one task to synthesize a workload")
+    rng = np.random.default_rng(seed)
+    if hot_set_size is None:
+        hot_set_size = max(len(tasks) // 4, 1)
+    hot_set_size = min(hot_set_size, len(tasks))
+    hot = rng.choice(len(tasks), size=hot_set_size, replace=False)
+
+    requests = []
+    for _ in range(num_requests):
+        if rng.random() < hot_fraction:
+            index = int(rng.choice(hot))
+        else:
+            index = int(rng.integers(len(tasks)))
+        requests.append(WorkloadRequest.from_task(tasks[index]))
+    return requests
+
+
+def save_workload(path: str | Path, requests: list[WorkloadRequest]) -> Path:
+    """Write a workload as JSONL: one ``{"user", "items", "supports"}`` per line."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for request in requests:
+            record = {"user": request.user, "items": list(request.item_ids)}
+            if request.support_items is not None:
+                record["supports"] = list(request.support_items)
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_workload(path: str | Path) -> list[WorkloadRequest]:
+    """Read a JSONL workload written by :func:`save_workload`."""
+    requests = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            supports = record.get("supports")
+            requests.append(WorkloadRequest(
+                user=int(record["user"]),
+                item_ids=tuple(int(i) for i in record["items"]),
+                support_items=(tuple(int(i) for i in supports)
+                               if supports is not None else None),
+            ))
+    return requests
+
+
+def replay_workload(service, requests: list[WorkloadRequest],
+                    timeout: float = 60.0,
+                    retry_interval: float = 0.001) -> list[np.ndarray]:
+    """Submit a workload and gather every score vector, in request order.
+
+    Shed requests (:class:`QueueFullError`) are retried after a short sleep
+    — the replay is a closed loop, so backpressure slows submission instead
+    of losing work.
+    """
+    futures = []
+    for request in requests:
+        supports = (np.asarray(request.support_items, dtype=np.int64)
+                    if request.support_items is not None else None)
+        while True:
+            try:
+                futures.append(service.submit(request.user, request.item_ids,
+                                              supports))
+                break
+            except QueueFullError:
+                time.sleep(retry_interval)
+    return [future.result(timeout) for future in futures]

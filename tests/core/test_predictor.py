@@ -100,3 +100,91 @@ class TestPrediction:
                                   context_users=8, context_items=8, seed=0)
         scores = predictor.predict_task(tasks[0])
         assert np.isfinite(scores).all()
+
+
+def _ensure_targets_reference(users, items, target_user, target_items):
+    """The original per-element implementation of ensure_targets, kept as a
+    behavioural pin for the vectorised np.isin version."""
+    users = np.asarray(users, dtype=np.int64)
+    items = np.asarray(items, dtype=np.int64)
+    target_items = np.asarray(target_items, dtype=np.int64)
+    if target_user not in users:
+        users = np.concatenate([[target_user], users[:-1]])
+    missing = np.array([i for i in target_items if i not in items],
+                       dtype=np.int64)
+    if missing.size:
+        head = missing[: len(items)]
+        keep = np.array([i for i in items if i not in head], dtype=np.int64)
+        items = np.concatenate([missing, keep])[: len(items)].astype(np.int64)
+    return users, items
+
+
+class TestEnsureTargets:
+    """The vectorised ensure_targets must match the original element scans."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_equivalent_to_reference_on_random_inputs(self, seed):
+        from repro.core import ensure_targets
+
+        rng = np.random.default_rng(seed)
+        users = rng.choice(50, size=rng.integers(1, 12), replace=False)
+        items = rng.choice(60, size=rng.integers(1, 12), replace=False)
+        target_user = int(rng.integers(50))
+        target_items = rng.choice(60, size=rng.integers(1, 15), replace=False)
+
+        expected = _ensure_targets_reference(users, items, target_user,
+                                             target_items)
+        got = ensure_targets(users, items, target_user, target_items)
+        np.testing.assert_array_equal(expected[0], got[0])
+        np.testing.assert_array_equal(expected[1], got[1])
+
+    def test_more_targets_than_budget(self):
+        from repro.core import ensure_targets
+
+        users = np.array([1, 2])
+        items = np.array([10, 11, 12])
+        target_items = np.array([20, 21, 22, 23, 24])
+        expected = _ensure_targets_reference(users, items, 5, target_items)
+        got = ensure_targets(users, items, 5, target_items)
+        np.testing.assert_array_equal(expected[0], got[0])
+        np.testing.assert_array_equal(expected[1], got[1])
+        assert len(got[1]) == 3  # budget never grows
+
+    def test_targets_already_present_is_identity(self):
+        from repro.core import ensure_targets
+
+        users = np.array([3, 1, 2])
+        items = np.array([7, 8, 9])
+        got_users, got_items = ensure_targets(users, items, 1,
+                                              np.array([9, 7]))
+        np.testing.assert_array_equal(got_users, users)
+        np.testing.assert_array_equal(got_items, items)
+
+
+class TestPerTaskRNG:
+    def test_scores_independent_of_task_order(self, trained, ml_split,
+                                              user_tasks):
+        """per_task_rng=True makes every task's scores a pure function of
+        the task — the property the serving layer builds on."""
+        forward = HIREPredictor(trained, ml_split, user_tasks, seed=0,
+                                per_task_rng=True)
+        scores_forward = [forward.predict_task(t) for t in user_tasks]
+        backward = HIREPredictor(trained, ml_split, user_tasks, seed=0,
+                                 per_task_rng=True)
+        scores_backward = [backward.predict_task(t)
+                           for t in reversed(user_tasks)][::-1]
+        for a, b in zip(scores_forward, scores_backward):
+            assert np.array_equal(a, b)
+
+    def test_default_mode_depends_on_order(self, trained, ml_split, user_tasks):
+        """The offline default (one advancing stream) is order-dependent —
+        the contrast that motivates per-task derivation."""
+        if len(user_tasks) < 2:
+            pytest.skip("need two tasks to permute")
+        forward = HIREPredictor(trained, ml_split, user_tasks, seed=0)
+        scores_forward = [forward.predict_task(t) for t in user_tasks]
+        backward = HIREPredictor(trained, ml_split, user_tasks, seed=0)
+        scores_backward = [backward.predict_task(t)
+                           for t in reversed(user_tasks)][::-1]
+        assert any(not np.array_equal(a, b)
+                   for a, b in zip(scores_forward, scores_backward))

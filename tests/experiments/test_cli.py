@@ -100,3 +100,46 @@ class TestRenderDispatch:
     def test_unknown(self):
         with pytest.raises(KeyError):
             render_experiment("fig99", [])
+
+
+class TestServeCommand:
+    def test_serve_replays_and_reports(self, tmp_path, capsys):
+        code = main(["serve", "--requests", "6", "--max-tasks", "4",
+                     "--train-steps", "2", "--batch-size", "4",
+                     "-o", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve replay" in out
+        assert "req/s" in out
+        assert "serve.latency_seconds" in out
+        text = (tmp_path / "serve.txt").read_text()
+        assert "serve.requests_total" in text
+
+    def test_serve_from_checkpoint_and_workload_file(self, tmp_path, capsys):
+        from repro.core import HIRE, HIREConfig
+        from repro.data import dataset_by_name, make_cold_start_split
+        from repro.eval.tasks import build_eval_tasks
+        from repro.experiments.configs import DATASET_SCALES
+        from repro.serve import save_workload, synthesize_workload
+
+        sizes = DATASET_SCALES["fast"]
+        dataset = dataset_by_name(
+            "movielens", seed=0,
+            num_users=sizes["num_users"], num_items=sizes["num_items"],
+            ratings_per_user=sizes["ratings_per_user"]["movielens"])
+        model = HIRE(dataset, HIREConfig(num_blocks=1, num_heads=2,
+                                         attr_dim=4, seed=0))
+        checkpoint = model.save(tmp_path / "model")
+
+        split = make_cold_start_split(dataset, 0.2, 0.2, seed=0)
+        tasks = build_eval_tasks(split, "user", min_query=2, seed=0,
+                                 max_tasks=4)
+        workload = save_workload(tmp_path / "traffic.jsonl",
+                                 synthesize_workload(tasks, 5, seed=0))
+
+        code = main(["serve", "--checkpoint", str(checkpoint),
+                     "--workload", str(workload), "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "model=checkpoint" in out
+        assert "5 requests" in out

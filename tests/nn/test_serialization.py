@@ -76,3 +76,30 @@ class TestHIRECheckpoint:
         ctx = build_context(ml_graph, np.arange(4), np.arange(4),
                             np.random.default_rng(0))
         np.testing.assert_allclose(model.predict(ctx), same.predict(ctx))
+
+
+class TestSuffixNormalization:
+    def test_save_appends_npz_and_returns_path(self, module, tmp_path):
+        written = save_module(tmp_path / "model", module)
+        assert written == tmp_path / "model.npz"
+        assert written.exists()
+
+    def test_save_checkpoint_returns_real_path(self, module, tmp_path):
+        written = save_checkpoint(tmp_path / "ckpt", module.state_dict())
+        assert written.suffix == ".npz"
+        state, _ = load_checkpoint(written)
+        assert set(state) == set(module.state_dict())
+
+    def test_load_falls_back_to_suffixed_path(self, module, tmp_path):
+        save_checkpoint(tmp_path / "ckpt", module.state_dict())
+        # Loading with the suffix-less name the caller used must work too.
+        state, _ = load_checkpoint(tmp_path / "ckpt")
+        assert set(state) == set(module.state_dict())
+
+    def test_explicit_suffix_unchanged(self, module, tmp_path):
+        written = save_checkpoint(tmp_path / "ckpt.npz", module.state_dict())
+        assert written == tmp_path / "ckpt.npz"
+
+    def test_missing_checkpoint_still_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "ghost")

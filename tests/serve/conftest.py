@@ -1,0 +1,18 @@
+"""Serving-layer fixtures: a small model, tasks, and a service factory."""
+
+import pytest
+
+from repro.core import HIRE, HIREConfig
+from repro.eval.tasks import build_eval_tasks
+
+
+@pytest.fixture(scope="session")
+def serve_model(ml_dataset):
+    """Untrained-but-deterministic HIRE (weights seeded; serving tests only
+    care that scores are reproducible, not that they are good)."""
+    return HIRE(ml_dataset, HIREConfig(num_blocks=2, num_heads=2, attr_dim=8))
+
+
+@pytest.fixture(scope="session")
+def serve_tasks(ml_split):
+    return build_eval_tasks(ml_split, "user", min_query=2, seed=1, max_tasks=6)

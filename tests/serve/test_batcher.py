@@ -1,0 +1,83 @@
+"""MicroBatcher coalescing, deadlines, and close semantics."""
+
+import numpy as np
+import pytest
+
+from repro.serve import MicroBatcher, PredictRequest, ServiceClosedError, group_requests
+
+
+def make_request(user=1, items=(2, 3), supports=(7,)):
+    return PredictRequest(user=user,
+                          item_ids=np.array(items, dtype=np.int64),
+                          support_items=np.array(supports, dtype=np.int64))
+
+
+class TestGroupRequests:
+    def test_identical_requests_coalesce(self):
+        a, b = make_request(), make_request()
+        groups = group_requests([a, b])
+        assert len(groups) == 1
+        assert groups[0][1] == [a, b]
+
+    def test_different_items_stay_separate(self):
+        a = make_request(items=(2, 3))
+        b = make_request(items=(3, 2))  # order matters: different request
+        groups = group_requests([a, b])
+        assert len(groups) == 2
+
+    def test_first_seen_order_preserved(self):
+        a = make_request(user=5)
+        b = make_request(user=1)
+        groups = group_requests([a, b, make_request(user=5)])
+        assert [g[1][0].user for g in groups] == [5, 1]
+
+
+class TestMicroBatcher:
+    def test_batch_respects_max_size(self):
+        batcher = MicroBatcher(max_batch_size=2, max_wait_seconds=1.0)
+        for _ in range(3):
+            batcher.submit(make_request())
+        assert len(batcher.next_batch(0.1)) == 2
+        assert len(batcher.next_batch(0.1)) == 1
+        assert batcher.depth == 0
+
+    def test_empty_queue_returns_empty_batch(self):
+        batcher = MicroBatcher()
+        assert batcher.next_batch(0.01) == []
+
+    def test_zero_wait_ships_first_request_alone(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_seconds=0.0)
+        batcher.submit(make_request())
+        batcher.submit(make_request())
+        assert len(batcher.next_batch(0.1)) == 1
+
+    def test_deadline_via_fake_clock(self):
+        clock_value = [0.0]
+        batcher = MicroBatcher(max_batch_size=8, max_wait_seconds=0.01,
+                               clock=lambda: clock_value[0])
+        batcher.submit(make_request())
+        batcher.submit(make_request())
+        clock_value[0] = 1.0  # first get succeeds, then the deadline is past
+        batch = batcher.next_batch(0.1)
+        assert len(batch) >= 1
+
+    def test_close_then_drained_raises(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_seconds=0.0)
+        batcher.submit(make_request())
+        batcher.close()
+        assert len(batcher.next_batch(0.1)) == 1  # drains the queued request
+        with pytest.raises(ServiceClosedError):
+            batcher.next_batch(0.1)
+
+    def test_drain_returns_pending(self):
+        batcher = MicroBatcher()
+        request = make_request()
+        batcher.submit(request)
+        batcher.close()
+        assert batcher.drain() == [request]
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_seconds=-1.0)

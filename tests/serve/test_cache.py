@@ -1,0 +1,99 @@
+"""ContextCache LRU/TTL behaviour and cache-key sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ContextCache, context_cache_key
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestContextCacheKey:
+    def test_equal_inputs_equal_keys(self):
+        key_a = context_cache_key(0, "neighborhood", 3, np.array([1, 2]),
+                                  np.array([5]), 32, 32, 0.1, 0)
+        key_b = context_cache_key(0, "neighborhood", 3, [1, 2], [5],
+                                  32, 32, 0.1, 0)
+        assert key_a == key_b
+        assert hash(key_a) == hash(key_b)
+
+    @pytest.mark.parametrize("field, value", [
+        ("generation", 1),
+        ("sampler", "random"),
+        ("user", 4),
+        ("items", (1, 3)),
+        ("supports", (6,)),
+        ("n", 16),
+        ("m", 16),
+        ("reveal", 0.2),
+        ("seed", 9),
+    ])
+    def test_every_field_discriminates(self, field, value):
+        base = dict(generation=0, sampler="neighborhood", user=3,
+                    items=(1, 2), supports=(5,), n=32, m=32, reveal=0.1, seed=0)
+        changed = {**base, field: value}
+
+        def make(d):
+            return context_cache_key(d["generation"], d["sampler"], d["user"],
+                                     d["items"], d["supports"], d["n"], d["m"],
+                                     d["reveal"], d["seed"])
+
+        assert make(base) != make(changed)
+
+
+class TestContextCache:
+    def test_get_put_roundtrip(self):
+        cache = ContextCache(max_entries=4)
+        assert cache.get(("k",)) is None
+        cache.put(("k",), "value")
+        assert cache.get(("k",)) == "value"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = ContextCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.get(("a",))          # refresh a; b is now LRU
+        cache.put(("c",), 3)
+        assert ("a",) in cache
+        assert ("b",) not in cache
+        assert cache.stats.evictions == 1
+
+    def test_ttl_expires_entries(self):
+        clock = FakeClock()
+        cache = ContextCache(max_entries=4, ttl_seconds=10.0, clock=clock)
+        cache.put(("k",), "value")
+        clock.now = 5.0
+        assert cache.get(("k",)) == "value"
+        clock.now = 20.0
+        assert cache.get(("k",)) is None
+        assert cache.stats.expirations == 1
+        assert len(cache) == 0
+
+    def test_invalidate_clears_everything(self):
+        cache = ContextCache(max_entries=4)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_hit_rate(self):
+        cache = ContextCache(max_entries=4)
+        cache.put(("k",), 1)
+        cache.get(("k",))
+        cache.get(("nope",))
+        assert cache.stats.hit_rate == 0.5
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ContextCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ContextCache(ttl_seconds=0.0)

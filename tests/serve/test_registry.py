@@ -1,0 +1,102 @@
+"""ModelRegistry: checkpoint round-trips, named versions, hot swap."""
+
+import numpy as np
+import pytest
+
+from repro.core import HIRE, HIREConfig
+from repro.serve import ModelRegistry, UnknownModelError
+
+
+@pytest.fixture
+def other_model(ml_dataset):
+    return HIRE(ml_dataset, HIREConfig(num_blocks=1, num_heads=2, attr_dim=8,
+                                       seed=5))
+
+
+class TestRegistration:
+    def test_first_added_becomes_active(self, ml_dataset, serve_model):
+        registry = ModelRegistry(ml_dataset)
+        registry.add("v1", serve_model)
+        name, model = registry.active()
+        assert name == "v1"
+        assert model is serve_model
+
+    def test_register_from_checkpoint_reproduces_scores(
+            self, ml_dataset, serve_model, ml_graph, tmp_path):
+        path = serve_model.save(tmp_path / "model")
+        registry = ModelRegistry(ml_dataset)
+        version = registry.register("ckpt", path)
+        assert version.config == serve_model.config
+        assert version.path == path
+
+        users = np.arange(6)
+        items = np.arange(8)
+        rng = np.random.default_rng(0)
+        from repro.core.context import build_context
+        context = build_context(ml_graph, users, items, rng)
+        expected = serve_model.predict(context)
+        got = registry.get("ckpt").predict(context)
+        assert np.array_equal(expected, got)
+
+    def test_register_rejects_configless_checkpoint(self, ml_dataset,
+                                                    serve_model, tmp_path):
+        from repro.nn.serialization import save_module
+        path = save_module(tmp_path / "bare", serve_model)
+        registry = ModelRegistry(ml_dataset)
+        with pytest.raises(ValueError, match="config"):
+            registry.register("bare", path)
+
+    def test_duplicate_name_rejected(self, ml_dataset, serve_model):
+        registry = ModelRegistry(ml_dataset)
+        registry.add("v1", serve_model)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add("v1", serve_model)
+
+    def test_unregister(self, ml_dataset, serve_model, other_model):
+        registry = ModelRegistry(ml_dataset)
+        registry.add("v1", serve_model)
+        registry.add("v2", other_model)
+        registry.unregister("v2")
+        assert "v2" not in registry
+        with pytest.raises(UnknownModelError):
+            registry.unregister("v2")
+
+    def test_cannot_unregister_active(self, ml_dataset, serve_model):
+        registry = ModelRegistry(ml_dataset)
+        registry.add("v1", serve_model)
+        with pytest.raises(ValueError, match="active"):
+            registry.unregister("v1")
+
+
+class TestHotSwap:
+    def test_activate_swaps_serving_model(self, ml_dataset, serve_model,
+                                          other_model):
+        registry = ModelRegistry(ml_dataset)
+        registry.add("v1", serve_model)
+        registry.add("v2", other_model)
+        assert registry.active_name == "v1"
+        registry.activate("v2")
+        assert registry.active()[1] is other_model
+
+    def test_add_with_activate_flag(self, ml_dataset, serve_model, other_model):
+        registry = ModelRegistry(ml_dataset)
+        registry.add("v1", serve_model)
+        registry.add("v2", other_model, activate=True)
+        assert registry.active_name == "v2"
+
+    def test_activate_unknown_raises(self, ml_dataset):
+        registry = ModelRegistry(ml_dataset)
+        with pytest.raises(UnknownModelError):
+            registry.activate("ghost")
+
+    def test_empty_registry_has_no_active(self, ml_dataset):
+        registry = ModelRegistry(ml_dataset)
+        with pytest.raises(UnknownModelError):
+            registry.active()
+
+    def test_names_and_len(self, ml_dataset, serve_model, other_model):
+        registry = ModelRegistry(ml_dataset)
+        registry.add("b", serve_model)
+        registry.add("a", other_model)
+        assert registry.names() == ["a", "b"]
+        assert len(registry) == 2

@@ -1,0 +1,294 @@
+"""PredictionService: bit-identity with the offline predictor, shutdown
+safety, backpressure, validation, and graph updates."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import HIRE, HIREConfig, HIREPredictor
+from repro.serve import (
+    ModelRegistry,
+    PredictionService,
+    QueueFullError,
+    RequestError,
+    ServiceClosedError,
+    ServiceConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def sequential_scores(serve_model, ml_split, serve_tasks):
+    """Reference scores from the offline predictor in per-task-RNG mode."""
+    predictor = HIREPredictor(serve_model, ml_split, serve_tasks, seed=0,
+                              per_task_rng=True)
+    return [predictor.predict_task(task) for task in serve_tasks]
+
+
+def make_service(model, split, tasks, **overrides):
+    config = ServiceConfig(**overrides)
+    return PredictionService.from_split(model, split, tasks, config=config)
+
+
+class TestBitIdentity:
+    def test_batched_multiworker_cached_equals_sequential(
+            self, serve_model, ml_split, serve_tasks, sequential_scores):
+        """The acceptance property: batching, three workers, and the context
+        cache change nothing about the scores — bit for bit."""
+        with make_service(serve_model, ml_split, serve_tasks,
+                          num_workers=3, max_batch_size=4) as service:
+            futures = [service.submit(t.user, t.query_items, t.support_items)
+                       for t in serve_tasks]
+            first = [f.result(60) for f in futures]
+            # Again: now served from the context cache.
+            futures = [service.submit(t.user, t.query_items, t.support_items)
+                       for t in serve_tasks]
+            second = [f.result(60) for f in futures]
+            assert service.stats()["cache"]["hits"] > 0
+        for expected, a, b in zip(sequential_scores, first, second):
+            assert np.array_equal(expected, a)
+            assert np.array_equal(expected, b)
+
+    def test_cache_off_equals_sequential(self, serve_model, ml_split,
+                                         serve_tasks, sequential_scores):
+        with make_service(serve_model, ml_split, serve_tasks,
+                          cache_enabled=False) as service:
+            got = [service.predict(t.user, t.query_items, t.support_items)
+                   for t in serve_tasks]
+        for expected, scores in zip(sequential_scores, got):
+            assert np.array_equal(expected, scores)
+
+    def test_multi_sample_averaging_matches_predictor(
+            self, serve_model, ml_split, serve_tasks):
+        predictor = HIREPredictor(serve_model, ml_split, serve_tasks, seed=0,
+                                  per_task_rng=True, num_context_samples=2)
+        task = serve_tasks[0]
+        with make_service(serve_model, ml_split, serve_tasks,
+                          num_context_samples=2) as service:
+            scores = service.predict(task.user, task.query_items,
+                                     task.support_items)
+        assert np.array_equal(predictor.predict_task(task), scores)
+
+    def test_registry_backed_service(self, ml_dataset, serve_model, ml_split,
+                                     serve_tasks, sequential_scores):
+        registry = ModelRegistry(ml_dataset)
+        registry.add("v1", serve_model)
+        task = serve_tasks[0]
+        with make_service(registry, ml_split, serve_tasks) as service:
+            assert np.array_equal(
+                sequential_scores[0],
+                service.predict(task.user, task.query_items, task.support_items))
+
+    def test_hot_swap_changes_scores(self, ml_dataset, serve_model, ml_split,
+                                     serve_tasks, sequential_scores):
+        other = HIRE(ml_dataset, HIREConfig(num_blocks=1, num_heads=2,
+                                            attr_dim=8, seed=5))
+        other_predictor = HIREPredictor(other, ml_split, serve_tasks, seed=0,
+                                        per_task_rng=True)
+        registry = ModelRegistry(ml_dataset)
+        registry.add("v1", serve_model)
+        registry.add("v2", other)
+        task = serve_tasks[0]
+        with make_service(registry, ml_split, serve_tasks) as service:
+            before = service.predict(task.user, task.query_items,
+                                     task.support_items)
+            registry.activate("v2")
+            # Context cache carries over (model-independent), scores change.
+            after = service.predict(task.user, task.query_items,
+                                    task.support_items)
+        assert np.array_equal(before, sequential_scores[0])
+        assert np.array_equal(after, other_predictor.predict_task(task))
+
+    def test_coalesced_requests_get_independent_arrays(
+            self, serve_model, ml_split, serve_tasks):
+        task = serve_tasks[0]
+        with make_service(serve_model, ml_split, serve_tasks,
+                          max_batch_size=4, max_wait_seconds=0.05) as service:
+            futures = [service.submit(task.user, task.query_items,
+                                      task.support_items) for _ in range(3)]
+            results = [f.result(60) for f in futures]
+        results[0][:] = -1.0
+        assert np.array_equal(results[1], results[2])
+        assert not np.array_equal(results[0], results[1])
+
+
+class TestShutdown:
+    def test_drain_resolves_every_future(self, serve_model, ml_split,
+                                         serve_tasks):
+        service = make_service(serve_model, ml_split, serve_tasks,
+                               num_workers=2, queue_size=64)
+        futures = []
+        for _ in range(4):
+            for task in serve_tasks:
+                futures.append(service.submit(task.user, task.query_items,
+                                              task.support_items))
+        service.close(drain=True)
+        results = [f.result(60) for f in futures]
+        assert len(results) == len(futures)
+        assert all(isinstance(r, np.ndarray) for r in results)
+        snapshot = service.metrics.snapshot()
+        completed = snapshot["serve.completed_total"]["value"]
+        assert completed == len(futures)  # nothing lost, nothing doubled
+
+    def test_no_drain_fails_queued_futures(self, serve_model, ml_split,
+                                           serve_tasks, monkeypatch):
+        service = make_service(serve_model, ml_split, serve_tasks,
+                               num_workers=1, queue_size=32, max_batch_size=1)
+        gate = threading.Event()
+        original = service._process_batch
+
+        def gated(batch):
+            gate.wait(30)
+            original(batch)
+
+        monkeypatch.setattr(service, "_process_batch", gated)
+        futures = [service.submit(t.user, t.query_items, t.support_items)
+                   for t in serve_tasks]
+        service._closed = True  # stop intake without waiting on the gate
+        service._batcher.close()
+        leftovers = service._batcher.drain()
+        error = ServiceClosedError("service closed before execution")
+        for request in leftovers:
+            request.future.set_exception(error)
+        gate.set()
+        service._pool.join(30)
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append(future.result(60))
+            except ServiceClosedError:
+                outcomes.append("shed")
+        assert len(outcomes) == len(futures)  # every future resolved once
+        assert "shed" in outcomes
+
+    def test_submit_after_close_raises(self, serve_model, ml_split, serve_tasks):
+        service = make_service(serve_model, ml_split, serve_tasks)
+        service.close()
+        task = serve_tasks[0]
+        with pytest.raises(ServiceClosedError):
+            service.submit(task.user, task.query_items)
+
+    def test_close_is_idempotent(self, serve_model, ml_split, serve_tasks):
+        service = make_service(serve_model, ml_split, serve_tasks)
+        service.close()
+        service.close()
+        assert service.closed
+
+
+class TestBackpressure:
+    def test_queue_full_sheds_load(self, serve_model, ml_split, serve_tasks,
+                                   monkeypatch):
+        service = make_service(serve_model, ml_split, serve_tasks,
+                               num_workers=1, queue_size=2, max_batch_size=1)
+        gate = threading.Event()
+        original = service._process_batch
+
+        def gated(batch):
+            gate.wait(30)
+            original(batch)
+
+        monkeypatch.setattr(service, "_process_batch", gated)
+        task = serve_tasks[0]
+        accepted = []
+        with pytest.raises(QueueFullError):
+            for _ in range(20):
+                accepted.append(service.submit(task.user, task.query_items,
+                                               task.support_items))
+        rejected = service.metrics.snapshot()["serve.rejected_total"]["value"]
+        assert rejected >= 1
+        gate.set()
+        for future in accepted:  # shed requests never block accepted ones
+            assert isinstance(future.result(60), np.ndarray)
+        service.close()
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def service(self, serve_model, ml_split, serve_tasks):
+        with make_service(serve_model, ml_split, serve_tasks) as service:
+            yield service
+
+    def test_empty_items(self, service):
+        with pytest.raises(RequestError, match="at least one item"):
+            service.submit(0, [])
+
+    def test_user_out_of_range(self, service):
+        with pytest.raises(RequestError, match="user"):
+            service.submit(10_000, [1, 2])
+
+    def test_item_out_of_range(self, service):
+        with pytest.raises(RequestError, match="item"):
+            service.submit(0, [10_000])
+
+    def test_already_rated_pair(self, service, ml_split):
+        user = int(ml_split.train_ratings()[0, 0])
+        item = int(ml_split.train_ratings()[0, 1])
+        with pytest.raises(RequestError, match="already rated"):
+            service.submit(user, [item])
+
+
+class TestGraphUpdates:
+    def test_update_bumps_generation_and_invalidates_cache(
+            self, serve_model, ml_split, serve_tasks):
+        task = serve_tasks[0]
+        with make_service(serve_model, ml_split, serve_tasks) as service:
+            service.predict(task.user, task.query_items, task.support_items)
+            assert len(service.cache) > 0
+            target_item = int(task.query_items[0])
+            generation = service.update_ratings(
+                np.array([[task.user, target_item, 4.0]]))
+            assert generation == 1
+            assert len(service.cache) == 0
+            # The new rating is visible: that pair can no longer be queried.
+            with pytest.raises(RequestError, match="already rated"):
+                service.submit(task.user, [target_item])
+            # Other queries still work against the rebuilt graph.
+            remaining = np.array([i for i in task.query_items
+                                  if int(i) != target_item])
+            scores = service.predict(task.user, remaining, task.support_items)
+            assert scores.shape == remaining.shape
+
+
+class TestObservability:
+    def test_metrics_and_report(self, serve_model, ml_split, serve_tasks):
+        with make_service(serve_model, ml_split, serve_tasks) as service:
+            task = serve_tasks[0]
+            service.predict(task.user, task.query_items, task.support_items)
+            service.predict(task.user, task.query_items, task.support_items)
+            snapshot = service.metrics.snapshot()
+            assert snapshot["serve.requests_total"]["value"] == 2
+            assert snapshot["serve.completed_total"]["value"] == 2
+            assert snapshot["serve.latency_seconds"]["count"] == 2
+            assert snapshot["serve.latency_seconds"]["p99"] > 0
+            report = service.report()
+        assert "serve.latency_seconds" in report
+        assert "hit rate" in report
+
+    def test_stats_snapshot(self, serve_model, ml_split, serve_tasks):
+        with make_service(serve_model, ml_split, serve_tasks) as service:
+            stats = service.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["graph_generation"] == 0
+        assert "cache" in stats
+
+
+class TestSharedContexts:
+    def test_share_contexts_serves_valid_scores(self, serve_model, ml_split,
+                                                serve_tasks):
+        """Opt-in approximate mode: right shapes and deterministic, though
+        not bit-identical to per-user contexts (documented)."""
+        def run():
+            with make_service(serve_model, ml_split, serve_tasks,
+                              share_contexts=True, max_batch_size=8,
+                              num_workers=1, max_wait_seconds=0.25,
+                              cache_enabled=False) as service:
+                futures = [service.submit(t.user, t.query_items[:2],
+                                          t.support_items)
+                           for t in serve_tasks]
+                return [f.result(60) for f in futures]
+
+        first, second = run(), run()
+        for task, a, b in zip(serve_tasks, first, second):
+            assert a.shape == (2,)
+            assert np.isfinite(a).all()
+            assert np.array_equal(a, b)

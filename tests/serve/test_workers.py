@@ -1,0 +1,115 @@
+"""BoundedQueue backpressure and WorkerPool lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import BoundedQueue, QueueFullError, ServiceClosedError, WorkerPool
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        queue = BoundedQueue(4)
+        for value in range(3):
+            queue.put(value)
+        assert [queue.get(0.1) for _ in range(3)] == [0, 1, 2]
+
+    def test_put_never_blocks_sheds_load(self):
+        queue = BoundedQueue(2)
+        queue.put("a")
+        queue.put("b")
+        start = time.perf_counter()
+        with pytest.raises(QueueFullError):
+            queue.put("c")
+        assert time.perf_counter() - start < 0.5  # shed, not blocked
+        assert len(queue) == 2
+
+    def test_get_times_out_with_none(self):
+        queue = BoundedQueue(2)
+        assert queue.get(0.01) is None
+
+    def test_put_after_close_raises(self):
+        queue = BoundedQueue(2)
+        queue.close()
+        with pytest.raises(ServiceClosedError):
+            queue.put("x")
+
+    def test_get_drains_then_raises_after_close(self):
+        queue = BoundedQueue(4)
+        queue.put("a")
+        pending = queue.close()
+        assert pending == ["a"]
+        assert queue.get(0.1) == "a"  # still drainable
+        with pytest.raises(ServiceClosedError):
+            queue.get(0.1)
+
+    def test_close_wakes_blocked_getter(self):
+        queue = BoundedQueue(2)
+        errors = []
+
+        def getter():
+            try:
+                queue.get(5.0)
+            except ServiceClosedError as error:
+                errors.append(error)
+
+        thread = threading.Thread(target=getter)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(2.0)
+        assert not thread.is_alive()
+
+    def test_drain_empties_queue(self):
+        queue = BoundedQueue(4)
+        for value in range(3):
+            queue.put(value)
+        assert queue.drain() == [0, 1, 2]
+        assert len(queue) == 0
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+
+class TestWorkerPool:
+    def test_runs_loop_until_false(self):
+        calls = []
+
+        def loop(stop):
+            calls.append(1)
+            return False if len(calls) >= 3 else None
+
+        pool = WorkerPool(loop, num_workers=1)
+        pool.start()
+        pool.join(2.0)
+        assert pool.alive_count() == 0
+        assert len(calls) == 3
+
+    def test_close_signals_stop(self):
+        started = threading.Event()
+
+        def loop(stop):
+            started.set()
+            stop.wait(0.01)
+
+        pool = WorkerPool(loop, num_workers=2)
+        pool.start()
+        assert started.wait(2.0)
+        pool.close(2.0)
+        assert pool.alive_count() == 0
+        assert pool.stopping
+
+    def test_join_does_not_signal_stop(self):
+        def loop(stop):
+            return False
+
+        pool = WorkerPool(loop, num_workers=1)
+        pool.start()
+        pool.join(2.0)
+        assert not pool.stopping
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(lambda stop: False, num_workers=0)
