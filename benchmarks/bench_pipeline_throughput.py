@@ -1,0 +1,53 @@
+"""Throughput benchmark of the training-context pipeline.
+
+Sweeps prefetch workers × buffer depth × backend against the sequential
+per-step-RNG baseline and asserts ``loss_history`` bit-identity on every
+grid point — the pipeline may reorder *when* contexts are sampled, never
+*what* is sampled.  The full run writes ``BENCH_pipeline.json`` at the
+repo root so the throughput trajectory is tracked across PRs; ``--smoke``
+runs a shrunken grid in seconds and skips the JSON write.
+
+The speedup bar (≥ 1.3x at the best grid point) applies on parallel
+hardware; a single-core host can only break even, so there the assertion
+degrades to overhead-neutrality (and the JSON records
+``parallel_hardware: false``).
+"""
+
+import pytest
+
+from repro.experiments.pipeline_bench import (
+    render_pipeline_bench,
+    run_pipeline_benchmark,
+    write_pipeline_bench_json,
+)
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_pipeline_throughput(benchmark, save, smoke_mode):
+    payload = benchmark.pedantic(
+        lambda: run_pipeline_benchmark(smoke=smoke_mode),
+        rounds=1, iterations=1,
+    )
+
+    text = render_pipeline_bench(payload)
+    print("\nPipeline throughput benchmark\n" + text)
+
+    # Bit-identity is non-negotiable at every scale: prefetching may never
+    # change the training trajectory.
+    assert payload["bit_identical_all_runs"]
+    # The legacy shared stream is a different RNG scheme; sanity-check that
+    # the benchmark really did distinguish the two.
+    assert not payload["legacy_shared_stream"]["same_trajectory_as_baseline"]
+
+    if not smoke_mode:
+        save("pipeline_throughput", text)
+        path = write_pipeline_bench_json(payload)
+        print(f"wrote {path}")
+        if payload["parallel_hardware"]:
+            # Acceptance: prefetched sampling overlaps enough to beat the
+            # sequential baseline by 1.3x at the best grid point.
+            assert payload["best_speedup"] >= 1.3
+        else:
+            # One core: no overlap to win, but the pipeline must not cost
+            # more than a modest scheduling overhead either.
+            assert payload["best_speedup"] >= 0.85

@@ -15,7 +15,11 @@ including:
 * ``repro.experiments`` — a registry regenerating every table and figure,
 * ``repro.obs`` — telemetry: profiling spans, metrics, structured run logs,
 * ``repro.serve`` — online inference: model registry with hot swap, request
-  micro-batching, context caching, and backpressure.
+  micro-batching, context caching, and backpressure,
+* ``repro.pipeline`` — parallel training-context prefetching, bit-identical
+  to sequential sampling,
+* ``repro.concurrency`` — the bounded-queue / worker-pool primitives shared
+  by the serving and pipeline layers.
 
 Quickstart::
 
@@ -30,7 +34,8 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import baselines, core, data, eval, experiments, nn, obs, serve
+from . import baselines, concurrency, core, data, eval, experiments, nn, obs
+from . import pipeline, serve
 
 __all__ = ["nn", "data", "core", "baselines", "eval", "experiments", "obs",
-           "serve", "__version__"]
+           "serve", "pipeline", "concurrency", "__version__"]

@@ -22,10 +22,12 @@ from .predictor import (
     task_chunk_rng,
 )
 from .sampling import (
+    MAX_CONTEXT_RETRIES,
     ContextSampler,
     FeatureSimilaritySampler,
     NeighborhoodSampler,
     RandomSampler,
+    sample_training_context,
     sampler_by_name,
 )
 from .trainer import HIRETrainer, TrainerConfig
@@ -48,6 +50,8 @@ __all__ = [
     "RandomSampler",
     "FeatureSimilaritySampler",
     "sampler_by_name",
+    "sample_training_context",
+    "MAX_CONTEXT_RETRIES",
     "HIRETrainer",
     "TrainerConfig",
 ]

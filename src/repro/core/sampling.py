@@ -21,6 +21,7 @@ import numpy as np
 
 from ..data.bipartite import RatingGraph
 from ..data.schema import RatingDataset
+from .context import PredictionContext, build_context
 
 __all__ = [
     "ContextSampler",
@@ -28,7 +29,71 @@ __all__ = [
     "RandomSampler",
     "FeatureSimilaritySampler",
     "sampler_by_name",
+    "sample_training_context",
+    "MAX_CONTEXT_RETRIES",
 ]
+
+# How many seed pairs a training-context draw tries before giving up.
+# Exhaustion means every attempt produced a context with zero masked query
+# cells — there is nothing to supervise on, so retrying forever would hang.
+MAX_CONTEXT_RETRIES = 16
+
+
+def sample_training_context(graph: RatingGraph, sampler: ContextSampler,
+                            train_ratings: np.ndarray,
+                            rng: np.random.Generator, *,
+                            context_users: int, context_items: int,
+                            reveal_fraction: float,
+                            reveal_fraction_high: float | None = None,
+                            candidate_users: np.ndarray,
+                            candidate_items: np.ndarray,
+                            max_retries: int = MAX_CONTEXT_RETRIES
+                            ) -> PredictionContext:
+    """One training context seeded at a random warm (user, item) rating pair.
+
+    This is line 2 / line 4 of Algorithm 1 as a pure function of its inputs
+    plus ``rng``: it draws a seed pair from ``train_ratings``, grows the
+    context with ``sampler``, and splits the observed cells into
+    revealed/query via :func:`~repro.core.context.build_context`.  Because
+    every random draw comes from the passed generator, the same generator
+    state always yields the same context — which is what lets
+    :mod:`repro.pipeline` sample steps on worker threads bit-identically
+    to a sequential loop.
+
+    Raises :class:`RuntimeError` after ``max_retries`` attempts that all
+    produced zero query cells (e.g. ``reveal_fraction`` so high that every
+    observed rating is revealed), naming the retry count and the last seed
+    pair tried.
+    """
+    if len(train_ratings) == 0:
+        raise ValueError("train_ratings is empty; nothing to sample from")
+    last_pair: tuple[int, int] | None = None
+    for _ in range(max_retries):
+        seed_row = train_ratings[rng.integers(len(train_ratings))]
+        last_pair = (int(seed_row[0]), int(seed_row[1]))
+        users, items = sampler.sample(
+            graph,
+            target_users=np.array([last_pair[0]]),
+            target_items=np.array([last_pair[1]]),
+            n=context_users, m=context_items,
+            rng=rng,
+            candidate_users=candidate_users,
+            candidate_items=candidate_items,
+        )
+        reveal = reveal_fraction
+        if reveal_fraction_high is not None:
+            reveal = rng.uniform(reveal_fraction, reveal_fraction_high)
+        context = build_context(graph, users, items, rng,
+                                reveal_fraction=reveal)
+        if context.num_query() > 0:
+            return context
+    raise RuntimeError(
+        f"could not sample a context with any masked ratings after "
+        f"{max_retries} attempts (last seed pair: user {last_pair[0]}, "
+        f"item {last_pair[1]}); every sampled context had zero query cells "
+        f"— lower reveal_fraction (currently {reveal_fraction}) or enlarge "
+        f"the context budgets"
+    )
 
 
 class ContextSampler:

@@ -19,9 +19,14 @@ import numpy as np
 from .. import nn, obs
 from ..data.bipartite import RatingGraph
 from ..data.splits import ColdStartSplit
-from .context import PredictionContext, build_context
+from .context import PredictionContext
 from .model import HIRE
-from .sampling import ContextSampler, NeighborhoodSampler
+from .sampling import (
+    MAX_CONTEXT_RETRIES,
+    ContextSampler,
+    NeighborhoodSampler,
+    sample_training_context,
+)
 
 __all__ = ["TrainerConfig", "HIRETrainer"]
 
@@ -54,6 +59,19 @@ class TrainerConfig:
     early_stopping_patience: int = 0
     validation_contexts: int = 8
     validate_every: int = 10
+    # Context-prefetching pipeline (repro.pipeline).  prefetch_workers > 0
+    # samples step batches on that many workers ahead of the optimiser;
+    # prefetch_buffer bounds how many steps they may run ahead.  The
+    # "process" backend trades pickling overhead for true parallelism.
+    prefetch_workers: int = 0
+    prefetch_buffer: int = 4
+    prefetch_backend: str = "thread"
+    # Per-step RNG derivation (derive_step_rng(seed, step, slot)): each
+    # context is a pure function of the step index instead of one shared
+    # advancing stream.  None = auto: on exactly when prefetching is on.
+    # Setting it True with prefetch_workers=0 gives the sequential
+    # baseline that any pipelined run is bit-identical to.
+    per_step_rng: bool | None = None
 
     def __post_init__(self):
         if self.steps < 1:
@@ -64,6 +82,23 @@ class TrainerConfig:
             raise ValueError("early_stopping_patience must be >= 0")
         if self.early_stopping_patience and self.validate_every < 1:
             raise ValueError("validate_every must be >= 1 when early stopping")
+        if self.prefetch_workers < 0:
+            raise ValueError("prefetch_workers must be >= 0")
+        if self.prefetch_buffer < 1:
+            raise ValueError("prefetch_buffer must be >= 1")
+        if self.prefetch_backend not in ("thread", "process"):
+            raise ValueError("prefetch_backend must be 'thread' or 'process'")
+        if self.per_step_rng is False and self.prefetch_workers > 0:
+            raise ValueError(
+                "prefetch_workers > 0 requires per-step RNG derivation; "
+                "leave per_step_rng unset (auto) or set it True")
+
+    @property
+    def uses_per_step_rng(self) -> bool:
+        """Resolved per-step-RNG mode (auto = on when prefetching)."""
+        if self.per_step_rng is None:
+            return self.prefetch_workers > 0
+        return self.per_step_rng
 
 
 class HIRETrainer:
@@ -85,6 +120,12 @@ class HIRETrainer:
         self.last_grad_norm: float = 0.0
         self.last_lr: float = self.config.base_lr
         self._last_step_stats: tuple[int, int, int] = (0, 0, 0)
+        # Set for the duration of a pipelined fit(); train_step takes its
+        # batches from here instead of sampling inline.
+        self._active_pipeline = None
+        self._pipeline_step_offset = 0
+        # Kept after fit() so callers can read buffer-wait metrics.
+        self.last_pipeline = None
 
         self.train_ratings = split.train_ratings()
         if len(self.train_ratings) == 0:
@@ -116,29 +157,56 @@ class HIRETrainer:
         ``rng`` defaults to the trainer's stream; passing an explicit
         generator (as :meth:`validation_loss` does) keeps independent
         sampling streams without touching shared trainer state.
+
+        Delegates to :func:`repro.core.sample_training_context`, which
+        gives up with a descriptive :class:`RuntimeError` after
+        :data:`~repro.core.MAX_CONTEXT_RETRIES` attempts that all produced
+        zero query cells.
         """
         cfg = self.config
         if rng is None:
             rng = self.rng
-        for _ in range(16):
-            seed_row = self.train_ratings[rng.integers(len(self.train_ratings))]
-            users, items = self.sampler.sample(
-                self.graph,
-                target_users=np.array([int(seed_row[0])]),
-                target_items=np.array([int(seed_row[1])]),
-                n=cfg.context_users, m=cfg.context_items,
-                rng=rng,
-                candidate_users=self.split.train_users,
-                candidate_items=self.split.train_items,
-            )
-            reveal = cfg.reveal_fraction
-            if cfg.reveal_fraction_high is not None:
-                reveal = rng.uniform(cfg.reveal_fraction, cfg.reveal_fraction_high)
-            context = build_context(self.graph, users, items, rng,
-                                    reveal_fraction=reveal)
-            if context.num_query() > 0:
-                return context
-        raise RuntimeError("could not sample a context with any masked ratings")
+        return sample_training_context(
+            self.graph, self.sampler, self.train_ratings, rng,
+            context_users=cfg.context_users, context_items=cfg.context_items,
+            reveal_fraction=cfg.reveal_fraction,
+            reveal_fraction_high=cfg.reveal_fraction_high,
+            candidate_users=self.split.train_users,
+            candidate_items=self.split.train_items,
+            max_retries=MAX_CONTEXT_RETRIES,
+        )
+
+    def _sample_step_batch(self, step: int) -> list[PredictionContext]:
+        """The mini-batch of step ``step``, sampled inline (no pipeline).
+
+        With per-step RNG each slot draws from its own derived generator —
+        the sequential reference that any pipelined run reproduces
+        bit-exactly; otherwise the legacy shared stream is advanced.
+        """
+        cfg = self.config
+        if cfg.uses_per_step_rng:
+            from ..pipeline import derive_step_rng
+
+            return [
+                self.sample_training_context(
+                    rng=derive_step_rng(cfg.seed, step, slot))
+                for slot in range(cfg.batch_size)
+            ]
+        return [self.sample_training_context() for _ in range(cfg.batch_size)]
+
+    def build_pipeline(self, metrics=None):
+        """A :class:`repro.pipeline.ContextPipeline` mirroring this
+        trainer's sampling configuration (not yet started)."""
+        from ..pipeline import ContextBatchSource, ContextPipeline
+
+        cfg = self.config
+        return ContextPipeline(
+            ContextBatchSource.from_trainer(self),
+            num_workers=max(cfg.prefetch_workers, 1),
+            buffer_depth=cfg.prefetch_buffer,
+            backend=cfg.prefetch_backend,
+            metrics=metrics,
+        )
 
     # ------------------------------------------------------------------ #
     # Optimisation
@@ -151,11 +219,20 @@ class HIRETrainer:
                 "capture_attention is enabled on an attention layer; disable "
                 "it during training (it retains per-step attention maps)"
             )
+        step = len(self.loss_history)
         with obs.span("train_step"):
             self.optimizer.zero_grad()
-            with obs.span("sample"):
-                contexts = [self.sample_training_context()
-                            for _ in range(cfg.batch_size)]
+            if self._active_pipeline is not None:
+                # Workers sampled this batch ahead of time; the span now
+                # measures only how long the optimiser waited on the
+                # buffer (hit/starvation counters and wait/depth metrics
+                # live on the pipeline's registry).
+                with obs.span("sample_wait"):
+                    contexts = self._active_pipeline.take(
+                        step - self._pipeline_step_offset)
+            else:
+                with obs.span("sample"):
+                    contexts = self._sample_step_batch(step)
             with obs.span("forward"):
                 if cfg.batched_forward:
                     predicted = self.model.forward_many(contexts)  # (B, n, m)
@@ -221,7 +298,8 @@ class HIRETrainer:
         self.observers.append(observer)
 
     def fit(self, log_every: int = 0,
-            observers: list[obs.TrainerObserver] | None = None) -> list[float]:
+            observers: list[obs.TrainerObserver] | None = None,
+            pipeline=None) -> list[float]:
         """Run the configured number of steps; returns the loss history.
 
         With ``early_stopping_patience > 0``, validation loss is checked
@@ -233,6 +311,14 @@ class HIRETrainer:
         cadence for this call (unless one is already observing);
         ``observers`` adds further per-call observers on top of the
         trainer-level ones.
+
+        ``pipeline`` accepts a pre-built
+        :class:`repro.pipeline.ContextPipeline`; with
+        ``config.prefetch_workers > 0`` one is built automatically.  Either
+        way the pipeline feeds ``train_step`` prefetched context batches
+        (bit-identical to inline per-step-RNG sampling) and is closed —
+        workers joined, buffer drained — when this call returns, on
+        success, early stop, or error.
         """
         cfg = self.config
         active = list(self.observers)
@@ -240,6 +326,14 @@ class HIRETrainer:
             active.extend(observers)
         if log_every and not any(isinstance(o, obs.ConsoleSink) for o in active):
             active.append(obs.ConsoleSink(log_every=log_every))
+        if pipeline is None and cfg.prefetch_workers > 0:
+            pipeline = self.build_pipeline()
+        if pipeline is not None:
+            if not pipeline.started:
+                pipeline.start(cfg.steps)
+            self._active_pipeline = pipeline
+            self._pipeline_step_offset = len(self.loss_history)
+            self.last_pipeline = pipeline
         for observer in active:
             observer.on_fit_start(self, cfg)
         best_val = float("inf")
@@ -248,42 +342,47 @@ class HIRETrainer:
         stopped_early = False
         steps_run = 0
         fit_start = time.perf_counter()
-        for step in range(cfg.steps):
-            step_start = time.perf_counter()
-            loss = self.train_step()
-            step_seconds = time.perf_counter() - step_start
-            steps_run = step + 1
-            if active:
-                n, m, masked = self._last_step_stats
-                event = obs.StepEvent(
-                    step=steps_run, total_steps=cfg.steps, loss=loss,
-                    grad_norm=self.last_grad_norm, lr=self.last_lr,
-                    step_seconds=step_seconds,
-                    steps_per_second=1.0 / step_seconds if step_seconds > 0 else 0.0,
-                    context_n=n, context_m=m, masked_cells=masked,
-                )
-                for observer in active:
-                    observer.on_step(event)
-            if cfg.early_stopping_patience and steps_run % cfg.validate_every == 0:
-                with obs.span("validation"):
-                    val = self.validation_loss()
-                self.validation_history.append(val)
-                improved = val < best_val - 1e-6
-                if improved:
-                    best_val = val
-                    best_state = self.model.state_dict()
-                    stale_checks = 0
-                else:
-                    stale_checks += 1
+        try:
+            for step in range(cfg.steps):
+                step_start = time.perf_counter()
+                loss = self.train_step()
+                step_seconds = time.perf_counter() - step_start
+                steps_run = step + 1
                 if active:
-                    event = obs.ValidationEvent(step=steps_run, loss=val,
-                                                best_loss=best_val,
-                                                improved=improved)
+                    n, m, masked = self._last_step_stats
+                    event = obs.StepEvent(
+                        step=steps_run, total_steps=cfg.steps, loss=loss,
+                        grad_norm=self.last_grad_norm, lr=self.last_lr,
+                        step_seconds=step_seconds,
+                        steps_per_second=1.0 / step_seconds if step_seconds > 0 else 0.0,
+                        context_n=n, context_m=m, masked_cells=masked,
+                    )
                     for observer in active:
-                        observer.on_validation(event)
-                if stale_checks >= cfg.early_stopping_patience:
-                    stopped_early = True
-                    break
+                        observer.on_step(event)
+                if cfg.early_stopping_patience and steps_run % cfg.validate_every == 0:
+                    with obs.span("validation"):
+                        val = self.validation_loss()
+                    self.validation_history.append(val)
+                    improved = val < best_val - 1e-6
+                    if improved:
+                        best_val = val
+                        best_state = self.model.state_dict()
+                        stale_checks = 0
+                    else:
+                        stale_checks += 1
+                    if active:
+                        event = obs.ValidationEvent(step=steps_run, loss=val,
+                                                    best_loss=best_val,
+                                                    improved=improved)
+                        for observer in active:
+                            observer.on_validation(event)
+                    if stale_checks >= cfg.early_stopping_patience:
+                        stopped_early = True
+                        break
+        finally:
+            self._active_pipeline = None
+            if pipeline is not None:
+                pipeline.close()
         wall_seconds = time.perf_counter() - fit_start
         if best_state is not None:
             self.model.load_state_dict(best_state)

@@ -9,11 +9,14 @@ Examples::
     python -m repro.experiments.cli serve --requests 64 --workers 2
     python -m repro.experiments.cli serve --checkpoint ckpt.npz \
         --workload traffic.jsonl -o results/
+    python -m repro.experiments.cli pipeline --smoke
 
 ``run`` prints the paper-style rendering of the chosen artifact and, with
 ``--output``, writes it to ``<output>/<experiment>.txt``.  ``serve`` stands
 up a :class:`repro.serve.PredictionService`, replays a workload through it,
-and prints the service's latency/queue/cache report.
+and prints the service's latency/queue/cache report.  ``pipeline`` sweeps
+the training-context prefetch grid (``repro.pipeline``) against the
+sequential baseline and prints throughput + bit-identity per grid point.
 """
 
 from __future__ import annotations
@@ -215,6 +218,31 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_pipeline(args) -> int:
+    """Sweep the training-context prefetch grid; print the report."""
+    from .pipeline_bench import (
+        render_pipeline_bench,
+        run_pipeline_benchmark,
+        write_pipeline_bench_json,
+    )
+
+    payload = run_pipeline_benchmark(smoke=args.smoke)
+    text = render_pipeline_bench(payload)
+    print(text)
+    if args.output:
+        out = Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "pipeline_throughput.txt").write_text(text + "\n")
+    if args.json:
+        path = write_pipeline_bench_json(payload)
+        print(f"wrote {path}")
+    if not payload["bit_identical_all_runs"]:
+        print("ERROR: a pipelined run diverged from the sequential baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -273,6 +301,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("-o", "--output", default=None,
                        help="directory to write serve.txt into")
     serve.set_defaults(func=_cmd_serve)
+
+    pipe = sub.add_parser(
+        "pipeline",
+        help="benchmark the training-context prefetch pipeline grid")
+    pipe.add_argument("--smoke", action="store_true",
+                      help="shrunken grid (seconds, not minutes)")
+    pipe.add_argument("--json", action="store_true",
+                      help="also write BENCH_pipeline.json at the repo root")
+    pipe.add_argument("-o", "--output", default=None,
+                      help="directory to write pipeline_throughput.txt into")
+    pipe.set_defaults(func=_cmd_pipeline)
     return parser
 
 

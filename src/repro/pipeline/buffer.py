@@ -1,0 +1,158 @@
+"""Ordered, bounded hand-off between sampling workers and the optimiser.
+
+The trainer consumes step batches strictly in order (step 0, 1, 2, …)
+while workers may finish them in any order.  :class:`PrefetchBuffer`
+reconciles the two with a claim/publish/take protocol:
+
+* a worker :meth:`claim`\\ s the next unproduced step index — blocking
+  while the buffer already holds ``capacity`` steps the consumer hasn't
+  taken (producer backpressure, the blocking flavour of
+  :class:`repro.concurrency.BoundedQueue`'s policies);
+* it :meth:`publish`\\ es the sampled batch under that step index;
+* the consumer :meth:`take`\\ s steps in order, blocking until the batch
+  it needs arrives.
+
+Shutdown is drain-aware and failure-propagating: :meth:`close` makes every
+``claim`` return ``None`` (workers exit their loop) and wakes a blocked
+consumer with :class:`~repro.concurrency.QueueClosedError`;
+:meth:`fail` records a worker exception and re-raises it from ``take`` as
+:class:`PipelineError`, so a crashing sampler can never hang ``fit``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..concurrency import QueueClosedError
+
+__all__ = ["PrefetchBuffer", "PipelineError"]
+
+
+class PipelineError(RuntimeError):
+    """A pipeline worker failed; the original exception is the ``__cause__``."""
+
+
+class PrefetchBuffer:
+    """Bounded reorder buffer over step indices ``0 .. limit-1``."""
+
+    def __init__(self, capacity: int, limit: int | None = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be >= 0")
+        self.capacity = capacity
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._state = threading.Condition(self._lock)
+        self._ready: dict[int, object] = {}
+        self._next_claim = 0
+        self._next_take = 0
+        self._closed = False
+        self._failure: BaseException | None = None
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+    def claim(self, timeout: float | None = None) -> int | None:
+        """Reserve the next step index to produce, or ``None`` to stop.
+
+        Blocks while the claim window is full (``capacity`` steps ahead of
+        the consumer).  Returns ``None`` when the buffer is closed, a
+        failure was recorded, every step up to ``limit`` is claimed, or
+        ``timeout`` elapses — all of which mean "stop producing".
+        """
+        with self._state:
+            while True:
+                if self._closed or self._failure is not None:
+                    return None
+                if self.limit is not None and self._next_claim >= self.limit:
+                    return None
+                if self._next_claim < self._next_take + self.capacity:
+                    step = self._next_claim
+                    self._next_claim += 1
+                    return step
+                if not self._state.wait(timeout if timeout is not None else 0.1):
+                    if timeout is not None:
+                        return None
+
+    def publish(self, step: int, batch) -> None:
+        """Hand a produced batch to the consumer (no-op after close)."""
+        with self._state:
+            if self._closed:
+                return
+            self._ready[step] = batch
+            self._state.notify_all()
+
+    def fail(self, exc: BaseException) -> None:
+        """Record a worker failure; wakes everyone, first failure wins."""
+        with self._state:
+            if self._failure is None:
+                self._failure = exc
+            self._state.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Consumer side
+    # ------------------------------------------------------------------ #
+    def take(self, step: int, timeout: float | None = None):
+        """Block until ``step``'s batch is available and remove it.
+
+        Steps must be taken in order (``step`` equals the number of takes
+        so far).  Raises :class:`PipelineError` if a worker failed,
+        :class:`~repro.concurrency.QueueClosedError` if the buffer closed
+        (or ``timeout`` elapsed) before the batch arrived.
+        """
+        with self._state:
+            if step != self._next_take:
+                raise ValueError(
+                    f"steps must be taken in order: expected {self._next_take}, "
+                    f"got {step}")
+            while step not in self._ready:
+                if self._failure is not None:
+                    raise PipelineError(
+                        f"pipeline worker failed while sampling "
+                        f"(consumer was waiting on step {step})"
+                    ) from self._failure
+                if self._closed:
+                    raise QueueClosedError("prefetch buffer is closed")
+                if not self._state.wait(timeout if timeout is not None else 0.1):
+                    if timeout is not None:
+                        raise QueueClosedError(
+                            f"timed out waiting {timeout}s for step {step}")
+            batch = self._ready.pop(step)
+            self._next_take = step + 1
+            self._state.notify_all()  # reopens the claim window
+            return batch
+
+    def ready(self, step: int) -> bool:
+        """True if ``step`` can be taken without waiting (a buffer *hit*)."""
+        with self._lock:
+            return step in self._ready
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop production and wake all waiters; buffered batches are
+        discarded (training contexts are cheap to re-derive — they are pure
+        functions of ``(seed, step, slot)``)."""
+        with self._state:
+            self._closed = True
+            self._ready.clear()
+            self._state.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def failure(self) -> BaseException | None:
+        return self._failure
+
+    @property
+    def depth(self) -> int:
+        """Number of produced-but-untaken steps currently buffered."""
+        with self._lock:
+            return len(self._ready)
+
+    def __len__(self) -> int:
+        return self.depth

@@ -1,0 +1,36 @@
+"""Deterministic per-step RNG derivation for pipelined context sampling.
+
+The trainer's legacy sampling advances one shared ``np.random.Generator``
+across steps, so context ``k`` of step ``s`` depends on every draw before
+it — impossible to reproduce from a worker thread that doesn't replay the
+whole history.  :func:`derive_step_rng` removes that dependency: each
+``(seed, step, slot)`` triple keys its own generator, making the context a
+pure function of those three integers (the same philosophy as
+:func:`repro.core.task_chunk_rng` on the serving side).  Any number of
+workers sampling any interleaving of steps then produces **bit-identical**
+contexts to a sequential loop over ``step`` and ``slot``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["derive_step_rng", "STEP_RNG_DOMAIN"]
+
+# Domain separator keying training-step streams apart from every other
+# derived-generator family in the repo (e.g. task_chunk_rng's
+# (seed, user, sample, chunk) keys on the serving side).
+STEP_RNG_DOMAIN = 0x48495245  # "HIRE"
+
+
+def derive_step_rng(seed: int, step: int, slot: int) -> np.random.Generator:
+    """Generator for context ``slot`` of training step ``step``.
+
+    Deriving from ``(seed, step, slot)`` — instead of advancing one shared
+    stream — makes training-context sampling order-independent: prefetch
+    workers can sample steps ahead, out of order, or in parallel and the
+    optimiser still consumes exactly the contexts a sequential loop would
+    have drawn.
+    """
+    return np.random.default_rng(
+        [STEP_RNG_DOMAIN, int(seed), int(step), int(slot)])

@@ -8,9 +8,11 @@ from hypothesis import strategies as st
 
 from repro.data import RatingGraph, movielens_like
 from repro.core import (
+    MAX_CONTEXT_RETRIES,
     FeatureSimilaritySampler,
     NeighborhoodSampler,
     RandomSampler,
+    sample_training_context,
     sampler_by_name,
 )
 
@@ -164,3 +166,55 @@ def test_property_budgets_always_exact(n, m, seed):
         assert len(items) == m, sampler.name
         assert len(np.unique(users)) == n
         assert len(np.unique(items)) == m
+
+
+class TestSampleTrainingContext:
+    """sample_training_context: retry-exhaustion reporting and determinism."""
+
+    def test_exhaustion_names_retries_and_seed_pair(self, ml_graph, ml_split):
+        # A 2x2 context holds at most 4 observed cells, and
+        # round(0.99 * N) == N for every N < 50 — so reveal_fraction=0.99
+        # reveals every observed rating, leaving zero query cells on every
+        # attempt until the retry budget runs out.
+        with pytest.raises(RuntimeError) as excinfo:
+            sample_training_context(
+                ml_graph, NeighborhoodSampler(), ml_split.train_ratings(),
+                np.random.default_rng(0),
+                context_users=2, context_items=2, reveal_fraction=0.99,
+                candidate_users=ml_split.train_users,
+                candidate_items=ml_split.train_items,
+                max_retries=3,
+            )
+        message = str(excinfo.value)
+        assert "3 attempts" in message
+        assert "seed pair" in message and "user" in message and "item" in message
+        assert "0.99" in message
+
+    def test_default_retry_budget_is_the_named_constant(self):
+        assert MAX_CONTEXT_RETRIES == 16
+
+    def test_empty_ratings_rejected(self, ml_graph, ml_split):
+        with pytest.raises(ValueError, match="empty"):
+            sample_training_context(
+                ml_graph, NeighborhoodSampler(), np.empty((0, 3)),
+                np.random.default_rng(0),
+                context_users=4, context_items=4, reveal_fraction=0.1,
+                candidate_users=ml_split.train_users,
+                candidate_items=ml_split.train_items,
+            )
+
+    def test_same_rng_state_same_context(self, ml_graph, ml_split):
+        kwargs = dict(
+            context_users=6, context_items=6, reveal_fraction=0.1,
+            candidate_users=ml_split.train_users,
+            candidate_items=ml_split.train_items,
+        )
+        a = sample_training_context(ml_graph, NeighborhoodSampler(),
+                                    ml_split.train_ratings(),
+                                    np.random.default_rng(42), **kwargs)
+        b = sample_training_context(ml_graph, NeighborhoodSampler(),
+                                    ml_split.train_ratings(),
+                                    np.random.default_rng(42), **kwargs)
+        assert np.array_equal(a.users, b.users)
+        assert np.array_equal(a.ratings, b.ratings)
+        assert np.array_equal(a.query, b.query)

@@ -1,0 +1,158 @@
+"""PrefetchBuffer: ordering, backpressure, close and failure semantics."""
+
+import threading
+
+import pytest
+
+from repro.concurrency import QueueClosedError
+from repro.pipeline import PipelineError, PrefetchBuffer
+
+
+class TestClaimPublishTake:
+    def test_claims_are_sequential(self):
+        buf = PrefetchBuffer(capacity=4)
+        assert [buf.claim() for _ in range(3)] == [0, 1, 2]
+
+    def test_take_returns_published_batch(self):
+        buf = PrefetchBuffer(capacity=2)
+        step = buf.claim()
+        buf.publish(step, "batch-0")
+        assert buf.take(0) == "batch-0"
+
+    def test_out_of_order_publish_in_order_take(self):
+        buf = PrefetchBuffer(capacity=4)
+        steps = [buf.claim() for _ in range(3)]
+        for step in reversed(steps):
+            buf.publish(step, f"batch-{step}")
+        assert [buf.take(i) for i in range(3)] == [
+            "batch-0", "batch-1", "batch-2"]
+
+    def test_take_enforces_order(self):
+        buf = PrefetchBuffer(capacity=4)
+        buf.publish(buf.claim(), "x")
+        with pytest.raises(ValueError, match="in order"):
+            buf.take(1)
+
+    def test_depth_counts_untaken_batches(self):
+        buf = PrefetchBuffer(capacity=4)
+        buf.publish(buf.claim(), "a")
+        buf.publish(buf.claim(), "b")
+        assert buf.depth == 2 and len(buf) == 2
+        buf.take(0)
+        assert buf.depth == 1
+
+    def test_ready_is_a_hit_probe(self):
+        buf = PrefetchBuffer(capacity=2)
+        assert not buf.ready(0)
+        buf.publish(buf.claim(), "a")
+        assert buf.ready(0)
+
+
+class TestBackpressure:
+    def test_claim_window_is_capacity_ahead_of_take(self):
+        buf = PrefetchBuffer(capacity=2)
+        assert buf.claim(timeout=0.01) == 0
+        assert buf.claim(timeout=0.01) == 1
+        # Window full: two claimed, none taken.
+        assert buf.claim(timeout=0.01) is None
+        buf.publish(0, "a")
+        buf.take(0)
+        # Taking a step reopens the window.
+        assert buf.claim(timeout=0.5) == 2
+
+    def test_blocked_claim_wakes_on_take(self):
+        buf = PrefetchBuffer(capacity=1)
+        buf.publish(buf.claim(), "a")
+        got = []
+
+        def producer():
+            got.append(buf.claim(timeout=5.0))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        buf.take(0)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got == [1]
+
+    def test_limit_stops_claims(self):
+        buf = PrefetchBuffer(capacity=8, limit=2)
+        assert buf.claim() == 0
+        assert buf.claim() == 1
+        assert buf.claim(timeout=0.01) is None
+
+
+class TestCloseAndFailure:
+    def test_close_makes_claim_return_none(self):
+        buf = PrefetchBuffer(capacity=2)
+        buf.close()
+        assert buf.closed
+        assert buf.claim(timeout=0.01) is None
+
+    def test_close_discards_buffered_batches(self):
+        buf = PrefetchBuffer(capacity=2)
+        buf.publish(buf.claim(), "a")
+        buf.close()
+        assert buf.depth == 0
+        with pytest.raises(QueueClosedError):
+            buf.take(0)
+
+    def test_publish_after_close_is_noop(self):
+        buf = PrefetchBuffer(capacity=2)
+        step = buf.claim()
+        buf.close()
+        buf.publish(step, "late")
+        assert buf.depth == 0
+
+    def test_close_wakes_blocked_take(self):
+        buf = PrefetchBuffer(capacity=2)
+        errors = []
+
+        def consumer():
+            try:
+                buf.take(0, timeout=5.0)
+            except QueueClosedError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        buf.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(errors) == 1
+
+    def test_failure_raises_pipeline_error_with_cause(self):
+        buf = PrefetchBuffer(capacity=2)
+        boom = RuntimeError("sampler exploded")
+        buf.fail(boom)
+        assert buf.failure is boom
+        with pytest.raises(PipelineError) as excinfo:
+            buf.take(0, timeout=1.0)
+        assert excinfo.value.__cause__ is boom
+
+    def test_first_failure_wins(self):
+        buf = PrefetchBuffer(capacity=2)
+        first = RuntimeError("first")
+        buf.fail(first)
+        buf.fail(RuntimeError("second"))
+        assert buf.failure is first
+
+    def test_failure_stops_claims(self):
+        buf = PrefetchBuffer(capacity=2)
+        buf.fail(RuntimeError("boom"))
+        assert buf.claim(timeout=0.01) is None
+
+    def test_take_timeout_raises(self):
+        buf = PrefetchBuffer(capacity=2)
+        with pytest.raises(QueueClosedError, match="timed out"):
+            buf.take(0, timeout=0.01)
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PrefetchBuffer(capacity=0)
+
+    def test_limit_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            PrefetchBuffer(capacity=1, limit=-1)

@@ -1,0 +1,40 @@
+"""derive_step_rng: per-(seed, step, slot) generators — the determinism
+foundation of repro.pipeline."""
+
+import numpy as np
+
+from repro.pipeline import STEP_RNG_DOMAIN, derive_step_rng
+
+
+class TestDeriveStepRng:
+    def test_same_key_same_stream(self):
+        a = derive_step_rng(0, 3, 1).integers(0, 1 << 30, size=16)
+        b = derive_step_rng(0, 3, 1).integers(0, 1 << 30, size=16)
+        assert (a == b).all()
+
+    def test_distinct_across_step_slot_seed(self):
+        keys = [(0, 0, 0), (0, 0, 1), (0, 1, 0), (1, 0, 0), (0, 7, 3)]
+        draws = {k: tuple(derive_step_rng(*k).integers(0, 1 << 30, size=8))
+                 for k in keys}
+        assert len(set(draws.values())) == len(keys)
+
+    def test_independent_of_consumption_order(self):
+        # Drawing step 5 first then step 2 gives the same streams as the
+        # reverse order: each generator is freshly derived, never shared.
+        first_5 = derive_step_rng(0, 5, 0).integers(0, 1 << 30, size=8)
+        first_2 = derive_step_rng(0, 2, 0).integers(0, 1 << 30, size=8)
+        again_2 = derive_step_rng(0, 2, 0).integers(0, 1 << 30, size=8)
+        again_5 = derive_step_rng(0, 5, 0).integers(0, 1 << 30, size=8)
+        assert (first_5 == again_5).all()
+        assert (first_2 == again_2).all()
+
+    def test_domain_separated_from_raw_seed(self):
+        # The domain constant keeps pipeline streams disjoint from a plain
+        # default_rng(seed) and from other derived-RNG schemes in the repo.
+        assert STEP_RNG_DOMAIN == 0x48495245  # "HIRE"
+        derived = derive_step_rng(0, 0, 0).integers(0, 1 << 30, size=8)
+        plain = np.random.default_rng(0).integers(0, 1 << 30, size=8)
+        assert not (derived == plain).all()
+
+    def test_returns_numpy_generator(self):
+        assert isinstance(derive_step_rng(0, 0, 0), np.random.Generator)

@@ -1,0 +1,110 @@
+"""Docs lint: every link and code reference in README.md and docs/*.md
+must resolve, and every repro subpackage must be documented.
+
+Static checks only (no network, no execution of examples):
+
+* relative markdown links point at files that exist;
+* backticked repo paths (``tests/...``, ``docs/...``, ``src/...``,
+  ``benchmarks/...``, ``examples/...``) exist;
+* dotted ``repro.*`` references import (attribute tails resolved with
+  ``getattr`` walks);
+* every package/module directly under ``src/repro`` has a module
+  docstring and is mentioned in at least one docs page.
+"""
+
+import ast
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted([REPO_ROOT / "README.md",
+                    *(REPO_ROOT / "docs").glob("*.md")])
+
+# [text](target) — excluding images; target split from any #fragment.
+MD_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+# `tests/foo/bar.py` / `docs/x.md` / `src/...` style backticked paths.
+CODE_PATH = re.compile(
+    r"`((?:tests|docs|src|benchmarks|examples)/[\w./-]+)(?:::[\w:\[\]-]+)?`")
+# Dotted module/attribute references: `repro.core.task_chunk_rng`, ...
+DOTTED_REF = re.compile(r"\brepro(?:\.\w+)+")
+
+
+def doc_ids():
+    return [path.relative_to(REPO_ROOT).as_posix() for path in DOC_FILES]
+
+
+@pytest.fixture(params=DOC_FILES, ids=doc_ids())
+def doc(request):
+    path = request.param
+    return path, path.read_text()
+
+
+class TestLinksResolve:
+    def test_relative_links_exist(self, doc):
+        path, text = doc
+        broken = []
+        for target in MD_LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"{path.name}: broken relative links {broken}"
+
+    def test_backticked_paths_exist(self, doc):
+        path, text = doc
+        missing = [ref for ref in CODE_PATH.findall(text)
+                   if not (REPO_ROOT / ref).exists()]
+        assert not missing, f"{path.name}: nonexistent paths {missing}"
+
+    def test_dotted_repro_references_import(self, doc):
+        path, text = doc
+        unresolved = []
+        for ref in sorted(set(DOTTED_REF.findall(text))):
+            if not self._resolves(ref):
+                unresolved.append(ref)
+        assert not unresolved, f"{path.name}: dangling references {unresolved}"
+
+    @staticmethod
+    def _resolves(dotted: str) -> bool:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:cut]))
+            except ImportError:
+                continue
+            try:
+                for attr in parts[cut:]:
+                    obj = getattr(obj, attr)
+            except AttributeError:
+                return False
+            return True
+        return False
+
+
+def repro_modules():
+    """Top-level subpackages/modules of repro, as (name, init_path)."""
+    src = REPO_ROOT / "src" / "repro"
+    modules = []
+    for entry in sorted(src.iterdir()):
+        if entry.is_dir() and (entry / "__init__.py").exists():
+            modules.append((f"repro.{entry.name}", entry / "__init__.py"))
+        elif entry.suffix == ".py" and entry.name != "__init__.py":
+            modules.append((f"repro.{entry.stem}", entry))
+    return modules
+
+
+@pytest.mark.parametrize("name,path", repro_modules(),
+                         ids=[n for n, _ in repro_modules()])
+class TestEveryPackageDocumented:
+    def test_has_module_docstring(self, name, path):
+        docstring = ast.get_docstring(ast.parse(path.read_text()))
+        assert docstring, f"{name} ({path}) lacks a module docstring"
+
+    def test_mentioned_in_docs(self, name, path):
+        assert any(name in text for _, text in
+                   ((p, p.read_text()) for p in DOC_FILES)), (
+            f"{name} is not mentioned in README.md or any docs/*.md page")
