@@ -1,0 +1,68 @@
+"""Microbenchmark of the graph-free inference engine.
+
+Times one paper-config HIRE forward through the ``no_grad`` Tensor path and
+through the compiled ``repro.nn.inference`` plan (single context and a
+serving-style stacked micro-batch), asserts the engine's outputs stay
+bitwise identical, and measures its steady-state allocations with
+``tracemalloc``.  The full run writes ``BENCH_infer.json`` at the repo root
+so the trajectory is tracked across PRs; ``--smoke`` runs a shrunken config
+in seconds and skips the JSON write.
+"""
+
+import pytest
+
+from repro.experiments.infer_bench import (
+    run_infer_microbench,
+    write_infer_bench_json,
+)
+
+
+@pytest.mark.benchmark(group="infer")
+def test_infer_engine_micro(benchmark, save, smoke_mode):
+    payload = benchmark.pedantic(
+        lambda: run_infer_microbench(smoke=smoke_mode),
+        rounds=1, iterations=1,
+    )
+
+    cfg = payload["config"]
+    cache = payload["plan_cache"]
+    lines = [
+        f"context {cfg['n']}x{cfg['m']}, batch {cfg['batch']}, "
+        f"K={cfg['num_blocks']} blocks, {cfg['num_heads']} heads x "
+        f"{cfg['attr_dim']} dims",
+        f"tensor forward : {payload['tensor_forward_seconds'] * 1e3:8.1f} ms"
+        f"   batched {payload['tensor_forward_many_seconds'] * 1e3:8.1f} ms",
+        f"engine forward : {payload['engine_forward_seconds'] * 1e3:8.1f} ms"
+        f"   batched {payload['engine_forward_many_seconds'] * 1e3:8.1f} ms",
+        f"speedup: single {payload['speedup_single']:.2f}x"
+        f"   batched {payload['speedup_batched']:.2f}x",
+        f"steady-state allocations: {payload['engine_steady_state_bytes']} B"
+        f"   plan cache: {cache['plans']} plans, "
+        f"{cache['workspace_bytes'] / 1e6:.1f} MB workspace",
+        f"bit-identical to Tensor path: {payload['bit_identical']}",
+    ]
+    text = "\n".join(lines)
+    print("\nInference engine microbenchmark\n" + text)
+
+    # Bit-identity is non-negotiable at every scale.
+    assert payload["bit_identical"]
+
+    if not smoke_mode:
+        save("infer_engine", text)
+        path = write_infer_bench_json(payload)
+        print(f"wrote {path}")
+        # Acceptance: the engine wins the serving-style stacked forward
+        # (allocation removal pays where intermediates are largest) and is
+        # at worst neutral on the GEMM-bound single forward.
+        assert payload["speedup_batched"] >= 1.1
+        assert payload["speedup_single"] >= 0.9
+        # Zero steady-state allocations after warmup (1 KiB allowance for
+        # counter/interned-object churn).
+        assert payload["engine_steady_state_bytes"] < 1024
+
+    benchmark.extra_info.update({
+        "speedup_single": payload["speedup_single"],
+        "speedup_batched": payload["speedup_batched"],
+        "engine_steady_state_bytes": payload["engine_steady_state_bytes"],
+        "smoke": smoke_mode,
+    })

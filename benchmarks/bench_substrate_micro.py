@@ -14,6 +14,7 @@ import pytest
 from repro.experiments.substrate_bench import (
     run_observability_overhead,
     run_substrate_microbench,
+    run_zero_grad_delta,
     write_bench_json,
 )
 
@@ -27,6 +28,8 @@ def test_substrate_micro_fused_speedup(benchmark, save, smoke_mode):
 
     overhead = run_observability_overhead(smoke=smoke_mode)
     payload["observability"] = overhead
+    zero_grad = run_zero_grad_delta(smoke=smoke_mode)
+    payload["zero_grad_in_place"] = zero_grad
 
     base = payload["baseline_float64_unfused"]
     fused = payload["fused_float32"]
@@ -41,11 +44,15 @@ def test_substrate_micro_fused_speedup(benchmark, save, smoke_mode):
         f"sinks+spans {overhead['overhead_sinks_and_spans'] * 100:+.2f}%"
         f"   +op hooks {overhead['overhead_sinks_spans_and_ophooks'] * 100:+.2f}%"
         f"   trajectories identical: {overhead['trajectories_identical']}",
+        "zero_grad(set_to_zero=True) train_step delta: "
+        f"{zero_grad['train_step_delta'] * 100:+.2f}%"
+        f"   loss history identical: {zero_grad['loss_history_identical']}",
     ]
     text = "\n".join(lines)
     print("\nSubstrate microbenchmark\n" + text)
 
     assert overhead["trajectories_identical"]
+    assert zero_grad["loss_history_identical"]
 
     if not smoke_mode:
         save("substrate_micro", text)

@@ -7,8 +7,9 @@ Benchmarks run once per session (``rounds=1``) — the quantity of interest
 is the artifact itself plus its wall-clock cost, not statistical timing.
 
 ``--smoke`` shrinks every benchmark — including the systems ones
-(``bench_substrate_micro``, ``bench_serve_throughput``,
-``bench_pipeline_throughput``) — to a seconds-long sanity pass: reduced
+(``bench_substrate_micro``, ``bench_infer_engine``,
+``bench_serve_throughput``, ``bench_pipeline_throughput``) — to a
+seconds-long sanity pass: reduced
 grids, no artifact writes, and no ``BENCH_*.json`` trajectory updates.
 The full runs additionally assert their acceptance bars (substrate
 speedup, serve throughput, pipeline speedup + bit-identity).

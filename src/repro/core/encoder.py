@@ -86,15 +86,22 @@ class ContextEncoder(nn.Module):
         return nn.functional.concatenate(parts, axis=-1)
 
     def encode_ratings(self, context: PredictionContext) -> nn.Tensor:
-        """Eq. 9 — ``x_r`` per cell: (n, m, f); zeros where masked/unobserved."""
-        levels = np.rint(context.ratings - self.rating_low).astype(np.int64)
+        """Eq. 9 — ``x_r`` per cell: (n, m, f); zeros where masked/unobserved.
+
+        Only the revealed cells are looked up and scattered into the buffer
+        (masked cells get the mask token / zeros directly) — at training
+        reveal fractions ~0.1 this skips ~90% of the embedding rows the
+        dense lookup-then-zero formulation paid for.
+        """
+        n, m = context.n, context.m
+        cells = np.flatnonzero(context.revealed.ravel())
+        revealed_ratings = context.ratings.ravel()[cells]
+        levels = np.rint(revealed_ratings - self.rating_low).astype(np.int64)
         levels = np.clip(levels, 0, self.num_rating_levels - 1)
-        embedded = self.rating_transform(levels)  # (n, m, f)
-        visible = nn.Tensor(context.revealed.astype(embedded.data.dtype)[:, :, None])
-        out = embedded * visible
-        if self.mask_token is not None:
-            out = out + self.mask_token * (1.0 - visible)
-        return out
+        embedded = self.rating_transform(levels)  # (k, f)
+        out = nn.functional.scatter_rows(embedded, cells, n * m,
+                                         fill=self.mask_token)
+        return out.reshape(n, m, self.attr_dim)
 
     def forward(self, context: PredictionContext) -> nn.Tensor:
         """Eq. 6 — assemble ``H ∈ R^{n×m×e}``."""

@@ -106,27 +106,54 @@ class HIRE(nn.Module):
         logits = self.decoder(h)  # (B, n, m, 1)
         return logits.reshape(len(contexts), n, m).sigmoid() * self.alpha
 
-    def predict(self, context: PredictionContext) -> np.ndarray:
-        """Inference-only forward returning a numpy matrix."""
-        self.eval()
-        with nn.no_grad():
-            out = self.forward(context)
-        self.train()
-        return out.data
+    def forward_inference(self, context: PredictionContext) -> np.ndarray:
+        """Graph-free engine forward: ``(n, m)`` ratings, zero allocations.
 
-    def predict_many(self, contexts: list[PredictionContext]) -> np.ndarray:
+        Runs the compiled :class:`repro.nn.inference.InferencePlan` for this
+        model at the context's shape — bitwise identical to the ``no_grad``
+        fused Tensor forward.  The result is a view into the plan's reused
+        workspace, valid until the next engine call on this thread; copy it
+        to retain it.  Callers must check
+        :func:`repro.nn.inference.engine_supported` first (reference
+        kernels and ``capture_attention`` need the Tensor path).
+        """
+        return nn.inference.forward_inference(self, context)
+
+    def predict(self, context: PredictionContext,
+                use_inference_engine: bool = True) -> np.ndarray:
+        """Inference-only forward returning a numpy matrix.
+
+        Uses the graph-free inference engine when supported (bitwise
+        identical, allocation-free); ``use_inference_engine=False`` forces
+        the Tensor path.
+        """
+        self.eval()
+        if use_inference_engine and nn.inference.engine_supported(self):
+            out_data = nn.inference.forward_inference(self, context).copy()
+        else:
+            with nn.no_grad():
+                out_data = self.forward(context).data
+        self.train()
+        return out_data
+
+    def predict_many(self, contexts: list[PredictionContext],
+                     use_inference_engine: bool = True) -> np.ndarray:
         """Inference-only stacked forward: (B, n, m) ratings as numpy.
 
         Bit-identical per slice to :meth:`predict` on each context (the
         substrate batches over leading axes without reassociating the
         per-slice arithmetic) — the serving layer relies on this to batch
-        requests without changing their scores.
+        requests without changing their scores.  Routed through the
+        inference engine when supported, like :meth:`predict`.
         """
         self.eval()
-        with nn.no_grad():
-            out = self.forward_many(contexts)
+        if use_inference_engine and nn.inference.engine_supported(self):
+            out_data = nn.inference.forward_inference_many(self, contexts).copy()
+        else:
+            with nn.no_grad():
+                out_data = self.forward_many(contexts).data
         self.train()
-        return out.data
+        return out_data
 
     # ------------------------------------------------------------------ #
     # Checkpointing

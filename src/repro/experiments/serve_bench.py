@@ -2,9 +2,10 @@
 
 Replays one skewed workload (hot users dominate, as real traffic does)
 through :class:`repro.serve.PredictionService` across a grid of micro-batch
-sizes with the context cache on and off, against a **sequential baseline**
-that scores one request at a time through the same predictor code path —
-no queue, no batching, no cache.
+sizes × context cache on/off × inference engine on/off
+(:mod:`repro.nn.inference`), against a **sequential baseline** that scores
+one request at a time through the same predictor code path — no queue, no
+batching, no cache, Tensor-path forwards.
 
 Every serviced run is checked **bit-identical** to the baseline (the
 per-request RNG derivation makes batched/cached scores exactly equal to
@@ -104,6 +105,7 @@ def _run_service(model, split, tasks, workload, config: ServiceConfig):
         result = {
             "batch_size": config.max_batch_size,
             "cache": config.cache_enabled,
+            "engine": config.use_inference_engine,
             "num_workers": config.num_workers,
             "seconds": seconds,
             "requests_per_second": len(workload) / seconds,
@@ -132,23 +134,31 @@ def run_serve_benchmark(smoke: bool = False) -> dict:
 
     runs = []
     bit_identical = True
-    for cache_enabled in (False, True):
-        for batch_size in batch_sizes:
-            run_config = ServiceConfig(
-                max_batch_size=batch_size,
-                cache_enabled=cache_enabled,
-                queue_size=max(len(workload), 8),
-                seed=config.seed,
-            )
-            result, scores = _run_service(model, split, tasks, workload,
-                                          run_config)
-            result["bit_identical_to_sequential"] = all(
-                np.array_equal(a, b) for a, b in zip(expected, scores))
-            bit_identical = bit_identical and result["bit_identical_to_sequential"]
-            result["speedup_vs_sequential"] = baseline_seconds / result["seconds"]
-            runs.append(result)
+    for use_engine in (False, True):
+        for cache_enabled in (False, True):
+            for batch_size in batch_sizes:
+                run_config = ServiceConfig(
+                    max_batch_size=batch_size,
+                    cache_enabled=cache_enabled,
+                    use_inference_engine=use_engine,
+                    queue_size=max(len(workload), 8),
+                    seed=config.seed,
+                )
+                result, scores = _run_service(model, split, tasks, workload,
+                                              run_config)
+                result["bit_identical_to_sequential"] = all(
+                    np.array_equal(a, b) for a, b in zip(expected, scores))
+                bit_identical = (bit_identical
+                                 and result["bit_identical_to_sequential"])
+                result["speedup_vs_sequential"] = (
+                    baseline_seconds / result["seconds"])
+                runs.append(result)
 
     best = max(runs, key=lambda r: r["speedup_vs_sequential"])
+    best_on = max((r for r in runs if r["engine"]),
+                  key=lambda r: r["speedup_vs_sequential"])
+    best_off = max((r for r in runs if not r["engine"]),
+                   key=lambda r: r["speedup_vs_sequential"])
     return {
         "benchmark": "serve_throughput",
         "smoke": smoke,
@@ -168,7 +178,12 @@ def run_serve_benchmark(smoke: bool = False) -> dict:
         "bit_identical_all_runs": bit_identical,
         "best_speedup": best["speedup_vs_sequential"],
         "best_config": {"batch_size": best["batch_size"],
-                        "cache": best["cache"]},
+                        "cache": best["cache"],
+                        "engine": best["engine"]},
+        "best_speedup_engine_on": best_on["speedup_vs_sequential"],
+        "best_speedup_engine_off": best_off["speedup_vs_sequential"],
+        "engine_gain": (best_on["speedup_vs_sequential"]
+                        / best_off["speedup_vs_sequential"]),
     }
 
 

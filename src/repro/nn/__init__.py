@@ -9,6 +9,7 @@ Lookahead, flat-then-anneal cosine schedule, gradient clipping
 """
 
 from . import functional, init
+from . import inference
 from .attention import MultiHeadSelfAttention
 from .clip import clip_grad_norm
 from .layers import (
@@ -43,6 +44,7 @@ __all__ = [
     "set_default_dtype",
     "dtype_policy",
     "functional",
+    "inference",
     "init",
     "Module",
     "ModuleList",

@@ -44,10 +44,16 @@ __all__ = [
     "l2_penalty",
     "dropout",
     "embedding_lookup",
+    "scatter_rows",
     "pad_to",
     "set_fused_kernels",
     "fused_kernels_enabled",
     "fused_kernels",
+    "linear_into",
+    "layer_norm_into",
+    "gelu_into",
+    "mha_qkv_into",
+    "sigmoid_rescale_into",
 ]
 
 _FUSED = True
@@ -389,10 +395,151 @@ def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
     return Tensor._from_op(out_data, (table,), backward)
 
 
+def scatter_rows(values: Tensor, rows: np.ndarray, num_rows: int,
+                 fill: Tensor | None = None) -> Tensor:
+    """Scatter ``values`` (k, f) into a fresh ``(num_rows, f)`` buffer.
+
+    Rows not listed in ``rows`` hold ``fill`` (broadcast, e.g. a learned mask
+    token) or zeros.  ``rows`` must be unique — the op exists for sparse
+    encodes where each destination row is written at most once, so the
+    backward is a plain gather (no ``np.add.at``).
+    """
+    rows = np.asarray(rows)
+    width = values.shape[-1]
+    if fill is None:
+        out_data = np.zeros((num_rows, width), dtype=values.data.dtype)
+    else:
+        out_data = np.empty((num_rows, width), dtype=values.data.dtype)
+        out_data[...] = fill.data
+    out_data[rows] = values.data
+    parents = (values,) if fill is None else (values, fill)
+
+    def backward(g):
+        grads = [(values, g[rows])]
+        if fill is not None:
+            kept = np.ones(num_rows, dtype=bool)
+            kept[rows] = False
+            grads.append((fill, g[kept].sum(axis=0)))
+        return tuple(grads)
+
+    return Tensor._from_op(out_data, parents, backward)
+
+
 def pad_to(x: np.ndarray, length: int, value: float = 0.0) -> np.ndarray:
     """Pad a 1-D array to ``length`` with ``value`` (no autograd; data prep)."""
     if len(x) >= length:
         return x[:length]
     out = np.full(length, value, dtype=x.dtype)
     out[: len(x)] = x
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Graph-free inference kernels (``out=`` variants of the fused forwards)
+# --------------------------------------------------------------------------- #
+# These operate on raw ndarrays and write every intermediate into
+# caller-provided buffers, so a warmed-up :class:`repro.nn.inference` plan
+# performs zero allocations per call.  Each kernel replays the *exact* op
+# sequence of its fused autograd sibling above (same associativity, same
+# reduction order), which is what makes ``forward_inference`` bitwise
+# identical to the ``no_grad`` Tensor path at both dtypes.
+
+
+def linear_into(x: np.ndarray, weight: np.ndarray, out: np.ndarray,
+                bias: np.ndarray | None = None) -> np.ndarray:
+    """``x @ weight (+ bias)`` into ``out`` — mirrors :func:`linear`."""
+    np.matmul(x, weight, out=out)
+    if bias is not None:
+        out += bias
+    return out
+
+
+def layer_norm_into(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray,
+                    out: np.ndarray, sq: np.ndarray, red: np.ndarray,
+                    eps: float = 1e-5) -> np.ndarray:
+    """Layer norm over the last axis into ``out`` — mirrors :func:`layer_norm`.
+
+    ``sq`` is an x-shaped scratch, ``red`` a ``(..., 1)`` reduction buffer.
+    """
+    np.mean(x, axis=-1, keepdims=True, out=red)
+    np.subtract(x, red, out=out)                 # centered
+    np.multiply(out, out, out=sq)
+    np.mean(sq, axis=-1, keepdims=True, out=red)  # var
+    np.add(red, eps, out=red)
+    np.sqrt(red, out=red)
+    np.divide(1.0, red, out=red)                 # inv_std
+    np.multiply(out, red, out=out)               # xhat
+    np.multiply(out, gamma, out=out)
+    np.add(out, beta, out=out)
+    return out
+
+
+def gelu_into(x: np.ndarray, out: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+    """GELU (tanh approximation) into ``out`` — mirrors :func:`gelu`.
+
+    The cubic term multiplies in the fused kernel's left-associated order
+    ``((A·x)·x)·x`` so float rounding matches bit for bit.
+    """
+    np.multiply(x, _GELU_A, out=tmp)
+    np.multiply(tmp, x, out=tmp)
+    np.multiply(tmp, x, out=tmp)
+    np.add(x, tmp, out=tmp)
+    np.multiply(tmp, _GELU_C, out=tmp)
+    np.tanh(tmp, out=tmp)
+    np.add(tmp, 1.0, out=tmp)
+    np.multiply(x, 0.5, out=out)
+    np.multiply(out, tmp, out=out)
+    return out
+
+
+def softmax_into(scores: np.ndarray, red: np.ndarray) -> np.ndarray:
+    """In-place softmax over the last axis — mirrors :func:`_softmax_array`."""
+    np.amax(scores, axis=-1, keepdims=True, out=red)
+    np.subtract(scores, red, out=scores)
+    np.exp(scores, out=scores)
+    np.sum(scores, axis=-1, keepdims=True, out=red)
+    np.divide(scores, red, out=scores)
+    return scores
+
+
+def mha_qkv_into(qkv: np.ndarray, num_heads: int, out: np.ndarray,
+                 q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                 scores: np.ndarray, red: np.ndarray,
+                 ctx: np.ndarray) -> np.ndarray:
+    """Packed-QKV multi-head attention into ``out`` — mirrors
+    :func:`multi_head_attention_qkv`.
+
+    ``qkv`` is ``(..., t, 3d)``; ``q``/``k``/``v``/``ctx`` are
+    ``(..., H, t, hd)`` head-major buffers, ``scores`` is ``(..., H, t, t)``
+    and ``red`` its ``(..., H, t, 1)`` reduction scratch; ``out`` is
+    ``(..., t, d)``.
+    """
+    *lead, t, packed = qkv.shape
+    d = packed // 3
+    head_dim = d // num_heads
+    scale = 1.0 / math.sqrt(head_dim)
+    split = np.moveaxis(
+        qkv.reshape(*lead, t, 3, num_heads, head_dim), -3, 0
+    ).swapaxes(-3, -2)
+    np.copyto(q, split[0])
+    np.copyto(k, split[1])
+    np.copyto(v, split[2])
+    np.multiply(q, scale, out=q)
+    np.matmul(q, np.swapaxes(k, -1, -2), out=scores)
+    softmax_into(scores, red)
+    np.matmul(scores, v, out=ctx)                 # (..., H, t, hd)
+    out.reshape(*lead, t, num_heads, head_dim)[...] = np.swapaxes(ctx, -3, -2)
+    return out
+
+
+def sigmoid_rescale_into(x: np.ndarray, alpha: float,
+                         out: np.ndarray) -> np.ndarray:
+    """``sigmoid(x) * alpha`` into ``out`` — mirrors ``Tensor.sigmoid`` (with
+    its ±60 clip) followed by a scalar multiply coerced to ``x.dtype``."""
+    np.clip(x, -60.0, 60.0, out=out)
+    np.negative(out, out=out)
+    np.exp(out, out=out)
+    np.add(out, 1.0, out=out)
+    np.divide(1.0, out, out=out)
+    np.multiply(out, np.asarray(alpha, dtype=out.dtype), out=out)
     return out

@@ -1,0 +1,520 @@
+"""Graph-free inference engine: shape-keyed execution plans with workspace reuse.
+
+The serving hot path does not need autograd: under ``no_grad`` every op still
+pays ``Tensor._from_op`` wrapper construction, a fresh output allocation per
+node, and head-split copies per attention call.  This module compiles the
+HIRE forward (encoder → K× [MBU, MBI, MBA] → decoder) into an
+:class:`InferencePlan` — a flat list of raw-ndarray kernel invocations
+(``linear_into`` / ``layer_norm_into`` / ``mha_qkv_into`` / … from
+:mod:`repro.nn.functional`) whose every intermediate is a view into a
+preallocated :class:`Workspace` arena.  After the first (warmup) call at a
+given (model, batch, n, m, dtype) key, repeated calls perform **zero** new
+ndarray allocations and are bitwise identical to the ``no_grad`` Tensor path
+on the fused kernels.
+
+Plans are cached per thread in a small LRU keyed by
+``(id(model), lead_shape, n, m)`` and are invalidated by a module-wide
+generation counter which :class:`repro.serve.ModelRegistry` bumps on every
+hot swap (``add`` / ``activate`` / ``unregister``).  The engine only covers
+the fused-kernel forward; callers fall back to the Tensor path for gradient
+work, ``capture_attention``, and the decomposed reference kernels (see
+:func:`engine_supported`).
+
+Observability: every run is wrapped in an ``infer/forward`` span, and the
+process metrics registry tracks ``infer.plan_cache.hit`` /
+``infer.plan_cache.miss`` counters plus an ``infer.workspace_bytes`` gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from math import prod
+
+import numpy as np
+
+from . import functional as F
+# Submodule imports (not ``repro.obs`` itself): the obs package pulls in
+# ophooks → repro.nn.functional at import time, so importing the package here
+# would be circular; spans/metrics import nothing from repro.nn.
+from ..obs import metrics as _metrics
+from ..obs import spans as _spans
+
+__all__ = [
+    "Workspace",
+    "InferencePlan",
+    "forward_inference",
+    "forward_inference_many",
+    "engine_supported",
+    "get_plan",
+    "bump_generation",
+    "generation",
+    "cache_stats",
+    "clear_cache",
+]
+
+
+class Workspace:
+    """Named flat arenas of preallocated memory, carved into shaped views.
+
+    Buffers that are never alive at the same time (e.g. the layer-norm
+    square scratch and the attention score matrix) share an arena sized to
+    the larger of the two, so the steady-state footprint stays close to the
+    true high-water mark of the forward.
+    """
+
+    def __init__(self, dtype: np.dtype):
+        self.dtype = np.dtype(dtype)
+        self._arenas: dict[str, np.ndarray] = {}
+
+    def reserve(self, name: str, count: int, dtype=None) -> None:
+        """Grow arena ``name`` to at least ``count`` elements."""
+        dtype = self.dtype if dtype is None else np.dtype(dtype)
+        existing = self._arenas.get(name)
+        if existing is None or existing.size < count:
+            self._arenas[name] = np.empty(max(count, 1), dtype=dtype)
+
+    def view(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """A contiguous view of arena ``name`` with the requested shape."""
+        count = prod(shape) if shape else 1
+        arena = self._arenas[name]
+        if count > arena.size:
+            raise ValueError(
+                f"arena {name!r} holds {arena.size} elements, need {count}")
+        return arena[:count].reshape(shape)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._arenas.values())
+
+
+class _AttnStep:
+    """One attention layer bound to its input/output views and scratch."""
+
+    __slots__ = ("attention", "norm", "x", "out_arr", "residual", "num_heads",
+                 "normed", "sq", "red_ln", "qkv", "q", "k", "v", "scores",
+                 "red", "ctx", "attn_out")
+
+
+class InferencePlan:
+    """A compiled, allocation-free forward for one (model, shape, dtype) key.
+
+    Walks the ``HIRE`` / ``HIM`` / ``ContextEncoder`` structure once at build
+    time, sizes every intermediate, and binds the ``*_into`` kernels to views
+    of a shared :class:`Workspace`.  Parameter arrays are read through the
+    module attributes at *run* time, so in-place weight updates (e.g.
+    ``load_state_dict`` on a registered model) flow through without a
+    rebuild.  The returned output is workspace-backed: it is valid until the
+    next engine call on the same thread — copy it to retain it.
+    """
+
+    def __init__(self, model, lead: tuple[int, ...], n: int, m: int,
+                 ratings_dtype):
+        self.model = model
+        self.lead = tuple(lead)
+        self.n = int(n)
+        self.m = int(m)
+        self.ratings_dtype = np.dtype(ratings_dtype)
+        self.dtype = model.decoder.weight.data.dtype
+        self.generation = generation()
+
+        enc = model.encoder
+        self.encoder = enc
+        self.e = enc.embed_dim
+        self.f = enc.attr_dim
+        self.hu_f = enc.num_user_attrs * enc.attr_dim
+        self.hi_f = enc.num_item_attrs * enc.attr_dim
+        self.num_attrs = enc.num_attributes
+
+        self.workspace = Workspace(self.dtype)
+        self._reserve_buffers()
+        self._bind_views()
+        self._steps = self._build_steps()
+        # alpha pre-cast once so the sigmoid rescale allocates nothing per call.
+        self._alpha = np.asarray(model.alpha, dtype=self.dtype)
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+    def _attn_shapes(self, kind: str):
+        """(batch_shape, tokens, width, heads) for one interaction kind."""
+        lead, n, m = self.lead, self.n, self.m
+        if kind == "user":
+            layer = self.model.blocks[0].user_attention
+            return (*lead, m), n, self.e, layer.num_heads
+        if kind == "item":
+            layer = self.model.blocks[0].item_attention
+            return (*lead, n), m, self.e, layer.num_heads
+        layer = self.model.blocks[0].attr_attention
+        return (*lead, n, m), self.num_attrs, self.f, layer.num_heads
+
+    def _reserve_buffers(self) -> None:
+        ws = self.workspace
+        lead, n, m, e, f = self.lead, self.n, self.m, self.e, self.f
+        cells = prod(lead) * n * m if lead else n * m
+        ws.reserve("h", cells * e)
+        block = self.model.blocks[0]
+        if getattr(block, "use_user", False):
+            ws.reserve("h_user", cells * e)
+        ws.reserve("logits", cells)
+        ws.reserve("out", cells)
+        # Encoder scratch.
+        ws.reserve("xu", n * self.hu_f)
+        ws.reserve("xi", m * self.hi_f)
+        ws.reserve("idx", max(n, m), dtype=np.int64)
+        ws.reserve("rflt", n * m, dtype=self.ratings_dtype)
+        ws.reserve("ilev", n * m, dtype=np.int64)
+        ws.reserve("emb", n * m * f)
+        # Attention arenas, sized to the max over the enabled kinds.  All
+        # x-shaped buffers hold exactly ``cells * e`` elements (e = h·f);
+        # scores/red vary per kind.  The layer-norm square scratch shares
+        # the scores arena (they are never alive simultaneously).
+        x_count = cells * e
+        scores_count = x_count
+        red_count = 0
+        for kind in self._enabled_kinds():
+            bshape, t, d, heads = self._attn_shapes(kind)
+            batch = prod(bshape) if bshape else 1
+            scores_count = max(scores_count, batch * heads * t * t)
+            red_count = max(red_count, batch * heads * t, batch * t)
+        for name in ("normed", "attn", "q", "k", "v", "ctx"):
+            ws.reserve(name, x_count)
+        ws.reserve("qkv", 3 * x_count)
+        ws.reserve("scores", scores_count)
+        ws.reserve("red", red_count)
+
+    def _enabled_kinds(self):
+        block = self.model.blocks[0]
+        kinds = []
+        if getattr(block, "use_user", False):
+            kinds.append("user")
+        if getattr(block, "use_item", False):
+            kinds.append("item")
+        if getattr(block, "use_attr", False):
+            kinds.append("attr")
+        return kinds
+
+    def _bind_views(self) -> None:
+        ws = self.workspace
+        lead, n, m, e = self.lead, self.n, self.m, self.e
+        self.h = ws.view("h", (*lead, n, m, e))
+        self.h_user = (ws.view("h_user", (*lead, m, n, e))
+                       if "h_user" in ws._arenas else None)
+        self.logits = ws.view("logits", (*lead, n, m, 1))
+        self.out = ws.view("out", (*lead, n, m))
+        self.xu = ws.view("xu", (n, self.hu_f))
+        self.xi = ws.view("xi", (m, self.hi_f))
+        self.idx = ws.view("idx", (max(n, m),))
+        self.rflt = ws.view("rflt", (n, m))
+        self.ilev = ws.view("ilev", (n, m))
+        self.emb = ws.view("emb", (n, m, self.f))
+
+    # ------------------------------------------------------------------ #
+    # Step compilation
+    # ------------------------------------------------------------------ #
+    def _bind_attention(self, attention, norm, kind: str, x: np.ndarray,
+                        out_arr: np.ndarray, residual: bool) -> _AttnStep:
+        ws = self.workspace
+        bshape, t, d, heads = self._attn_shapes(kind)
+        head_dim = d // heads
+        step = _AttnStep()
+        step.attention = attention
+        step.norm = norm
+        step.x = x
+        step.out_arr = out_arr
+        step.residual = residual
+        step.num_heads = heads
+        xshape = (*bshape, t, d)
+        step.normed = ws.view("normed", xshape)
+        step.sq = ws.view("scores", xshape)       # dead before scores live
+        step.red_ln = ws.view("red", (*bshape, t, 1))
+        step.qkv = ws.view("qkv", (*bshape, t, 3 * d))
+        head_shape = (*bshape, heads, t, head_dim)
+        step.q = ws.view("q", head_shape)
+        step.k = ws.view("k", head_shape)
+        step.v = ws.view("v", head_shape)
+        step.ctx = ws.view("ctx", head_shape)
+        step.scores = ws.view("scores", (*bshape, heads, t, t))
+        step.red = ws.view("red", (*bshape, heads, t, 1))
+        step.attn_out = ws.view("attn", xshape)
+        return step
+
+    @staticmethod
+    def _exec_attn(step: _AttnStep) -> None:
+        at = step.attention
+        if step.norm is not None:
+            F.layer_norm_into(step.x, step.norm.gamma.data,
+                              step.norm.beta.data, step.normed, step.sq,
+                              step.red_ln, eps=step.norm.eps)
+            src = step.normed
+        else:
+            src = step.x
+        F.linear_into(src, at.w_qkv.data, step.qkv)
+        F.mha_qkv_into(step.qkv, step.num_heads, step.attn_out, step.q,
+                       step.k, step.v, step.scores, step.red, step.ctx)
+        bias = at.w_output.bias
+        F.linear_into(step.attn_out, at.w_output.weight.data, step.normed,
+                      bias=None if bias is None else bias.data)
+        if step.residual:
+            np.add(step.x, step.normed, out=step.out_arr)
+        else:
+            np.copyto(step.out_arr, step.normed)
+
+    def _build_steps(self):
+        """Flatten the K HIM blocks into attention/copy steps.
+
+        The activation ping-pongs between ``h`` (row-major ``(…, n, m, e)``)
+        and ``h_user`` (``(…, m, n, e)``): MBU reads a transposed view of
+        ``h`` and lands in ``h_user``; MBI reads the transposed view back and
+        lands in ``h``; MBA runs in place on ``h``.  Ablated blocks insert an
+        explicit copy so MBA always sees contiguous ``h`` (mirroring the
+        reshape-copy the Tensor path performs on a non-contiguous input).
+        """
+        lead, n, m, e = self.lead, self.n, self.m, self.e
+        steps = []
+
+        def copy_step(dst, src):
+            def run():
+                np.copyto(dst, src)
+            return run
+
+        def attn_step(step):
+            def run():
+                self._exec_attn(step)
+            return run
+
+        for block in self.model.blocks:
+            in_h = True  # activation currently lives in self.h
+            if block.use_user:
+                x = self.h.swapaxes(-3, -2)          # (…, m, n, e) view
+                norm = block.user_norm if block.use_layer_norm else None
+                steps.append(attn_step(self._bind_attention(
+                    block.user_attention, norm, "user", x, self.h_user,
+                    block.use_residual)))
+                in_h = False
+            if block.use_item:
+                x = self.h if in_h else self.h_user.swapaxes(-3, -2)
+                norm = block.item_norm if block.use_layer_norm else None
+                steps.append(attn_step(self._bind_attention(
+                    block.item_attention, norm, "item", x, self.h,
+                    block.use_residual)))
+                in_h = True
+            if block.use_attr:
+                if not in_h:
+                    steps.append(copy_step(self.h, self.h_user.swapaxes(-3, -2)))
+                    in_h = True
+                x = self.h.reshape(*lead, n, m, self.num_attrs, self.f)
+                norm = block.attr_norm if block.use_layer_norm else None
+                steps.append(attn_step(self._bind_attention(
+                    block.attr_attention, norm, "attr", x, x,
+                    block.use_residual)))
+            if not in_h:
+                steps.append(copy_step(self.h, self.h_user.swapaxes(-3, -2)))
+        return steps
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _encode_into(self, context, h_cell: np.ndarray) -> None:
+        """Fill one context's ``(n, m, e)`` slab of ``h`` in place."""
+        enc = self.encoder
+        f = self.f
+        col = 0
+        idx_n = self.idx[: self.n]
+        for k, transform in enumerate(enc.user_transforms):
+            np.take(enc._user_attributes[:, k], context.users, out=idx_n)
+            np.take(transform.weight.data, idx_n, axis=0,
+                    out=self.xu[:, col:col + f])
+            col += f
+        if self.hu_f:
+            h_cell[:, :, : self.hu_f] = self.xu[:, None, :]
+        col = 0
+        idx_m = self.idx[: self.m]
+        for k, transform in enumerate(enc.item_transforms):
+            np.take(enc._item_attributes[:, k], context.items, out=idx_m)
+            np.take(transform.weight.data, idx_m, axis=0,
+                    out=self.xi[:, col:col + f])
+            col += f
+        if self.hi_f:
+            h_cell[:, :, self.hu_f: self.hu_f + self.hi_f] = self.xi[None, :, :]
+        # Ratings: dense lookup into the scratch table, then masked copy —
+        # revealed cells land on exactly the rows the sparse Tensor encode
+        # looks up; masked cells take the mask token / zero fill.
+        rat = h_cell[:, :, self.hu_f + self.hi_f:]
+        np.subtract(context.ratings, enc.rating_low, out=self.rflt)
+        np.rint(self.rflt, out=self.rflt)
+        np.copyto(self.ilev, self.rflt, casting="unsafe")
+        np.clip(self.ilev, 0, enc.num_rating_levels - 1, out=self.ilev)
+        np.take(enc.rating_transform.weight.data, self.ilev, axis=0,
+                out=self.emb)
+        if enc.mask_token is not None:
+            rat[...] = enc.mask_token.data
+        else:
+            rat.fill(0.0)
+        np.copyto(rat, self.emb, where=context.revealed[:, :, None])
+
+    def _execute(self) -> np.ndarray:
+        for step in self._steps:
+            step()
+        dec = self.model.decoder
+        F.linear_into(self.h, dec.weight.data, self.logits,
+                      bias=None if dec.bias is None else dec.bias.data)
+        F.sigmoid_rescale_into(
+            self.logits.reshape(*self.lead, self.n, self.m), self._alpha,
+            self.out)
+        return self.out
+
+    def run(self, context) -> np.ndarray:
+        """Single-context forward: returns the workspace-backed ``(n, m)``."""
+        if self.lead:
+            raise ValueError("batched plan cannot run a single context")
+        self._encode_into(context, self.h)
+        return self._execute()
+
+    def run_many(self, contexts) -> np.ndarray:
+        """Batched forward: returns the workspace-backed ``(B, n, m)``."""
+        if self.lead != (len(contexts),):
+            raise ValueError(
+                f"plan built for batch {self.lead}, got {len(contexts)}")
+        for b, context in enumerate(contexts):
+            self._encode_into(context, self.h[b])
+        return self._execute()
+
+    def matches(self, model, lead, n: int, m: int, ratings_dtype) -> bool:
+        return (self.model is model
+                and self.lead == tuple(lead)
+                and self.n == n and self.m == m
+                and self.ratings_dtype == np.dtype(ratings_dtype)
+                and self.dtype == model.decoder.weight.data.dtype)
+
+
+# --------------------------------------------------------------------------- #
+# Plan cache (thread-local LRU) and generation-based invalidation
+# --------------------------------------------------------------------------- #
+_GEN_LOCK = threading.Lock()
+_GENERATION = 0
+_MAX_PLANS = 8
+
+
+def generation() -> int:
+    """Current plan generation; plans built under older generations are stale."""
+    return _GENERATION
+
+
+def bump_generation() -> None:
+    """Invalidate every cached plan in every thread (lazily, on next lookup).
+
+    Called by :class:`repro.serve.ModelRegistry` on hot swaps so no stale
+    plan keeps a retired model (or its workspace) alive.
+    """
+    global _GENERATION
+    with _GEN_LOCK:
+        _GENERATION += 1
+
+
+class _PlanCache(threading.local):
+    def __init__(self):
+        self.plans: OrderedDict = OrderedDict()
+        self.generation = -1
+
+
+_CACHE = _PlanCache()
+
+
+def clear_cache() -> None:
+    """Drop this thread's cached plans (frees their workspaces)."""
+    _CACHE.plans.clear()
+
+
+def _workspace_bytes() -> int:
+    return sum(p.workspace.nbytes for p in _CACHE.plans.values())
+
+
+def cache_stats() -> dict:
+    """This thread's plan-cache state plus the global hit/miss counters."""
+    snapshot = _metrics.get_registry().snapshot()
+    return {
+        "plans": len(_CACHE.plans),
+        "generation": generation(),
+        "workspace_bytes": _workspace_bytes(),
+        "hits": snapshot.get("infer.plan_cache.hit", {}).get("value", 0),
+        "misses": snapshot.get("infer.plan_cache.miss", {}).get("value", 0),
+    }
+
+
+def get_plan(model, lead, n: int, m: int, ratings_dtype) -> InferencePlan:
+    """Fetch or build the plan for (model, lead, n, m); LRU-cached per thread."""
+    cache = _CACHE
+    gen = generation()
+    if cache.generation != gen:
+        cache.plans.clear()
+        cache.generation = gen
+    key = (id(model), tuple(lead), n, m)
+    registry = _metrics.get_registry()
+    plan = cache.plans.get(key)
+    if plan is not None and plan.matches(model, lead, n, m, ratings_dtype):
+        cache.plans.move_to_end(key)
+        registry.counter("infer.plan_cache.hit").inc()
+        return plan
+    registry.counter("infer.plan_cache.miss").inc()
+    with _spans.span("infer/plan_build"):
+        plan = InferencePlan(model, lead, n, m, ratings_dtype)
+    cache.plans[key] = plan
+    cache.plans.move_to_end(key)
+    while len(cache.plans) > _MAX_PLANS:
+        cache.plans.popitem(last=False)
+    registry.gauge("infer.workspace_bytes").set(_workspace_bytes())
+    return plan
+
+
+def engine_supported(model) -> bool:
+    """Whether the engine can replace the Tensor forward for ``model``.
+
+    False (→ callers use the Tensor path) when the decomposed reference
+    kernels are active, when any attention layer is capturing weights, or
+    when the model does not expose the HIRE encoder/blocks/decoder
+    structure the planner walks.
+    """
+    if not F.fused_kernels_enabled():
+        return False
+    if not all(hasattr(model, name)
+               for name in ("encoder", "blocks", "decoder", "alpha")):
+        return False
+    enc = model.encoder
+    if not all(hasattr(enc, name)
+               for name in ("user_transforms", "item_transforms",
+                            "rating_transform", "mask_token")):
+        return False
+    for block in model.blocks:
+        for name in ("user_attention", "item_attention", "attr_attention"):
+            layer = getattr(block, name, None)
+            if layer is not None and layer.capture_attention:
+                return False
+    return True
+
+
+def forward_inference(model, context) -> np.ndarray:
+    """Run one context through the compiled plan; ``(n, m)`` ratings.
+
+    The result is a view into the plan's workspace — valid until the next
+    engine call on this thread.  Copy it to retain it.
+    """
+    plan = get_plan(model, (), context.n, context.m, context.ratings.dtype)
+    with _spans.span("infer/forward"):
+        return plan.run(context)
+
+
+def forward_inference_many(model, contexts) -> np.ndarray:
+    """Batched engine forward over same-shape contexts; ``(B, n, m)``.
+
+    Bit-identical per slice to :func:`forward_inference` on each context,
+    matching the ``forward_many`` contract of the Tensor path.  The result
+    is workspace-backed (see :func:`forward_inference`).
+    """
+    if not contexts:
+        raise ValueError("forward_inference_many needs at least one context")
+    first = contexts[0]
+    plan = get_plan(model, (len(contexts),), first.n, first.m,
+                    first.ratings.dtype)
+    with _spans.span("infer/forward"):
+        return plan.run_many(contexts)

@@ -86,9 +86,9 @@ class Module:
     def eval(self) -> "Module":
         return self.train(False)
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_zero: bool = False) -> None:
         for p in self.parameters():
-            p.grad = None
+            p.zero_grad(set_to_zero=set_to_zero)
 
     # ------------------------------------------------------------------ #
     # Serialisation

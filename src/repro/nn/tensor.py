@@ -132,6 +132,16 @@ def _as_array(value) -> np.ndarray:
     return np.asarray(value, dtype=_DEFAULT_DTYPE)
 
 
+_BASIC_INDEX_TYPES = (int, np.integer, slice, type(None), type(Ellipsis))
+
+
+def _is_basic_index(key) -> bool:
+    """True when ``key`` triggers numpy basic (non-fancy) indexing only."""
+    if isinstance(key, tuple):
+        return all(isinstance(k, _BASIC_INDEX_TYPES) for k in key)
+    return isinstance(key, _BASIC_INDEX_TYPES)
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
     if grad.shape == shape:
@@ -150,7 +160,8 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor participating in reverse-mode autodiff."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_grad_owned")
 
     def __init__(self, data, requires_grad: bool = False):
         if isinstance(data, Tensor):
@@ -165,6 +176,10 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and _GRAD_STATE.enabled
         self._backward = None
         self._parents: tuple[Tensor, ...] = ()
+        # True iff .grad is a buffer this tensor exclusively owns (allocated
+        # by zero_grad(set_to_zero=True) or freshly built by a sweep), so the
+        # backward pass may np.add into it in place across sweeps.
+        self._grad_owned = False
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -214,8 +229,26 @@ class Tensor:
         """Return a tensor sharing data but cut off from the graph."""
         return Tensor(self.data)
 
-    def zero_grad(self) -> None:
-        self.grad = None
+    def zero_grad(self, set_to_zero: bool = False) -> None:
+        """Clear the gradient.
+
+        With ``set_to_zero`` the existing ``.grad`` buffer is zeroed in place
+        (allocated once if absent) instead of dropped to ``None``, so dense
+        parameter gradients stop being reallocated every step; the backward
+        sweep then accumulates into the owned buffer directly.
+        """
+        if set_to_zero:
+            if self.grad is None or not self._grad_owned:
+                # A held grad may alias an array shared with another tensor
+                # (a first accumulation hands the upstream array over) — a
+                # fresh buffer breaks the aliasing before in-place reuse.
+                self.grad = np.zeros(self.data.shape, dtype=self.data.dtype)
+            else:
+                self.grad.fill(0.0)
+            self._grad_owned = True
+        else:
+            self.grad = None
+            self._grad_owned = False
 
     # ------------------------------------------------------------------ #
     # Backward pass
@@ -260,9 +293,11 @@ class Tensor:
             if isinstance(pgrad, SparseRowGrad):
                 if target.grad is None:
                     target.grad = np.zeros(target.data.shape, dtype=target.data.dtype)
+                    target._grad_owned = True
                     owned.add(id(target))
-                elif id(target) not in owned:
+                elif id(target) not in owned and not target._grad_owned:
                     target.grad = target.grad.copy()
+                    target._grad_owned = True
                     owned.add(id(target))
                 target.grad[pgrad.rows] += pgrad.values
                 return
@@ -270,11 +305,15 @@ class Tensor:
                 np.asarray(pgrad, dtype=target.data.dtype), target.data.shape
             )
             if target.grad is None:
+                # Takes over pgrad, which may alias an upstream array — not
+                # safe for in-place reuse until reallocated.
                 target.grad = pgrad
-            elif id(target) in owned:
+                target._grad_owned = False
+            elif id(target) in owned or target._grad_owned:
                 np.add(target.grad, pgrad, out=target.grad)
             else:
                 target.grad = target.grad + pgrad
+                target._grad_owned = True
                 owned.add(id(target))
 
         accumulate(self, grad)
@@ -446,7 +485,14 @@ class Tensor:
 
         def backward(g):
             full = np.zeros_like(self.data)
-            np.add.at(full, key, g)
+            if _is_basic_index(key):
+                # Basic indexing selects each source cell at most once, so a
+                # direct slice assignment replaces the slow np.add.at ufunc
+                # scatter (hit by w_qkv column slicing on the reference
+                # attention path every step).
+                full[key] = g
+            else:
+                np.add.at(full, key, g)
             return ((self, full),)
 
         return Tensor._from_op(out_data, (self,), backward)

@@ -17,6 +17,7 @@ from pathlib import Path
 
 from ..core.model import HIRE, HIREConfig
 from ..data.schema import RatingDataset
+from ..nn import inference
 from ..nn.serialization import load_checkpoint
 from .errors import UnknownModelError
 
@@ -84,6 +85,8 @@ class ModelRegistry:
             self._versions[name] = (version, model)
             if activate or self._active is None:
                 self._active = name
+        # Retire cached inference plans keyed on previously active models.
+        inference.bump_generation()
         return version
 
     def unregister(self, name: str) -> None:
@@ -94,6 +97,7 @@ class ModelRegistry:
                 raise ValueError(
                     f"model {name!r} is active; activate another version first")
             del self._versions[name]
+        inference.bump_generation()
 
     # ------------------------------------------------------------------ #
     # Lookup and hot swap
@@ -104,6 +108,7 @@ class ModelRegistry:
             if name not in self._versions:
                 raise UnknownModelError(name)
             self._active = name
+        inference.bump_generation()
 
     def active(self) -> tuple[str, HIRE]:
         """The ``(name, model)`` pair requests are currently scored with."""

@@ -74,6 +74,10 @@ class ServiceConfig:
     # jointly sampled contexts differ from per-user ones, so scores are not
     # bit-identical to sequential prediction; see docs/serving.md).
     share_contexts: bool = False
+    # Run forwards through the graph-free repro.nn.inference engine when
+    # supported (bitwise identical to the Tensor path); False is the escape
+    # hatch back to no_grad Tensor forwards.
+    use_inference_engine: bool = True
     metrics_prefix: str = "serve"
 
     def __post_init__(self):
@@ -398,16 +402,28 @@ class PredictionService:
             chunk = entry[2]
             by_shape.setdefault((chunk.context.n, chunk.context.m), []).append(entry)
 
+        use_engine = (self.config.use_inference_engine
+                      and nn.inference.engine_supported(model))
         predicted: dict[int, np.ndarray] = {}
         with nn.no_grad():
             for shape_entries in by_shape.values():
                 contexts = [chunk.context for _, _, chunk in shape_entries]
-                if len(contexts) == 1:
-                    outputs = [model.forward(contexts[0]).data]
+                if use_engine:
+                    if len(contexts) == 1:
+                        outputs = nn.inference.forward_inference(
+                            model, contexts[0])[None]
+                    else:
+                        outputs = nn.inference.forward_inference_many(
+                            model, contexts)
+                elif len(contexts) == 1:
+                    outputs = model.forward(contexts[0]).data[None]
                 else:
                     outputs = model.forward_many(contexts).data
+                # Extract each chunk's scores immediately: engine outputs
+                # are views into a reused workspace, overwritten by the
+                # next shape group's forward.
                 for (_, _, chunk), output in zip(shape_entries, outputs):
-                    predicted[id(chunk)] = output
+                    predicted[id(chunk)] = output[chunk.user_row, chunk.cols]
 
         scores_by_plan: list[np.ndarray] = []
         for plan_index, (requests, samples) in enumerate(plans):
@@ -416,9 +432,8 @@ class PredictionService:
             for chunks in samples:
                 part = np.empty(num_items, dtype=np.float64)
                 for chunk in chunks:
-                    output = predicted[id(chunk)]
                     part[chunk.start:chunk.start + len(chunk)] = (
-                        output[chunk.user_row, chunk.cols])
+                        predicted[id(chunk)])
                 # Same accumulation order as HIREPredictor.predict_task, so
                 # multi-sample averages stay bit-identical too.
                 total = part if total is None else total + part
@@ -487,7 +502,11 @@ class PredictionService:
                                 reveal_fraction=cfg.reveal_fraction,
                                 forced_reveal=forced_reveal)
         with nn.no_grad():
-            output = model.forward(context).data
+            if (self.config.use_inference_engine
+                    and nn.inference.engine_supported(model)):
+                output = nn.inference.forward_inference(model, context)
+            else:
+                output = model.forward(context).data
 
         self._counter("shared_context_users_total").inc(len(requests))
         scores = []

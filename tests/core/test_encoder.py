@@ -109,3 +109,46 @@ class TestIdAttributeDatasets:
         ctx = build_context(graph, np.arange(4), np.arange(4),
                             np.random.default_rng(0))
         assert encoder(ctx).shape == (4, 4, encoder.embed_dim)
+
+
+class TestSparseRatingEncoding:
+    """Pin the sparse scatter formulation of ``encode_ratings`` against the
+    original dense lookup-then-blend it replaced (bitwise, both modes)."""
+
+    def dense_reference(self, encoder, context):
+        levels = np.rint(context.ratings - encoder.rating_low).astype(np.int64)
+        levels = np.clip(levels, 0, encoder.num_rating_levels - 1)
+        table = encoder.rating_transform.weight.data
+        embedded = table[levels]  # (n, m, f)
+        if encoder.mask_token is None:
+            masked = np.zeros(encoder.attr_dim, dtype=table.dtype)
+        else:
+            masked = encoder.mask_token.data
+        return np.where(context.revealed[:, :, None], embedded, masked)
+
+    def test_bit_identical_with_mask_token(self, encoder, context):
+        out = encoder.encode_ratings(context).data
+        np.testing.assert_array_equal(out, self.dense_reference(encoder, context))
+
+    def test_bit_identical_paper_encoding(self, ml_dataset, context):
+        encoder = ContextEncoder(ml_dataset, attr_dim=4,
+                                 rng=np.random.default_rng(0),
+                                 learned_mask_token=False)
+        out = encoder.encode_ratings(context).data
+        expected = self.dense_reference(encoder, context)
+        assert out.tobytes() == expected.tobytes()
+
+    def test_only_revealed_rows_reach_the_embedding_grad(self, encoder, context):
+        encoder.encode_ratings(context).sum().backward()
+        grad = encoder.rating_transform.weight.grad
+        assert grad is not None
+        # SparseRowGrad or dense: materialise and check untouched levels.
+        from repro.nn.tensor import SparseRowGrad
+        if isinstance(grad, SparseRowGrad):
+            touched = set(int(r) for r in grad.rows)
+        else:
+            touched = set(np.flatnonzero(np.abs(grad).sum(axis=1)).tolist())
+        revealed_ratings = context.ratings[context.revealed]
+        levels = np.rint(revealed_ratings - encoder.rating_low).astype(np.int64)
+        levels = np.clip(levels, 0, encoder.num_rating_levels - 1)
+        assert touched <= set(np.unique(levels).tolist())

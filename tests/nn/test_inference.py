@@ -1,0 +1,230 @@
+"""The graph-free inference engine: bitwise identity, caching, allocations.
+
+The engine's contract is strict: running a HIRE forward through
+:mod:`repro.nn.inference` must produce the *same bytes* as the ``no_grad``
+fused Tensor path, at both dtypes, for every ablation — and, after warmup,
+it must not allocate.  These tests pin all of it, plus the plan cache's
+invalidation triggers (shape, ratings dtype, generation bumps from registry
+hot swaps).
+"""
+
+import dataclasses
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import build_context
+from repro.core.model import HIRE, HIREConfig
+from repro.data import RatingGraph, movielens_like
+from repro.nn import inference
+from repro.serve.registry import ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return movielens_like(num_users=50, num_items=40, seed=3)
+
+
+@pytest.fixture(scope="module")
+def graph(dataset):
+    return RatingGraph(dataset.ratings, dataset.num_users, dataset.num_items)
+
+
+def make_contexts(graph, n=8, m=6):
+    rng = np.random.default_rng(11)
+    first = build_context(graph, np.arange(n), np.arange(m), rng,
+                          reveal_fraction=0.3)
+    second = build_context(graph, np.arange(5, 5 + n), np.arange(3, 3 + m),
+                           rng, reveal_fraction=0.2)
+    return first, second
+
+
+def make_model(dataset, **flags):
+    return HIRE(dataset, HIREConfig(num_blocks=2, num_heads=2, attr_dim=4,
+                                    **flags))
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+@pytest.mark.parametrize("flags", [
+    {},
+    {"learned_mask_token": False},
+    {"use_user": False},
+    {"use_item": False},
+    {"use_attr": False},
+    {"use_layer_norm": False},
+    {"use_residual": False},
+])
+def test_engine_bitwise_identical_to_tensor_path(dataset, graph, dtype, flags):
+    with nn.dtype_policy(dtype):
+        model = make_model(dataset, **flags)
+        model.eval()
+        ctx, ctx2 = make_contexts(graph)
+        with nn.no_grad():
+            ref = model.forward(ctx).data.copy()
+            ref_many = model.forward_many([ctx, ctx2]).data.copy()
+        out = inference.forward_inference(model, ctx).copy()
+        out_many = inference.forward_inference_many(model, [ctx, ctx2]).copy()
+    assert ref.tobytes() == out.tobytes()
+    assert ref_many.tobytes() == out_many.tobytes()
+
+
+def test_predict_routes_through_engine_and_escape_hatch(dataset, graph):
+    model = make_model(dataset)
+    ctx, ctx2 = make_contexts(graph)
+    engine = model.predict(ctx)
+    tensor_path = model.predict(ctx, use_inference_engine=False)
+    assert engine.tobytes() == tensor_path.tobytes()
+    engine_many = model.predict_many([ctx, ctx2])
+    tensor_many = model.predict_many([ctx, ctx2], use_inference_engine=False)
+    assert engine_many.tobytes() == tensor_many.tobytes()
+    # predict() copies out of the workspace: results must survive more calls.
+    again = model.predict(ctx2)
+    assert engine.tobytes() == model.predict(ctx).tobytes()
+    assert again.tobytes() == model.predict(ctx2).tobytes()
+
+
+def test_reference_kernels_fall_back_to_tensor_path(dataset, graph):
+    model = make_model(dataset)
+    ctx, _ = make_contexts(graph)
+    expected = model.predict(ctx, use_inference_engine=False)
+    nn.functional.set_fused_kernels(False)
+    try:
+        assert not inference.engine_supported(model)
+        out = model.predict(ctx)  # silently takes the Tensor path
+    finally:
+        nn.functional.set_fused_kernels(True)
+    np.testing.assert_allclose(out, expected, rtol=1e-12, atol=1e-12)
+
+
+def test_capture_attention_falls_back(dataset):
+    model = make_model(dataset)
+    assert inference.engine_supported(model)
+    model.capture_attention(True)
+    assert not inference.engine_supported(model)
+    model.capture_attention(False)
+    assert inference.engine_supported(model)
+
+
+def test_plan_cache_hits_and_shape_invalidation(dataset, graph):
+    inference.clear_cache()
+    model = make_model(dataset)
+    model.eval()
+    ctx, _ = make_contexts(graph)
+    before = inference.cache_stats()
+    inference.forward_inference(model, ctx)
+    after_first = inference.cache_stats()
+    assert after_first["misses"] == before["misses"] + 1
+    assert after_first["plans"] == before["plans"] + 1
+    inference.forward_inference(model, ctx)
+    after_second = inference.cache_stats()
+    assert after_second["hits"] == after_first["hits"] + 1
+    assert after_second["misses"] == after_first["misses"]
+
+    # A new shape builds a second plan instead of reusing the first.
+    rng = np.random.default_rng(5)
+    wider = build_context(graph, np.arange(8), np.arange(9), rng,
+                          reveal_fraction=0.3)
+    inference.forward_inference(model, wider)
+    after_wider = inference.cache_stats()
+    assert after_wider["misses"] == after_second["misses"] + 1
+    assert after_wider["plans"] == after_second["plans"] + 1
+    assert after_wider["workspace_bytes"] > 0
+
+
+def test_ratings_dtype_change_rebuilds_plan(dataset, graph):
+    inference.clear_cache()
+    model = make_model(dataset)
+    model.eval()
+    ctx, _ = make_contexts(graph)
+    out64 = inference.forward_inference(model, ctx).copy()
+    cast = dataclasses.replace(ctx, ratings=ctx.ratings.astype(np.float32))
+    before = inference.cache_stats()
+    out32 = inference.forward_inference(model, cast)
+    after = inference.cache_stats()
+    assert after["misses"] == before["misses"] + 1
+    # Same revealed integer levels -> same embeddings -> same scores.
+    assert out64.tobytes() == out32.tobytes()
+
+
+def test_bump_generation_invalidates_all_plans(dataset, graph):
+    inference.clear_cache()
+    model = make_model(dataset)
+    model.eval()
+    ctx, _ = make_contexts(graph)
+    inference.forward_inference(model, ctx)
+    assert inference.cache_stats()["plans"] == 1
+    inference.bump_generation()
+    before = inference.cache_stats()
+    inference.forward_inference(model, ctx)
+    after = inference.cache_stats()
+    assert after["misses"] == before["misses"] + 1
+
+
+def test_registry_hot_swap_bumps_generation(dataset):
+    registry = ModelRegistry(dataset)
+    gen = inference.generation()
+    registry.add("a", make_model(dataset))
+    assert inference.generation() > gen
+    gen = inference.generation()
+    registry.add("b", make_model(dataset), activate=False)
+    registry.activate("b")
+    assert inference.generation() > gen
+    gen = inference.generation()
+    registry.activate("a")
+    registry.unregister("b")
+    assert inference.generation() > gen
+
+
+def test_weight_updates_flow_without_rebuild(dataset, graph):
+    """Plans read parameters through ``.data`` at run time, so a
+    ``load_state_dict`` hot update changes scores without a cache miss."""
+    inference.clear_cache()
+    model = make_model(dataset)
+    model.eval()
+    ctx, _ = make_contexts(graph)
+    first = inference.forward_inference(model, ctx).copy()
+    state = {name: param.data * 1.5
+             for name, param in model.named_parameters()}
+    model.load_state_dict(state)
+    before = inference.cache_stats()
+    second = inference.forward_inference(model, ctx).copy()
+    after = inference.cache_stats()
+    assert after["hits"] == before["hits"] + 1
+    assert first.tobytes() != second.tobytes()
+    with nn.no_grad():
+        expected = model.forward(ctx).data
+    assert second.tobytes() == expected.tobytes()
+
+
+def test_zero_steady_state_allocations(dataset, graph):
+    inference.clear_cache()
+    model = make_model(dataset)
+    model.eval()
+    ctx, ctx2 = make_contexts(graph)
+    # Warm up: builds the plans and touches every lazily-created metric.
+    for _ in range(3):
+        inference.forward_inference(model, ctx)
+        inference.forward_inference_many(model, [ctx, ctx2])
+    gc.collect()
+    tracemalloc.start()
+    base = tracemalloc.take_snapshot()
+    for _ in range(20):
+        inference.forward_inference(model, ctx)
+        inference.forward_inference_many(model, [ctx, ctx2])
+    gc.collect()
+    snap = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    growth = sum(stat.size_diff for stat in snap.compare_to(base, "filename")
+                 if "repro" in (stat.traceback[0].filename or ""))
+    # 40 forwards through a steady-state engine: no per-call ndarray may
+    # survive (the 1 KiB allowance covers interned ints and counter churn).
+    assert growth < 1024, f"steady-state engine leaked {growth} bytes"
+
+
+def test_cache_stats_shape():
+    stats = inference.cache_stats()
+    assert set(stats) == {"plans", "generation", "workspace_bytes",
+                          "hits", "misses"}

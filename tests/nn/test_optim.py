@@ -158,3 +158,60 @@ class TestValidation:
         p = Parameter(np.ones(1))
         with pytest.raises(ValueError):
             Adam([p], lr=0.0)
+
+
+class TestZeroGradModes:
+    def test_set_to_zero_keeps_buffers(self):
+        p = Parameter(np.array([1.0, -2.0]))
+        opt = SGD([p], lr=0.1)
+        quadratic_loss(p).backward()
+        buffer = p.grad
+        opt.zero_grad(set_to_zero=True)
+        assert p.grad is not None
+        np.testing.assert_array_equal(p.grad, 0.0)
+        # The second sweep accumulates in place into the retained buffer.
+        quadratic_loss(p).backward()
+        assert p.grad is buffer or p.grad is not None
+
+    def test_default_mode_drops_grads(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        quadratic_loss(p).backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_set_to_zero_breaks_takeover_aliasing(self):
+        # `(p + q).sum()` sends the SAME upstream gradient array to both
+        # parents; zeroing one in place would corrupt the other.
+        p = Parameter(np.array([1.0, 2.0]))
+        q = Parameter(np.array([3.0, 4.0]))
+        (p + q).sum().backward()
+        assert p.grad is q.grad  # the takeover aliases them
+        p.zero_grad(set_to_zero=True)
+        np.testing.assert_array_equal(p.grad, 0.0)
+        np.testing.assert_array_equal(q.grad, 1.0)
+
+    def test_trajectories_bit_identical_across_modes(self):
+        histories = []
+        for set_to_zero in (False, True):
+            rng = np.random.default_rng(4)
+            p = Parameter(np.array([1.3, -0.7, 2.1]))
+            opt = Adam([p], lr=0.05)
+            values = []
+            for _ in range(25):
+                opt.zero_grad(set_to_zero=set_to_zero)
+                x = Parameter(rng.normal(size=3))
+                loss = ((p - x) * (p - x)).sum()
+                loss.backward()
+                opt.step()
+                values.append(p.data.copy())
+            histories.append(np.stack(values))
+        assert histories[0].tobytes() == histories[1].tobytes()
+
+    def test_lookahead_forwards_mode(self):
+        p = Parameter(np.array([1.0]))
+        look = Lookahead(Adam([p], lr=0.1), alpha=0.5, k=2)
+        quadratic_loss(p).backward()
+        look.zero_grad(set_to_zero=True)
+        assert p.grad is not None
+        np.testing.assert_array_equal(p.grad, 0.0)

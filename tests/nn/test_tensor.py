@@ -167,6 +167,26 @@ class TestShapeOps:
         np.add.at(expected, idx, 1.0)
         np.testing.assert_allclose(t.grad, expected)
 
+    def test_getitem_basic_index_variants(self):
+        # Basic indexing (ints, slices, Ellipsis, None) takes the direct
+        # assignment backward — same gradients as the np.add.at scatter.
+        for key in (1, slice(None, None, 2), (slice(1, None), 0),
+                    (Ellipsis, slice(0, 2)), (None, slice(None)),
+                    (0, Ellipsis, slice(None, None, -1))):
+            t = Tensor(self.rng.normal(size=(3, 4)), requires_grad=True)
+            (t[key] * 2.0).sum().backward()
+            expected = np.zeros((3, 4))
+            expected[key] += 2.0
+            np.testing.assert_array_equal(t.grad, expected)
+
+    def test_getitem_boolean_mask_stays_on_scatter_path(self):
+        mask = np.array([True, False, True, True])
+        t = Tensor(self.rng.normal(size=(4, 3)), requires_grad=True)
+        t[mask].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[mask] = 1.0
+        np.testing.assert_array_equal(t.grad, expected)
+
 
 class TestReductions:
     def setup_method(self):
