@@ -26,6 +26,7 @@ def test_infer_engine_micro(benchmark, save, smoke_mode):
 
     cfg = payload["config"]
     cache = payload["plan_cache"]
+    pack = payload["packing"]
     lines = [
         f"context {cfg['n']}x{cfg['m']}, batch {cfg['batch']}, "
         f"K={cfg['num_blocks']} blocks, {cfg['num_heads']} heads x "
@@ -36,6 +37,13 @@ def test_infer_engine_micro(benchmark, save, smoke_mode):
         f"   batched {payload['engine_forward_many_seconds'] * 1e3:8.1f} ms",
         f"speedup: single {payload['speedup_single']:.2f}x"
         f"   batched {payload['speedup_batched']:.2f}x",
+        f"packed mixed shapes ({len(pack['mixed_shapes'])} contexts, bucket "
+        f"{pack['bucket'][0]}x{pack['bucket'][1]}, "
+        f"pad waste {pack['pad_waste'] * 100:.0f}%): "
+        f"each {pack['each_seconds'] * 1e3:6.1f} ms  "
+        f"packed {pack['packed_seconds'] * 1e3:6.1f} ms  "
+        f"gain {pack['pack_gain']:.2f}x "
+        f"(+store {pack['pack_gain_store']:.2f}x)",
         f"steady-state allocations: {payload['engine_steady_state_bytes']} B"
         f"   plan cache: {cache['plans']} plans, "
         f"{cache['workspace_bytes'] / 1e6:.1f} MB workspace",
@@ -56,6 +64,10 @@ def test_infer_engine_micro(benchmark, save, smoke_mode):
         # at worst neutral on the GEMM-bound single forward.
         assert payload["speedup_batched"] >= 1.1
         assert payload["speedup_single"] >= 0.9
+        # Padded packing must win mixed-shape traffic at the serving-regime
+        # shapes (fragmented solos pay per-context dispatch; padding adds
+        # FLOPs — the gain asserts the trade nets out positive here).
+        assert payload["packing"]["pack_gain"] >= 1.0
         # Zero steady-state allocations after warmup (1 KiB allowance for
         # counter/interned-object churn).
         assert payload["engine_steady_state_bytes"] < 1024

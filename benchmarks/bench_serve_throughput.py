@@ -48,12 +48,30 @@ def test_serve_throughput(benchmark, save, smoke_mode):
         f"engine on {payload['best_speedup_engine_on']:.2f}x vs "
         f"off {payload['best_speedup_engine_off']:.2f}x "
         f"(gain {payload['engine_gain']:.2f}x)")
+    pack = payload["packing"]
+    cache = pack["plan_cache"]
+    lines.append(
+        f"mixed-shape packing ({pack['num_requests']} requests over "
+        f"{len(pack['mixed_budgets'])} budgets): "
+        f"exact-only {pack['exact_only_seconds']:.2f}s vs "
+        f"packed {pack['packed_seconds']:.2f}s "
+        f"-> pack_gain {pack['pack_gain']:.2f}x  "
+        f"bit-identical: {pack['bit_identical_to_sequential']}")
+    lines.append(
+        f"steady-state plan cache hit rate: exact-only "
+        f"{cache['exact_only']['hit_rate'] * 100:.0f}% "
+        f"({cache['exact_only']['misses']:.0f} misses) vs packed "
+        f"{cache['packed']['hit_rate'] * 100:.0f}% "
+        f"({cache['packed']['misses']:.0f} misses); "
+        f"{pack['packed_contexts_total']:.0f} contexts padded, "
+        f"last pad waste {pack['pad_waste_last'] * 100:.0f}%")
     text = "\n".join(lines)
     print("\nServe throughput benchmark\n" + text)
 
-    # Bit-identity is non-negotiable at every scale: batching and caching
-    # may never change a score.
+    # Bit-identity is non-negotiable at every scale: batching, caching,
+    # and padded packing may never change a score.
     assert payload["bit_identical_all_runs"]
+    assert payload["packing"]["bit_identical_to_sequential"]
 
     if not smoke_mode:
         save("serve_throughput", text)
@@ -66,3 +84,11 @@ def test_serve_throughput(benchmark, save, smoke_mode):
         # (its win is measured head-on by bench_infer_engine; the serving
         # path is dominated by context assembly on single-core runners).
         assert payload["engine_gain"] >= 0.97
+        # Acceptance: shape-bucketed packing beats exact-shape-only
+        # grouping on mixed traffic by a real margin.
+        assert pack["pack_gain"] > 1.15
+        # Bucketed plan keys keep the LRU stable where exact-shape keys
+        # fragment it: the packed mode must not hit less often.
+        assert (cache["packed"]["hit_rate"]
+                >= cache["exact_only"]["hit_rate"])
+        assert cache["packed"]["hit_rate"] >= 0.8

@@ -12,9 +12,17 @@ blocks, 8 heads × 16 dims) three ways on the same model and context:
   contexts, matching how :class:`repro.serve.PredictionService` scores
   same-shape micro-batches.
 
+A fourth section times **padded packing** on mixed-shape traffic: contexts
+of several nearby (n, m) shapes forwarded one-at-a-time through their own
+plans (the exact-shape-only behavior) versus one padded stacked
+:func:`~repro.nn.inference.forward_inference_packed` execution, with and
+without the warm-entity :class:`~repro.nn.inference.EmbeddingStore`;
+``pack_gain`` and the pad-waste ratio land in the payload.
+
 Every timed engine output is asserted **bitwise identical** to the Tensor
-path, and the per-call allocation count is measured with ``tracemalloc`` —
-the speedup is never bought with a numerics change or hidden allocation.
+path (packed real rows to the unpadded path), and the per-call allocation
+count is measured with ``tracemalloc`` — the speedup is never bought with
+a numerics change or hidden allocation.
 
 ``benchmarks/bench_infer_engine.py`` writes the result as
 ``BENCH_infer.json`` at the repo root; ``--smoke`` shrinks the config and
@@ -52,6 +60,7 @@ def _setup(smoke: bool):
         n = m = 8
         batch = 2
         repeats = 5
+        mixed_shapes = [(8, 8), (6, 7), (7, 5), (5, 8)]
     else:
         dataset = movielens_like(num_users=150, num_items=100, seed=0,
                                  ratings_per_user=30.0)
@@ -59,6 +68,13 @@ def _setup(smoke: bool):
         n = m = 32
         batch = 8
         repeats = 30
+        # The serving mixed-traffic regime: small nearby shapes sharing one
+        # (12, 12) bucket.  At these sizes fragmented solo forwards pay
+        # numpy dispatch per context, so one padded stacked execution wins;
+        # at the paper's 32x32 the stacked intermediates blow the cache on
+        # a single-core box and padding loses (see docs/nn_substrate.md).
+        mixed_shapes = [(12, 12), (11, 12), (10, 11), (12, 10),
+                        (9, 12), (11, 9)]
     graph = RatingGraph(dataset.ratings, dataset.num_users, dataset.num_items)
     rng = np.random.default_rng(0)
     contexts = [
@@ -67,9 +83,18 @@ def _setup(smoke: bool):
                       reveal_fraction=0.1)
         for _ in range(batch)
     ]
+    # Mixed-shape traffic: every shape fits the (n, m) bucket, none matches
+    # another exactly — the worst case for exact-shape-only stacking.
+    mixed = [
+        build_context(graph,
+                      rng.choice(dataset.num_users, ni, replace=False),
+                      rng.choice(dataset.num_items, mi, replace=False), rng,
+                      reveal_fraction=0.1)
+        for ni, mi in mixed_shapes
+    ]
     model = HIRE(dataset, HIREConfig(**model_cfg))
     model.eval()
-    return model, contexts, repeats
+    return model, contexts, mixed, repeats
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -96,8 +121,10 @@ def _allocations_per_call(fn, calls: int = 10) -> int:
 
 def run_infer_microbench(smoke: bool = False) -> dict:
     """Engine vs. ``no_grad`` Tensor forward on one model; returns stats."""
-    model, contexts, repeats = _setup(smoke)
+    model, contexts, mixed, repeats = _setup(smoke)
     context = contexts[0]
+    pack_n = max(c.n for c in mixed)
+    pack_m = max(c.m for c in mixed)
 
     def tensor_forward():
         with nn.no_grad():
@@ -113,19 +140,46 @@ def run_infer_microbench(smoke: bool = False) -> dict:
     def engine_forward_many():
         return inference.forward_inference_many(model, contexts)
 
+    def engine_forward_each_mixed():
+        # Exact-shape-only serving of mixed traffic: every context forwards
+        # alone through its own plan (the pre-packing behavior).
+        for ctx in mixed:
+            inference.forward_inference(model, ctx)
+
+    def engine_forward_packed():
+        return inference.forward_inference_packed(model, mixed, pack_n, pack_m)
+
+    store = inference.EmbeddingStore(model)
+
+    def engine_forward_packed_store():
+        return inference.forward_inference_packed(model, mixed, pack_n, pack_m,
+                                                  embed_store=store)
+
     # Warm up both paths (plan build, BLAS init) and pin bit-identity.
     ref, out = tensor_forward(), engine_forward()
     assert ref.tobytes() == out.tobytes(), "engine diverged from Tensor path"
     ref_many, out_many = tensor_forward_many(), engine_forward_many()
     assert ref_many.tobytes() == out_many.tobytes(), (
         "batched engine diverged from Tensor path")
+    mixed_refs = [inference.forward_inference(model, c).copy() for c in mixed]
+    for packed_forward in (engine_forward_packed, engine_forward_packed_store):
+        outputs, slots = packed_forward()
+        for index, (ctx, solo) in enumerate(zip(mixed, mixed_refs)):
+            padded = outputs[slots[index]][:ctx.n, :ctx.m]
+            assert padded.tobytes() == solo.tobytes(), (
+                "packed engine diverged from the unpadded path")
 
     tensor_seconds = _best_of(tensor_forward, repeats)
     engine_seconds = _best_of(engine_forward, repeats)
     tensor_many_seconds = _best_of(tensor_forward_many, repeats)
     engine_many_seconds = _best_of(engine_forward_many, repeats)
+    mixed_each_seconds = _best_of(engine_forward_each_mixed, repeats)
+    mixed_packed_seconds = _best_of(engine_forward_packed, repeats)
+    mixed_packed_store_seconds = _best_of(engine_forward_packed_store, repeats)
     engine_growth = _allocations_per_call(engine_forward)
 
+    real_cells = sum(c.n * c.m for c in mixed)
+    padded_cells = pack_n * pack_m * len(mixed)
     stats = inference.cache_stats()
     return {
         "benchmark": "infer_engine",
@@ -147,6 +201,18 @@ def run_infer_microbench(smoke: bool = False) -> dict:
         "engine_steady_state_bytes": engine_growth,
         "bit_identical": True,
         "plan_cache": stats,
+        "packing": {
+            "mixed_shapes": [[c.n, c.m] for c in mixed],
+            "bucket": [pack_n, pack_m],
+            "each_seconds": mixed_each_seconds,
+            "packed_seconds": mixed_packed_seconds,
+            "packed_store_seconds": mixed_packed_store_seconds,
+            "pack_gain": mixed_each_seconds / mixed_packed_seconds,
+            "pack_gain_store": (mixed_each_seconds
+                                / mixed_packed_store_seconds),
+            "pad_waste": padded_cells / real_cells - 1.0,
+            "embed_store": store.stats(),
+        },
     }
 
 

@@ -11,6 +11,14 @@ Every serviced run is checked **bit-identical** to the baseline (the
 per-request RNG derivation makes batched/cached scores exactly equal to
 sequential ones), so the speedup is never bought with a numerics change.
 
+A **packing** section replays a mixed-shape workload (per-request context
+budget overrides drawn from several nearby (n, m) pairs) through the
+padded-packing path (``pack_contexts=True``) and through the historical
+exact-shape-only grouping, recording ``pack_gain``, pad-waste and bucket
+occupancy stats, and the plan-cache hit rate of each mode — mixed traffic
+under exact-only grouping fragments micro-batches into per-shape forwards
+and thrashes the plan LRU, which is exactly what shape buckets fix.
+
 ``benchmarks/bench_serve_throughput.py`` writes the result as
 ``BENCH_serve.json`` at the repo root; ``--smoke`` runs a shrunken grid in
 seconds and skips the JSON write.
@@ -26,6 +34,7 @@ import numpy as np
 
 from .. import nn
 from ..core import HIRE, HIREConfig
+from ..nn import inference
 from ..core.predictor import assemble_user_chunks, build_serving_graph, task_chunk_rng
 from ..core.sampling import NeighborhoodSampler
 from ..data import make_cold_start_split, movielens_like
@@ -48,37 +57,47 @@ def _setup(smoke: bool):
         model_cfg = dict(num_blocks=1, num_heads=2, attr_dim=4, seed=0)
         max_tasks, num_requests = 6, 18
         batch_sizes = (1, 4)
+        mixed_budgets = [(12, 12), (10, 11), (9, 12)]
     else:
         dataset = movielens_like(num_users=150, num_items=100, seed=0,
                                  ratings_per_user=30.0)
         model_cfg = dict(num_blocks=3, num_heads=8, attr_dim=16, seed=0)
         max_tasks, num_requests = 12, 96
         batch_sizes = (1, 4, 8, 16)
+        mixed_budgets = [(12, 12), (10, 11), (9, 12), (12, 10)]
     split = make_cold_start_split(dataset, 0.2, 0.2, seed=0)
     tasks = build_eval_tasks(split, "user", min_query=2, seed=0,
                              max_tasks=max_tasks)
     model = HIRE(dataset, HIREConfig(**model_cfg))
     workload = synthesize_workload(tasks, num_requests, seed=0)
-    return dataset, split, tasks, model, workload, batch_sizes
+    mixed = synthesize_workload(tasks, num_requests, seed=1,
+                                context_budgets=mixed_budgets)
+    return dataset, split, tasks, model, workload, mixed, batch_sizes
 
 
 def _score_sequential(model, split, tasks, workload, config: ServiceConfig):
     """One-request-at-a-time reference: the exact predictor code path,
-    assembled and forwarded per request with no batching or caching."""
+    assembled and forwarded per request with no batching or caching.
+    Per-request context-budget overrides are honored, mirroring
+    ``PredictionService.submit``."""
     graph, candidate_users, candidate_items = build_serving_graph(split, tasks)
     sampler = NeighborhoodSampler()
     scores = []
     for request in workload:
         query_items = np.asarray(request.item_ids, dtype=np.int64)
         support_items = np.asarray(request.support_items, dtype=np.int64)
+        context_users = (config.context_users if request.context_users is None
+                         else request.context_users)
+        context_items = (config.context_items if request.context_items is None
+                         else request.context_items)
         total = None
         for sample_index in range(config.num_context_samples):
             def rng_factory(start, _sample=sample_index):
                 return task_chunk_rng(config.seed, request.user, _sample, start)
             chunks = assemble_user_chunks(
                 graph, sampler, request.user, query_items, support_items,
-                context_users=config.context_users,
-                context_items=config.context_items,
+                context_users=context_users,
+                context_items=context_items,
                 reveal_fraction=config.reveal_fraction,
                 candidate_users=candidate_users,
                 candidate_items=candidate_items,
@@ -120,9 +139,82 @@ def _run_service(model, split, tasks, workload, config: ServiceConfig):
         service.close()
 
 
+def _plan_cache_counters() -> tuple[int, int]:
+    stats = inference.cache_stats()
+    return stats["hits"], stats["misses"]
+
+
+def _run_packing_mode(model, split, tasks, workload, pack_contexts: bool):
+    """Steady-state replay of the mixed-shape workload in one packing mode.
+
+    The first replay warms the context cache and builds plans on the fresh
+    worker thread (plan caches are thread-local, so each mode starts
+    cold); the second is timed — the packing win is a forward-execution
+    property, so it is measured with assembly amortized, as a hot serving
+    process runs.  The plan-cache hit rate is the delta of the process
+    counters across the timed replay: steady-state misses mean the mode's
+    key diversity exceeds the LRU and it is rebuilding plans per batch.
+    """
+    config = ServiceConfig(max_batch_size=8,
+                           queue_size=max(len(workload), 8),
+                           pack_contexts=pack_contexts)
+    service = PredictionService.from_split(model, split, tasks, config=config)
+    try:
+        replay_workload(service, workload)
+        hits_before, misses_before = _plan_cache_counters()
+        start = time.perf_counter()
+        scores = replay_workload(service, workload)
+        seconds = time.perf_counter() - start
+        hits, misses = _plan_cache_counters()
+        hits -= hits_before
+        misses -= misses_before
+        total = hits + misses
+        cache = {"hits": hits, "misses": misses,
+                 "hit_rate": hits / total if total else 0.0}
+        return seconds, scores, cache, service.metrics.snapshot(), \
+            service.stats()
+    finally:
+        service.close()
+
+
+def _run_packing_benchmark(model, split, tasks, mixed, config) -> dict:
+    """Packed vs exact-shape-only serving of the mixed-budget workload."""
+    expected = _score_sequential(model, split, tasks, mixed, config)
+    exact_seconds, exact_scores, exact_cache, _, _ = _run_packing_mode(
+        model, split, tasks, mixed, pack_contexts=False)
+    packed_seconds, packed_scores, packed_cache, snapshot, stats = (
+        _run_packing_mode(model, split, tasks, mixed, pack_contexts=True))
+
+    bit_identical = all(
+        np.array_equal(a, b) for a, b in zip(expected, exact_scores)
+    ) and all(
+        np.array_equal(a, b) for a, b in zip(expected, packed_scores))
+    budgets = sorted({(r.context_users, r.context_items) for r in mixed})
+    section = {
+        "mixed_budgets": [list(b) for b in budgets],
+        "num_requests": len(mixed),
+        "exact_only_seconds": exact_seconds,
+        "packed_seconds": packed_seconds,
+        "pack_gain": exact_seconds / packed_seconds,
+        "bit_identical_to_sequential": bit_identical,
+        "plan_cache": {"exact_only": exact_cache, "packed": packed_cache},
+        "packed_contexts_total": snapshot.get(
+            "serve.packed_contexts_total", {}).get("value", 0),
+        "pad_waste_last": snapshot.get(
+            "serve.pack_pad_waste", {}).get("value", 0.0),
+    }
+    occupancy = snapshot.get("serve.pack_bucket_occupancy")
+    if occupancy:
+        section["bucket_occupancy"] = {key: occupancy[key]
+                                       for key in ("count", "mean", "p50")}
+    if "embed_store" in stats:
+        section["embed_store"] = stats["embed_store"]
+    return section
+
+
 def run_serve_benchmark(smoke: bool = False) -> dict:
     """Sequential baseline vs. service across batch sizes × cache on/off."""
-    dataset, split, tasks, model, workload, batch_sizes = _setup(smoke)
+    dataset, split, tasks, model, workload, mixed, batch_sizes = _setup(smoke)
     config = ServiceConfig()  # shared assembly knobs for every mode
 
     # Warm-up: one forward (first-touch allocations, BLAS init).
@@ -154,6 +246,8 @@ def run_serve_benchmark(smoke: bool = False) -> dict:
                     baseline_seconds / result["seconds"])
                 runs.append(result)
 
+    packing = _run_packing_benchmark(model, split, tasks, mixed, config)
+
     best = max(runs, key=lambda r: r["speedup_vs_sequential"])
     best_on = max((r for r in runs if r["engine"]),
                   key=lambda r: r["speedup_vs_sequential"])
@@ -175,6 +269,7 @@ def run_serve_benchmark(smoke: bool = False) -> dict:
             "requests_per_second": len(workload) / baseline_seconds,
         },
         "runs": runs,
+        "packing": packing,
         "bit_identical_all_runs": bit_identical,
         "best_speedup": best["speedup_vs_sequential"],
         "best_config": {"batch_size": best["batch_size"],

@@ -505,7 +505,7 @@ def softmax_into(scores: np.ndarray, red: np.ndarray) -> np.ndarray:
 def mha_qkv_into(qkv: np.ndarray, num_heads: int, out: np.ndarray,
                  q: np.ndarray, k: np.ndarray, v: np.ndarray,
                  scores: np.ndarray, red: np.ndarray,
-                 ctx: np.ndarray) -> np.ndarray:
+                 ctx: np.ndarray, spans=None) -> np.ndarray:
     """Packed-QKV multi-head attention into ``out`` — mirrors
     :func:`multi_head_attention_qkv`.
 
@@ -513,6 +513,17 @@ def mha_qkv_into(qkv: np.ndarray, num_heads: int, out: np.ndarray,
     ``(..., H, t, hd)`` head-major buffers, ``scores`` is ``(..., H, t, t)``
     and ``red`` its ``(..., H, t, 1)`` reduction scratch; ``out`` is
     ``(..., t, d)``.
+
+    ``spans`` is the padded-packing row mask, expressed structurally: a
+    sequence of ``(q_s, k_swapped_s, v_s, scores_s, red_s, ctx_s)`` view
+    tuples, each slicing the head-major buffers down to one span's *real*
+    batch rows and token count.  With spans, the attention core (``q kᵀ``,
+    softmax, ``probs @ v``) runs once per span on those sliced views, so
+    padded rows and columns never enter a reduction — every real row's
+    scores stay bitwise identical to an unpadded run, while the head
+    split/merge copies and the 1/√hd scale still execute on the full
+    (padded) buffers in one shot.  Padded regions of ``ctx``/``out`` are
+    left stale; callers must never extract them.
     """
     *lead, t, packed = qkv.shape
     d = packed // 3
@@ -525,9 +536,15 @@ def mha_qkv_into(qkv: np.ndarray, num_heads: int, out: np.ndarray,
     np.copyto(k, split[1])
     np.copyto(v, split[2])
     np.multiply(q, scale, out=q)
-    np.matmul(q, np.swapaxes(k, -1, -2), out=scores)
-    softmax_into(scores, red)
-    np.matmul(scores, v, out=ctx)                 # (..., H, t, hd)
+    if spans is None:
+        np.matmul(q, np.swapaxes(k, -1, -2), out=scores)
+        softmax_into(scores, red)
+        np.matmul(scores, v, out=ctx)             # (..., H, t, hd)
+    else:
+        for q_s, k_sw, v_s, scores_s, red_s, ctx_s in spans:
+            np.matmul(q_s, k_sw, out=scores_s)
+            softmax_into(scores_s, red_s)
+            np.matmul(scores_s, v_s, out=ctx_s)
     out.reshape(*lead, t, num_heads, head_dim)[...] = np.swapaxes(ctx, -3, -2)
     return out
 

@@ -20,9 +20,23 @@ the fused-kernel forward; callers fall back to the Tensor path for gradient
 work, ``capture_attention``, and the decomposed reference kernels (see
 :func:`engine_supported`).
 
+Beyond exact-shape batching (:func:`forward_inference_many`), the engine
+packs *mixed-shape* contexts into one padded plan execution
+(:func:`forward_inference_packed`): contexts smaller than the plan's
+``(n, m)`` are padded with zero rows/columns, the FLOP-heavy linears, layer
+norms and the per-cell MBA attention run full-padded in one batched call,
+and the MBU/MBI attention cores plus the decoder GEMM run per shape-group
+on sliced views of the padded arenas — which keeps every real row's scores
+bitwise identical to an unpadded forward (the reduction lengths the
+floating-point sums see never change).  See docs/nn_substrate.md ("Padded
+packing").  An :class:`EmbeddingStore` additionally caches the encoder's
+per-entity attribute rows across requests, keyed to the plan generation.
+
 Observability: every run is wrapped in an ``infer/forward`` span, and the
 process metrics registry tracks ``infer.plan_cache.hit`` /
-``infer.plan_cache.miss`` counters plus an ``infer.workspace_bytes`` gauge.
+``infer.plan_cache.miss`` and ``infer.embed_store.hit`` /
+``infer.embed_store.miss`` counters plus an ``infer.workspace_bytes``
+gauge.
 """
 
 from __future__ import annotations
@@ -43,8 +57,10 @@ from ..obs import spans as _spans
 __all__ = [
     "Workspace",
     "InferencePlan",
+    "EmbeddingStore",
     "forward_inference",
     "forward_inference_many",
+    "forward_inference_packed",
     "engine_supported",
     "get_plan",
     "bump_generation",
@@ -68,11 +84,17 @@ class Workspace:
         self._arenas: dict[str, np.ndarray] = {}
 
     def reserve(self, name: str, count: int, dtype=None) -> None:
-        """Grow arena ``name`` to at least ``count`` elements."""
+        """Grow arena ``name`` to at least ``count`` elements.
+
+        Arenas start zeroed (not ``np.empty``): packed executions read
+        whole padded buffers through elementwise ops, and zero padding
+        keeps them finite — uninitialised ±inf garbage would turn a
+        padded layer-norm row into ``inf - inf`` NaN warnings.
+        """
         dtype = self.dtype if dtype is None else np.dtype(dtype)
         existing = self._arenas.get(name)
         if existing is None or existing.size < count:
-            self._arenas[name] = np.empty(max(count, 1), dtype=dtype)
+            self._arenas[name] = np.zeros(max(count, 1), dtype=dtype)
 
     def view(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
         """A contiguous view of arena ``name`` with the requested shape."""
@@ -88,12 +110,110 @@ class Workspace:
         return sum(a.nbytes for a in self._arenas.values())
 
 
+class EmbeddingStore:
+    """Warm-entity cache of the encoder's per-entity attribute rows.
+
+    ``x_u`` (and ``x_i``) are pure functions of an entity's static attribute
+    row and the encoder's embedding tables, so recomputing them per request
+    is wasted work.  The store holds one precomputed row per entity —
+    ``user_rows[u] = concat_k user_transforms[k][attributes[u, k]]`` — filled
+    lazily on first sight and reused across requests; the plan encode then
+    gathers whole rows with a single ``np.take`` per side.  Rows are built
+    by the same gather ops the direct encode performs (no arithmetic), so
+    store-backed scores are bitwise identical to store-free ones.
+
+    Validity is keyed to ``(model, generation())``: a
+    :class:`repro.serve.ModelRegistry` hot swap bumps the generation and
+    retires the store (see :meth:`valid_for`).  Writes are idempotent —
+    concurrent workers may fill the same missing row with identical bytes,
+    and a row is only marked valid after its bytes land — so the store is
+    shared across worker threads without a lock; the ``hits``/``misses``
+    tallies are best-effort under concurrency.
+    """
+
+    def __init__(self, model):
+        enc = model.encoder
+        self.model = model
+        self.generation = generation()
+        self._enc = enc
+        self._f = enc.attr_dim
+        dtype = model.decoder.weight.data.dtype
+        num_users = enc._user_attributes.shape[0]
+        num_items = enc._item_attributes.shape[0]
+        self.user_rows = np.zeros((num_users, enc.num_user_attrs * enc.attr_dim),
+                                  dtype=dtype)
+        self.item_rows = np.zeros((num_items, enc.num_item_attrs * enc.attr_dim),
+                                  dtype=dtype)
+        self._user_valid = np.zeros(num_users, dtype=bool)
+        self._item_valid = np.zeros(num_items, dtype=bool)
+        self.hits = 0
+        self.misses = 0
+
+    def valid_for(self, model) -> bool:
+        """Whether the store may serve ``model`` at the current generation."""
+        return self.model is model and self.generation == generation()
+
+    def ensure(self, users: np.ndarray, items: np.ndarray) -> None:
+        """Fill any missing user/item rows so gathers can proceed."""
+        registry = _metrics.get_registry()
+        self._ensure_side(users, self._user_valid, self.user_rows,
+                          self._enc._user_attributes,
+                          self._enc.user_transforms, registry)
+        self._ensure_side(items, self._item_valid, self.item_rows,
+                          self._enc._item_attributes,
+                          self._enc.item_transforms, registry)
+
+    def _ensure_side(self, ids, valid, rows, attributes, transforms,
+                     registry) -> None:
+        if rows.shape[1] == 0:
+            return
+        present = valid[ids]
+        hits = int(present.sum())
+        if hits:
+            self.hits += hits
+            registry.counter("infer.embed_store.hit").inc(hits)
+        if hits == len(ids):
+            return
+        missing = np.unique(ids[~present])
+        f = self._f
+        col = 0
+        for k, transform in enumerate(transforms):
+            rows[missing, col:col + f] = transform.weight.data[
+                attributes[missing, k]]
+            col += f
+        valid[missing] = True
+        self.misses += int(missing.size)
+        registry.counter("infer.embed_store.miss").inc(int(missing.size))
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "users_cached": int(self._user_valid.sum()),
+            "items_cached": int(self._item_valid.sum()),
+            "bytes": int(self.user_rows.nbytes + self.item_rows.nbytes),
+        }
+
+
 class _AttnStep:
     """One attention layer bound to its input/output views and scratch."""
 
-    __slots__ = ("attention", "norm", "x", "out_arr", "residual", "num_heads",
-                 "normed", "sq", "red_ln", "qkv", "q", "k", "v", "scores",
-                 "red", "ctx", "attn_out")
+    __slots__ = ("attention", "norm", "kind", "x", "out_arr", "residual",
+                 "num_heads", "normed", "sq", "red_ln", "qkv", "q", "k", "v",
+                 "scores", "red", "ctx", "attn_out")
+
+
+class _EncodeSlot:
+    """Encoder views for one context slab of ``h`` (possibly sliced)."""
+
+    __slots__ = ("cell", "user_block", "item_block", "rat", "xu", "xi",
+                 "idx_n", "idx_m", "rflt", "ilev", "emb", "pad")
+
+
+class _PackProgram:
+    """Precompiled views for one packed composition of context shapes."""
+
+    __slots__ = ("slots", "attn_spans", "dec_spans")
 
 
 class InferencePlan:
@@ -132,6 +252,9 @@ class InferencePlan:
         self._steps = self._build_steps()
         # alpha pre-cast once so the sigmoid rescale allocates nothing per call.
         self._alpha = np.asarray(model.alpha, dtype=self.dtype)
+        # Packed-execution programs, keyed by the composition of real
+        # context shapes (one entry per distinct mix of (n_i, m_i) tuples).
+        self._pack_programs: dict[tuple, _PackProgram] = {}
 
     # ------------------------------------------------------------------ #
     # Layout
@@ -202,12 +325,36 @@ class InferencePlan:
                        if "h_user" in ws._arenas else None)
         self.logits = ws.view("logits", (*lead, n, m, 1))
         self.out = ws.view("out", (*lead, n, m))
-        self.xu = ws.view("xu", (n, self.hu_f))
-        self.xi = ws.view("xi", (m, self.hi_f))
-        self.idx = ws.view("idx", (max(n, m),))
-        self.rflt = ws.view("rflt", (n, m))
-        self.ilev = ws.view("ilev", (n, m))
-        self.emb = ws.view("emb", (n, m, self.f))
+        # One full-shape encode slot per context slab; the encoder scratch
+        # arenas are shared across slots (encodes run sequentially).
+        slabs = self.h.reshape(-1, n, m, e)
+        self._encode_slots = [self._make_encode_slot(slabs[b], n, m)
+                              for b in range(slabs.shape[0])]
+
+    def _make_encode_slot(self, cell: np.ndarray, n: int, m: int) -> _EncodeSlot:
+        """Encoder views for one ``(n_full, m_full, e)`` slab of ``h``,
+        filled over its leading ``(n, m)`` region; any padding strips beyond
+        that region are zeroed on every encode."""
+        ws = self.workspace
+        slot = _EncodeSlot()
+        slot.cell = cell[:n, :m]
+        slot.user_block = slot.cell[:, :, : self.hu_f]
+        slot.item_block = slot.cell[:, :, self.hu_f: self.hu_f + self.hi_f]
+        slot.rat = slot.cell[:, :, self.hu_f + self.hi_f:]
+        slot.xu = ws.view("xu", (n, self.hu_f))
+        slot.xi = ws.view("xi", (m, self.hi_f))
+        slot.idx_n = ws.view("idx", (n,))
+        slot.idx_m = ws.view("idx", (m,))
+        slot.rflt = ws.view("rflt", (n, m))
+        slot.ilev = ws.view("ilev", (n, m))
+        slot.emb = ws.view("emb", (n, m, self.f))
+        pad = []
+        if n < cell.shape[0]:
+            pad.append(cell[n:, :, :])
+        if m < cell.shape[1]:
+            pad.append(cell[:n, m:, :])
+        slot.pad = tuple(pad)
+        return slot
 
     # ------------------------------------------------------------------ #
     # Step compilation
@@ -220,6 +367,7 @@ class InferencePlan:
         step = _AttnStep()
         step.attention = attention
         step.norm = norm
+        step.kind = kind
         step.x = x
         step.out_arr = out_arr
         step.residual = residual
@@ -240,7 +388,7 @@ class InferencePlan:
         return step
 
     @staticmethod
-    def _exec_attn(step: _AttnStep) -> None:
+    def _exec_attn(step: _AttnStep, spans=None) -> None:
         at = step.attention
         if step.norm is not None:
             F.layer_norm_into(step.x, step.norm.gamma.data,
@@ -251,7 +399,8 @@ class InferencePlan:
             src = step.x
         F.linear_into(src, at.w_qkv.data, step.qkv)
         F.mha_qkv_into(step.qkv, step.num_heads, step.attn_out, step.q,
-                       step.k, step.v, step.scores, step.red, step.ctx)
+                       step.k, step.v, step.scores, step.red, step.ctx,
+                       spans=spans)
         bias = at.w_output.bias
         F.linear_into(step.attn_out, at.w_output.weight.data, step.normed,
                       bias=None if bias is None else bias.data)
@@ -271,114 +420,227 @@ class InferencePlan:
         reshape-copy the Tensor path performs on a non-contiguous input).
         """
         lead, n, m, e = self.lead, self.n, self.m, self.e
-        steps = []
-
-        def copy_step(dst, src):
-            def run():
-                np.copyto(dst, src)
-            return run
-
-        def attn_step(step):
-            def run():
-                self._exec_attn(step)
-            return run
+        steps = []  # ("attn", _AttnStep) | ("copy", dst, src)
 
         for block in self.model.blocks:
             in_h = True  # activation currently lives in self.h
             if block.use_user:
                 x = self.h.swapaxes(-3, -2)          # (…, m, n, e) view
                 norm = block.user_norm if block.use_layer_norm else None
-                steps.append(attn_step(self._bind_attention(
+                steps.append(("attn", self._bind_attention(
                     block.user_attention, norm, "user", x, self.h_user,
                     block.use_residual)))
                 in_h = False
             if block.use_item:
                 x = self.h if in_h else self.h_user.swapaxes(-3, -2)
                 norm = block.item_norm if block.use_layer_norm else None
-                steps.append(attn_step(self._bind_attention(
+                steps.append(("attn", self._bind_attention(
                     block.item_attention, norm, "item", x, self.h,
                     block.use_residual)))
                 in_h = True
             if block.use_attr:
                 if not in_h:
-                    steps.append(copy_step(self.h, self.h_user.swapaxes(-3, -2)))
+                    steps.append(("copy", self.h,
+                                  self.h_user.swapaxes(-3, -2)))
                     in_h = True
                 x = self.h.reshape(*lead, n, m, self.num_attrs, self.f)
                 norm = block.attr_norm if block.use_layer_norm else None
-                steps.append(attn_step(self._bind_attention(
+                steps.append(("attn", self._bind_attention(
                     block.attr_attention, norm, "attr", x, x,
                     block.use_residual)))
             if not in_h:
-                steps.append(copy_step(self.h, self.h_user.swapaxes(-3, -2)))
+                steps.append(("copy", self.h, self.h_user.swapaxes(-3, -2)))
         return steps
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def _encode_into(self, context, h_cell: np.ndarray) -> None:
-        """Fill one context's ``(n, m, e)`` slab of ``h`` in place."""
+    def _encode_into(self, context, slot: _EncodeSlot,
+                     store: EmbeddingStore | None = None) -> None:
+        """Fill one context's slab of ``h`` in place through ``slot``'s views."""
         enc = self.encoder
         f = self.f
-        col = 0
-        idx_n = self.idx[: self.n]
-        for k, transform in enumerate(enc.user_transforms):
-            np.take(enc._user_attributes[:, k], context.users, out=idx_n)
-            np.take(transform.weight.data, idx_n, axis=0,
-                    out=self.xu[:, col:col + f])
-            col += f
+        if store is not None:
+            # Warm path: rows were built by the identical gather ops, so a
+            # single whole-row take per side reproduces the same bytes.
+            store.ensure(context.users, context.items)
+            if self.hu_f:
+                np.take(store.user_rows, context.users, axis=0, out=slot.xu)
+            if self.hi_f:
+                np.take(store.item_rows, context.items, axis=0, out=slot.xi)
+        else:
+            col = 0
+            for k, transform in enumerate(enc.user_transforms):
+                np.take(enc._user_attributes[:, k], context.users,
+                        out=slot.idx_n)
+                np.take(transform.weight.data, slot.idx_n, axis=0,
+                        out=slot.xu[:, col:col + f])
+                col += f
+            col = 0
+            for k, transform in enumerate(enc.item_transforms):
+                np.take(enc._item_attributes[:, k], context.items,
+                        out=slot.idx_m)
+                np.take(transform.weight.data, slot.idx_m, axis=0,
+                        out=slot.xi[:, col:col + f])
+                col += f
         if self.hu_f:
-            h_cell[:, :, : self.hu_f] = self.xu[:, None, :]
-        col = 0
-        idx_m = self.idx[: self.m]
-        for k, transform in enumerate(enc.item_transforms):
-            np.take(enc._item_attributes[:, k], context.items, out=idx_m)
-            np.take(transform.weight.data, idx_m, axis=0,
-                    out=self.xi[:, col:col + f])
-            col += f
+            slot.user_block[...] = slot.xu[:, None, :]
         if self.hi_f:
-            h_cell[:, :, self.hu_f: self.hu_f + self.hi_f] = self.xi[None, :, :]
+            slot.item_block[...] = slot.xi[None, :, :]
         # Ratings: dense lookup into the scratch table, then masked copy —
         # revealed cells land on exactly the rows the sparse Tensor encode
         # looks up; masked cells take the mask token / zero fill.
-        rat = h_cell[:, :, self.hu_f + self.hi_f:]
-        np.subtract(context.ratings, enc.rating_low, out=self.rflt)
-        np.rint(self.rflt, out=self.rflt)
-        np.copyto(self.ilev, self.rflt, casting="unsafe")
-        np.clip(self.ilev, 0, enc.num_rating_levels - 1, out=self.ilev)
-        np.take(enc.rating_transform.weight.data, self.ilev, axis=0,
-                out=self.emb)
+        np.subtract(context.ratings, enc.rating_low, out=slot.rflt)
+        np.rint(slot.rflt, out=slot.rflt)
+        np.copyto(slot.ilev, slot.rflt, casting="unsafe")
+        np.clip(slot.ilev, 0, enc.num_rating_levels - 1, out=slot.ilev)
+        np.take(enc.rating_transform.weight.data, slot.ilev, axis=0,
+                out=slot.emb)
         if enc.mask_token is not None:
-            rat[...] = enc.mask_token.data
+            slot.rat[...] = enc.mask_token.data
         else:
-            rat.fill(0.0)
-        np.copyto(rat, self.emb, where=context.revealed[:, :, None])
+            slot.rat.fill(0.0)
+        np.copyto(slot.rat, slot.emb, where=context.revealed[:, :, None])
+        for strip in slot.pad:
+            strip.fill(0.0)
 
-    def _execute(self) -> np.ndarray:
+    def _execute(self, pack: _PackProgram | None = None) -> np.ndarray:
+        attn_spans = None if pack is None else pack.attn_spans
         for step in self._steps:
-            step()
+            if step[0] == "copy":
+                np.copyto(step[1], step[2])
+            else:
+                attn = step[1]
+                spans = (attn_spans.get(attn.kind)
+                         if attn_spans is not None else None)
+                self._exec_attn(attn, spans)
         dec = self.model.decoder
-        F.linear_into(self.h, dec.weight.data, self.logits,
-                      bias=None if dec.bias is None else dec.bias.data)
+        if pack is None:
+            F.linear_into(self.h, dec.weight.data, self.logits,
+                          bias=None if dec.bias is None else dec.bias.data)
+        else:
+            # The decoder GEMM has N=1, whose OpenBLAS kernel is not
+            # M-padding-stable — run it per shape group on sliced views
+            # (each batch slice is a contiguous (m_i, e) block), then add
+            # the bias over the full buffer exactly like linear_into.
+            for h_s, out_s in pack.dec_spans:
+                np.matmul(h_s, dec.weight.data, out=out_s)
+            if dec.bias is not None:
+                self.logits += dec.bias.data
         F.sigmoid_rescale_into(
             self.logits.reshape(*self.lead, self.n, self.m), self._alpha,
             self.out)
         return self.out
 
-    def run(self, context) -> np.ndarray:
+    def run(self, context,
+            store: EmbeddingStore | None = None) -> np.ndarray:
         """Single-context forward: returns the workspace-backed ``(n, m)``."""
         if self.lead:
             raise ValueError("batched plan cannot run a single context")
-        self._encode_into(context, self.h)
+        self._encode_into(context, self._encode_slots[0], store)
         return self._execute()
 
-    def run_many(self, contexts) -> np.ndarray:
+    def run_many(self, contexts,
+                 store: EmbeddingStore | None = None) -> np.ndarray:
         """Batched forward: returns the workspace-backed ``(B, n, m)``."""
         if self.lead != (len(contexts),):
             raise ValueError(
                 f"plan built for batch {self.lead}, got {len(contexts)}")
-        for b, context in enumerate(contexts):
-            self._encode_into(context, self.h[b])
+        for slot, context in zip(self._encode_slots, contexts):
+            self._encode_into(context, slot, store)
         return self._execute()
+
+    # ------------------------------------------------------------------ #
+    # Padded packing
+    # ------------------------------------------------------------------ #
+    def run_packed(self, contexts,
+                   store: EmbeddingStore | None = None) -> np.ndarray:
+        """Padded mixed-shape forward: returns workspace-backed ``(B, n, m)``.
+
+        ``contexts`` may be smaller than the plan's ``(n, m)``; each is
+        zero-padded into its slab.  Contexts must arrive grouped so equal
+        shapes are contiguous (sort descending by ``(n, m)`` — see
+        :func:`forward_inference_packed`).  Real rows/columns of each slab
+        are bitwise identical to an unpadded forward of that context:
+        elementwise ops, layer norms, the (M≥8, N≥8) linears and the
+        per-cell MBA attention are padding-stable full-batched, while the
+        MBU/MBI attention cores and the N=1 decoder GEMM execute per shape
+        group on sliced views whose reduction lengths equal the real ones.
+        Padded regions of the output are stale garbage — never read them.
+        """
+        if self.lead != (len(contexts),):
+            raise ValueError(
+                f"plan built for batch {self.lead}, got {len(contexts)}")
+        shapes = tuple((context.n, context.m) for context in contexts)
+        program = self._pack_programs.get(shapes)
+        if program is None:
+            program = self._compile_pack(shapes)
+            if len(self._pack_programs) >= _MAX_PACK_PROGRAMS:
+                self._pack_programs.clear()
+            self._pack_programs[shapes] = program
+        for slot, context in zip(program.slots, contexts):
+            self._encode_into(context, slot, store)
+        return self._execute(program)
+
+    def _compile_pack(self, shapes) -> _PackProgram:
+        """Bind the sliced views for one composition of context shapes."""
+        n, m = self.n, self.m
+        groups = []  # (b0, b1, n_i, m_i) contiguous same-shape runs
+        seen = set()
+        for b, (n_i, m_i) in enumerate(shapes):
+            if not (1 <= n_i <= n and 1 <= m_i <= m):
+                raise ValueError(
+                    f"context shape ({n_i}, {m_i}) exceeds plan ({n}, {m})")
+            if groups and groups[-1][2:] == (n_i, m_i):
+                groups[-1] = (groups[-1][0], b + 1, n_i, m_i)
+            else:
+                if (n_i, m_i) in seen:
+                    raise ValueError(
+                        "packed contexts must be grouped by shape "
+                        "(sort before calling run_packed)")
+                seen.add((n_i, m_i))
+                groups.append((b, b + 1, n_i, m_i))
+        slabs = self.h.reshape(-1, n, m, self.e)
+        program = _PackProgram()
+        program.slots = [self._make_encode_slot(slabs[b], n_i, m_i)
+                         for b, (n_i, m_i) in enumerate(shapes)]
+        program.attn_spans = {
+            kind: self._span_views(kind, groups)
+            for kind in self._enabled_kinds() if kind != "attr"
+        }
+        dec_spans = []
+        for b0, b1, n_i, m_i in groups:
+            dec_spans.append((self.h[b0:b1, :n_i, :m_i, :],
+                              self.logits[b0:b1, :n_i, :m_i, :]))
+        program.dec_spans = dec_spans
+        return program
+
+    def _span_views(self, kind: str, groups):
+        """Per-group sliced (q, kᵀ, v, scores, red, ctx) views for one kind."""
+        ws = self.workspace
+        bshape, t, d, heads = self._attn_shapes(kind)
+        head_dim = d // heads
+        head_shape = (*bshape, heads, t, head_dim)
+        q = ws.view("q", head_shape)
+        k = ws.view("k", head_shape)
+        v = ws.view("v", head_shape)
+        ctx = ws.view("ctx", head_shape)
+        scores = ws.view("scores", (*bshape, heads, t, t))
+        red = ws.view("red", (*bshape, heads, t, 1))
+        spans = []
+        for b0, b1, n_i, m_i in groups:
+            # MBU attends n tokens batched over m columns; MBI the reverse.
+            g, tt = (m_i, n_i) if kind == "user" else (n_i, m_i)
+            sl = (slice(b0, b1), slice(0, g), slice(None), slice(0, tt))
+            spans.append((
+                q[sl],
+                np.swapaxes(k[sl], -1, -2),
+                v[sl],
+                scores[b0:b1, :g, :, :tt, :tt],
+                red[b0:b1, :g, :, :tt, :],
+                ctx[sl],
+            ))
+        return spans
 
     def matches(self, model, lead, n: int, m: int, ratings_dtype) -> bool:
         return (self.model is model
@@ -393,7 +655,11 @@ class InferencePlan:
 # --------------------------------------------------------------------------- #
 _GEN_LOCK = threading.Lock()
 _GENERATION = 0
-_MAX_PLANS = 8
+# Mixed-shape traffic keys plans by *bucketed* shapes (the serve tier rounds
+# (n, m) up to pack buckets), so the key space stays small; 16 entries give
+# several lead sizes × several buckets headroom without hoarding workspaces.
+_MAX_PLANS = 16
+_MAX_PACK_PROGRAMS = 32
 
 
 def generation() -> int:
@@ -493,18 +759,22 @@ def engine_supported(model) -> bool:
     return True
 
 
-def forward_inference(model, context) -> np.ndarray:
+def forward_inference(model, context,
+                      embed_store: EmbeddingStore | None = None) -> np.ndarray:
     """Run one context through the compiled plan; ``(n, m)`` ratings.
 
     The result is a view into the plan's workspace — valid until the next
-    engine call on this thread.  Copy it to retain it.
+    engine call on this thread.  Copy it to retain it.  ``embed_store``
+    optionally reuses warm per-entity attribute rows (bitwise identical).
     """
     plan = get_plan(model, (), context.n, context.m, context.ratings.dtype)
     with _spans.span("infer/forward"):
-        return plan.run(context)
+        return plan.run(context, embed_store)
 
 
-def forward_inference_many(model, contexts) -> np.ndarray:
+def forward_inference_many(model, contexts,
+                           embed_store: EmbeddingStore | None = None
+                           ) -> np.ndarray:
     """Batched engine forward over same-shape contexts; ``(B, n, m)``.
 
     Bit-identical per slice to :func:`forward_inference` on each context,
@@ -517,4 +787,39 @@ def forward_inference_many(model, contexts) -> np.ndarray:
     plan = get_plan(model, (len(contexts),), first.n, first.m,
                     first.ratings.dtype)
     with _spans.span("infer/forward"):
-        return plan.run_many(contexts)
+        return plan.run_many(contexts, embed_store)
+
+
+def forward_inference_packed(model, contexts, n: int, m: int,
+                             embed_store: EmbeddingStore | None = None):
+    """Padded mixed-shape engine forward through one ``(B, n, m)`` plan.
+
+    Pads every context into an ``(n, m)`` slab of a single stacked plan and
+    executes once, with the attention cores and decoder sliced per shape
+    group so each real row's scores stay bitwise identical to an unpadded
+    :func:`forward_inference` of the same context (see
+    :meth:`InferencePlan.run_packed`; float32 shares the same guarantee on
+    the kernels this engine generates).
+
+    Returns ``(outputs, slots)``: ``outputs`` is the workspace-backed
+    ``(B, n, m)`` padded result and ``slots[i]`` the row holding
+    ``contexts[i]`` (contexts are re-ordered internally so equal shapes sit
+    in contiguous runs).  Only the leading ``(contexts[i].n, contexts[i].m)``
+    region of a slab is meaningful.
+    """
+    if not contexts:
+        raise ValueError("forward_inference_packed needs at least one context")
+    ratings_dtype = contexts[0].ratings.dtype
+    for context in contexts:
+        if context.ratings.dtype != ratings_dtype:
+            raise ValueError("packed contexts must share a ratings dtype")
+    order = sorted(range(len(contexts)),
+                   key=lambda i: (-contexts[i].n, -contexts[i].m))
+    ordered = [contexts[i] for i in order]
+    plan = get_plan(model, (len(contexts),), n, m, ratings_dtype)
+    with _spans.span("infer/forward"):
+        outputs = plan.run_packed(ordered, embed_store)
+    slots = [0] * len(contexts)
+    for row, index in enumerate(order):
+        slots[index] = row
+    return outputs, slots

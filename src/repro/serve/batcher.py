@@ -12,11 +12,22 @@ scored once and the result fans out to every caller's future.  HIRE scores
 an n × m context matrix in one forward pass, so requests for different
 users stack into one batched forward downstream (see
 :meth:`repro.core.HIRE.predict_many`).
+
+When a ``bucket_key`` is configured, batches are additionally shaped for
+the padded packer: each batch holds requests of a single shape bucket
+(same rounded context budget), gathered bucket-first so one downstream
+packed plan execution covers the whole batch.  Requests of *other* buckets
+seen while gathering are parked in a pending buffer — never dropped — and
+lead the very next batch; a deadline flushes a partially filled bucket
+rather than waiting for exact coalescing, bounding any request's wait to
+roughly two ``max_wait_seconds`` windows.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from concurrent.futures import Future
 
@@ -30,18 +41,27 @@ __all__ = ["PredictRequest", "MicroBatcher", "group_requests"]
 
 @dataclass
 class PredictRequest:
-    """One pending ``(user, item_ids)`` prediction with its result future."""
+    """One pending ``(user, item_ids)`` prediction with its result future.
+
+    ``context_users`` / ``context_items`` optionally override the service's
+    context budgets for this request (``None`` = service default); they are
+    part of the coalescing key, since different budgets sample different
+    contexts.
+    """
 
     user: int
     item_ids: np.ndarray
     support_items: np.ndarray
+    context_users: int | None = None
+    context_items: int | None = None
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
 
     def key(self) -> tuple:
         """Coalescing identity: requests with equal keys share one result."""
         return (self.user, tuple(self.item_ids.tolist()),
-                tuple(self.support_items.tolist()))
+                tuple(self.support_items.tolist()),
+                self.context_users, self.context_items)
 
 
 def group_requests(batch: list[PredictRequest]
@@ -54,10 +74,20 @@ def group_requests(batch: list[PredictRequest]
 
 
 class MicroBatcher:
-    """Coalesce queued requests into bounded, deadline-limited batches."""
+    """Coalesce queued requests into bounded, deadline-limited batches.
+
+    With ``bucket_key`` (a callable mapping a request to a hashable shape
+    bucket), every batch is homogeneous in bucket: the first request fixes
+    the batch's bucket, same-bucket requests fill it, and other-bucket
+    requests are parked in an internal pending buffer that leads the next
+    batch.  The deadline flushes partially filled buckets — a request is
+    never held past its batch's ``max_wait_seconds`` window waiting for
+    bucket-mates, and a parked request starts its own window as soon as a
+    worker asks again.
+    """
 
     def __init__(self, max_batch_size: int = 8, max_wait_seconds: float = 0.002,
-                 queue_size: int = 64, clock=time.monotonic):
+                 queue_size: int = 64, clock=time.monotonic, bucket_key=None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_seconds < 0:
@@ -66,6 +96,9 @@ class MicroBatcher:
         self.max_wait_seconds = max_wait_seconds
         self.queue = BoundedQueue(queue_size)
         self._clock = clock
+        self.bucket_key = bucket_key
+        self._pending: deque[PredictRequest] = deque()
+        self._pending_lock = threading.Lock()
 
     def submit(self, request: PredictRequest) -> None:
         """Enqueue a request (non-blocking; sheds load when full)."""
@@ -78,13 +111,35 @@ class MicroBatcher:
         gathering until ``max_batch_size`` requests are in hand or
         ``max_wait_seconds`` has elapsed since the first one.  Raises
         :class:`~repro.serve.errors.ServiceClosedError` once the queue is
-        closed and fully drained.
+        closed and fully drained (and no requests are parked).
         """
-        first = self.queue.get(timeout)
+        first = self._pop_pending()
         if first is None:
-            return []
+            try:
+                first = self.queue.get(timeout)
+            except ServiceClosedError:
+                first = self._pop_pending()  # parked after a racing close
+                if first is None:
+                    raise
+            if first is None:
+                return []
+        if self.bucket_key is None:
+            return self._gather(first, lambda request: True)
+        bucket = self.bucket_key(first)
+        return self._gather(first,
+                            lambda request: self.bucket_key(request) == bucket)
+
+    def _gather(self, first: PredictRequest, accept) -> list[PredictRequest]:
         batch = [first]
         deadline = self._clock() + self.max_wait_seconds
+        # Parked requests first: they have been waiting the longest.
+        with self._pending_lock:
+            kept: deque[PredictRequest] = deque()
+            while self._pending and len(batch) < self.max_batch_size:
+                request = self._pending.popleft()
+                (batch if accept(request) else kept).append(request)
+            kept.extend(self._pending)
+            self._pending = kept
         while len(batch) < self.max_batch_size:
             remaining = deadline - self._clock()
             if remaining <= 0:
@@ -95,16 +150,29 @@ class MicroBatcher:
                 break  # closed-and-drained: ship what we have
             if request is None:
                 break
-            batch.append(request)
+            if accept(request):
+                batch.append(request)
+            else:
+                with self._pending_lock:
+                    self._pending.append(request)
         return batch
+
+    def _pop_pending(self) -> PredictRequest | None:
+        with self._pending_lock:
+            return self._pending.popleft() if self._pending else None
 
     def close(self) -> None:
         self.queue.close()
 
     def drain(self) -> list[PredictRequest]:
         """Remove and return every queued request (non-draining shutdown)."""
-        return self.queue.drain()
+        with self._pending_lock:
+            parked = list(self._pending)
+            self._pending.clear()
+        return parked + self.queue.drain()
 
     @property
     def depth(self) -> int:
-        return len(self.queue)
+        with self._pending_lock:
+            parked = len(self._pending)
+        return parked + len(self.queue)

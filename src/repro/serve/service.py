@@ -14,13 +14,19 @@ Ties the serving pieces together behind ``submit()`` / ``predict()`` /
 * assembled contexts are memoised in an LRU+TTL cache
   (:mod:`~repro.serve.cache`), invalidated whenever the visible rating
   graph is updated;
-* all same-shape contexts of a batch run through one stacked
-  :meth:`HIRE.forward_many` pass (bit-identical per slice), and the
-  opt-in ``share_contexts`` mode additionally packs several cold users
-  into the rows of a *single* n × m context (faster still, but sampled
-  jointly — documented as not bit-identical to per-user scoring);
-* latency histograms (p50/p99), queue-depth gauges and cache hit-rate
-  counters stream into a :class:`repro.obs.MetricsRegistry`.
+* contexts of a batch are grouped into *shape buckets* — ``(n, m)``
+  rounded up to ``pack_bucket`` multiples, bounded by ``pack_max_waste``
+  — and each bucket executes as one padded, stacked
+  :func:`repro.nn.inference.forward_inference_packed` call whose real
+  rows are bitwise identical to unpadded per-request forwards (the
+  historical ``share_contexts`` flag now aliases this exact path; the old
+  approximate jointly-sampled mode is retired);
+* a warm-entity :class:`repro.nn.inference.EmbeddingStore` reuses encoder
+  attribute rows across requests, invalidated on registry hot swaps and
+  ``update_ratings``;
+* latency histograms (p50/p99), queue-depth gauges, pad-waste/bucket
+  occupancy and cache hit-rate counters stream into a
+  :class:`repro.obs.MetricsRegistry`.
 """
 
 from __future__ import annotations
@@ -40,7 +46,6 @@ from ..core.predictor import (
     task_chunk_rng,
 )
 from ..core.sampling import ContextSampler, NeighborhoodSampler
-from ..core.context import build_context
 from ..data.bipartite import RatingGraph
 from .batcher import MicroBatcher, PredictRequest, group_requests
 from .cache import ContextCache, context_cache_key
@@ -70,10 +75,23 @@ class ServiceConfig:
     cache_enabled: bool = True
     cache_entries: int = 2048
     cache_ttl_seconds: float | None = None
-    # Pack several cold users into one shared n x m context (approximate:
-    # jointly sampled contexts differ from per-user ones, so scores are not
-    # bit-identical to sequential prediction; see docs/serving.md).
+    # Padded packing: contexts whose (n, m) land in the same bucket —
+    # dimensions rounded up to the next pack_bucket multiple, unless that
+    # inflates the cell count by more than pack_max_waste — execute as one
+    # padded stacked plan call.  Exact: real rows are bitwise identical to
+    # unpadded per-request forwards (see docs/serving.md).
+    pack_contexts: bool = True
+    pack_bucket: int = 8
+    pack_max_waste: float = 1.0
+    # Historical alias for the packed path.  Earlier versions implemented
+    # share_contexts as an approximate jointly-sampled mode; that mode is
+    # retired — the flag now simply forces pack_contexts on and serving
+    # stays bit-identical to sequential prediction.
     share_contexts: bool = False
+    # Reuse encoder attribute rows for warm entities across requests
+    # (repro.nn.inference.EmbeddingStore; bitwise identical, invalidated
+    # on hot swap and update_ratings).
+    embed_store_enabled: bool = True
     # Run forwards through the graph-free repro.nn.inference engine when
     # supported (bitwise identical to the Tensor path); False is the escape
     # hatch back to no_grad Tensor forwards.
@@ -85,6 +103,12 @@ class ServiceConfig:
             raise ValueError("num_context_samples must be >= 1")
         if self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if self.pack_bucket < 1:
+            raise ValueError("pack_bucket must be >= 1")
+        if self.pack_max_waste < 0:
+            raise ValueError("pack_max_waste must be >= 0")
+        if self.share_contexts:
+            self.pack_contexts = True
 
 
 class PredictionService:
@@ -126,9 +150,15 @@ class PredictionService:
             np.asarray(candidate_items, dtype=np.int64),
             0,
         )
+        self._embed_store = None
+        # Bucket-homogeneous batches keep each micro-batch a single packed
+        # plan execution downstream; with uniform budgets every request
+        # shares one bucket, so dispatch matches the unbucketed batcher.
+        bucket_key = self._request_bucket if self.config.pack_contexts else None
         self._batcher = MicroBatcher(self.config.max_batch_size,
                                      self.config.max_wait_seconds,
-                                     self.config.queue_size)
+                                     self.config.queue_size,
+                                     bucket_key=bucket_key)
         self._pool = WorkerPool(self._worker_loop, self.config.num_workers)
         self._closed = False
         self._pool.start()
@@ -142,8 +172,15 @@ class PredictionService:
     # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
-    def submit(self, user: int, item_ids, support_items=None) -> Future:
+    def submit(self, user: int, item_ids, support_items=None, *,
+               context_users: int | None = None,
+               context_items: int | None = None) -> Future:
         """Enqueue one prediction; resolves to scores in ``item_ids`` order.
+
+        ``context_users`` / ``context_items`` override the service's context
+        budgets for this request (latency/quality knob per caller); requests
+        with nearby budgets still stack into one padded forward via shape
+        buckets.
 
         Never blocks: raises :class:`QueueFullError` when the bounded queue
         is full (load shedding), :class:`ServiceClosedError` after
@@ -153,6 +190,10 @@ class PredictionService:
         if self._closed:
             raise ServiceClosedError("service is closed")
         user = int(user)
+        for name, value in (("context_users", context_users),
+                            ("context_items", context_items)):
+            if value is not None and int(value) < 2:
+                raise RequestError(f"{name} override must be >= 2")
         item_ids = np.asarray(item_ids, dtype=np.int64).ravel()
         graph = self._graph_state[0]
         if item_ids.size == 0:
@@ -170,8 +211,10 @@ class PredictionService:
             support_items = graph.items_of_user(user)
         support_items = np.asarray(support_items, dtype=np.int64).ravel()
 
-        request = PredictRequest(user=user, item_ids=item_ids,
-                                 support_items=support_items)
+        request = PredictRequest(
+            user=user, item_ids=item_ids, support_items=support_items,
+            context_users=None if context_users is None else int(context_users),
+            context_items=None if context_items is None else int(context_items))
         try:
             self._batcher.submit(request)
         except (QueueFullError, ServiceClosedError):
@@ -182,9 +225,13 @@ class PredictionService:
         return request.future
 
     def predict(self, user: int, item_ids, support_items=None,
-                timeout: float | None = 30.0) -> np.ndarray:
+                timeout: float | None = 30.0, *,
+                context_users: int | None = None,
+                context_items: int | None = None) -> np.ndarray:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(user, item_ids, support_items).result(timeout)
+        return self.submit(user, item_ids, support_items,
+                           context_users=context_users,
+                           context_items=context_items).result(timeout)
 
     # ------------------------------------------------------------------ #
     # Graph updates
@@ -210,6 +257,9 @@ class PredictionService:
             )
         if self.cache is not None:
             self.cache.invalidate()
+        # Conservatively retire the warm-entity rows too: the rebuild may
+        # have introduced entities the store has never seen sized for.
+        self._embed_store = None
         return self._graph_state[3]
 
     @property
@@ -263,6 +313,9 @@ class PredictionService:
         }
         if self.cache is not None:
             out["cache"] = {**self.cache.stats.snapshot(), "entries": len(self.cache)}
+        store = self._embed_store
+        if store is not None:
+            out["embed_store"] = store.stats()
         return out
 
     def report(self) -> str:
@@ -316,27 +369,18 @@ class PredictionService:
             model = self._resolve_model()
             graph_state = self._graph_state
             groups = group_requests(batch)
-            if self.config.share_contexts:
-                shared, solo = self._partition_for_sharing(groups)
-            else:
-                shared, solo = [], groups
 
             plans = []
             with obs.span("serve/assemble"):
-                for key, requests in solo:
+                for key, requests in groups:
                     plans.append((requests, self._chunks_for(requests[0],
                                                              graph_state)))
             with obs.span("serve/forward"):
                 scores_by_plan = self._score_plans(model, plans)
-                if shared:
-                    shared_scores = self._score_shared(model, shared, graph_state)
 
             now = time.perf_counter()
             for (requests, _), scores in zip(plans, scores_by_plan):
                 self._resolve(requests, scores, now)
-            if shared:
-                for (key, requests), scores in zip(shared, shared_scores):
-                    self._resolve(requests, scores, now)
         except Exception as error:  # fail the whole batch, never hang callers
             self._counter("failed_total").inc(len(batch))
             for request in batch:
@@ -352,14 +396,58 @@ class PredictionService:
             latency.observe(now - request.enqueued_at)
             self._counter("completed_total").inc()
 
+    # -- shape buckets ------------------------------------------------- #
+    def _effective_budgets(self, request: PredictRequest) -> tuple[int, int]:
+        """Context budgets for one request (per-request overrides applied)."""
+        cfg = self.config
+        n = cfg.context_users if request.context_users is None else request.context_users
+        m = cfg.context_items if request.context_items is None else request.context_items
+        return n, m
+
+    def _bucket_dims(self, n: int, m: int) -> tuple[int, int]:
+        """Round ``(n, m)`` up to the padded bucket shape, or return them
+        unchanged when padding is disabled for this shape.
+
+        Shapes with ``n < 2`` or ``m < 2`` never pad: a single-token axis
+        turns padded linears into the one GEMM shape whose padded result is
+        not bitwise stable (see ``docs/nn_substrate.md``).  Shapes whose
+        bucket would inflate the cell count past ``pack_max_waste`` stay
+        exact as well — padding them would burn more FLOPs than stacking
+        saves.
+        """
+        b = self.config.pack_bucket
+        if b <= 1 or n < 2 or m < 2:
+            return n, m
+        nb = -(-n // b) * b
+        mb = -(-m // b) * b
+        if (nb * mb) / (n * m) - 1.0 > self.config.pack_max_waste:
+            return n, m
+        return nb, mb
+
+    def _request_bucket(self, request: PredictRequest) -> tuple[int, int]:
+        """The micro-batcher's bucket key: padded shape of this request."""
+        return self._bucket_dims(*self._effective_budgets(request))
+
+    def _embed_store_for(self, model: HIRE):
+        """The warm-entity row store for ``model``, rebuilt when the model
+        or its parameter generation changed (registry hot swap)."""
+        if not self.config.embed_store_enabled:
+            return None
+        store = self._embed_store
+        if store is None or not store.valid_for(model):
+            store = nn.inference.EmbeddingStore(model)
+            self._embed_store = store
+        return store
+
     # -- exact path ---------------------------------------------------- #
     def _chunks_for(self, request: PredictRequest, graph_state) -> list:
         """Per-sample assembled chunks for one request (cache-aware)."""
         graph, candidate_users, candidate_items, generation = graph_state
         cfg = self.config
+        context_users, context_items = self._effective_budgets(request)
         key = context_cache_key(generation, self.sampler.name, request.user,
                                 request.item_ids, request.support_items,
-                                cfg.context_users, cfg.context_items,
+                                context_users, context_items,
                                 cfg.reveal_fraction, cfg.seed)
         if self.cache is not None:
             cached = self.cache.get(key)
@@ -375,8 +463,8 @@ class PredictionService:
             samples.append(assemble_user_chunks(
                 graph, self.sampler, request.user,
                 request.item_ids, request.support_items,
-                context_users=cfg.context_users,
-                context_items=cfg.context_items,
+                context_users=context_users,
+                context_items=context_items,
                 reveal_fraction=cfg.reveal_fraction,
                 candidate_users=candidate_users,
                 candidate_items=candidate_items,
@@ -387,8 +475,16 @@ class PredictionService:
         return samples
 
     def _score_plans(self, model: HIRE, plans) -> list[np.ndarray]:
-        """Score every plan's chunks, stacking same-shape contexts into one
-        ``forward_many`` pass (bit-identical per slice to solo forwards)."""
+        """Score every plan's chunks, stacking same-*bucket* contexts into
+        one padded :func:`~repro.nn.inference.forward_inference_packed`
+        execution (bit-identical per real row to solo forwards).
+
+        Contexts whose exact shape already fills its bucket (the common
+        case under uniform budgets) take the unpadded ``forward_many``
+        path; mixed-shape buckets pad each context up to the bucket shape
+        and run once.  Without the engine (or with ``pack_contexts``
+        off) grouping falls back to exact shapes.
+        """
         entries = []  # (plan_index, sample_index, chunk)
         for plan_index, (_requests, samples) in enumerate(plans):
             for sample_index, chunks in enumerate(samples):
@@ -397,32 +493,42 @@ class PredictionService:
         if not entries:
             return []
 
-        by_shape: dict[tuple[int, int], list] = {}
-        for entry in entries:
-            chunk = entry[2]
-            by_shape.setdefault((chunk.context.n, chunk.context.m), []).append(entry)
-
         use_engine = (self.config.use_inference_engine
                       and nn.inference.engine_supported(model))
+        pack = use_engine and self.config.pack_contexts
+        store = self._embed_store_for(model) if use_engine else None
+
+        by_bucket: dict[tuple[int, int], list] = {}
+        for entry in entries:
+            context = entry[2].context
+            bucket = (self._bucket_dims(context.n, context.m)
+                      if pack else (context.n, context.m))
+            by_bucket.setdefault(bucket, []).append(entry)
+
         predicted: dict[int, np.ndarray] = {}
         with nn.no_grad():
-            for shape_entries in by_shape.values():
-                contexts = [chunk.context for _, _, chunk in shape_entries]
+            for (nb, mb), bucket_entries in by_bucket.items():
+                contexts = [chunk.context for _, _, chunk in bucket_entries]
+                exact = all(c.n == nb and c.m == mb for c in contexts)
+                if use_engine and not exact:
+                    self._score_packed(model, nb, mb, bucket_entries,
+                                       contexts, store, predicted)
+                    continue
                 if use_engine:
                     if len(contexts) == 1:
                         outputs = nn.inference.forward_inference(
-                            model, contexts[0])[None]
+                            model, contexts[0], embed_store=store)[None]
                     else:
                         outputs = nn.inference.forward_inference_many(
-                            model, contexts)
+                            model, contexts, embed_store=store)
                 elif len(contexts) == 1:
                     outputs = model.forward(contexts[0]).data[None]
                 else:
                     outputs = model.forward_many(contexts).data
                 # Extract each chunk's scores immediately: engine outputs
                 # are views into a reused workspace, overwritten by the
-                # next shape group's forward.
-                for (_, _, chunk), output in zip(shape_entries, outputs):
+                # next bucket's forward.
+                for (_, _, chunk), output in zip(bucket_entries, outputs):
                     predicted[id(chunk)] = output[chunk.user_row, chunk.cols]
 
         scores_by_plan: list[np.ndarray] = []
@@ -440,93 +546,17 @@ class PredictionService:
             scores_by_plan.append(total / len(samples))
         return scores_by_plan
 
-    # -- shared-context path (opt-in, approximate) --------------------- #
-    def _partition_for_sharing(self, groups):
-        """Greedily pick requests that fit together in one shared context."""
-        cfg = self.config
-        # Leave half the user budget for sampled warm neighbours.
-        max_shared_users = max(cfg.context_users // 2, 1)
-        shared, solo, used_items = [], [], 0
-        for key, requests in groups:
-            request = requests[0]
-            reserve = min(len(request.support_items),
-                          max(cfg.context_items // 4, 1))
-            need = len(request.item_ids) + reserve
-            fits = (len(shared) < max_shared_users
-                    and used_items + need <= cfg.context_items
-                    and cfg.num_context_samples == 1)
-            if fits:
-                shared.append((key, requests))
-                used_items += need
-            else:
-                solo.append((key, requests))
-        if len(shared) < 2:  # nothing gained by sharing a single request
-            return [], shared + solo
-        return shared, solo
-
-    def _score_shared(self, model: HIRE, shared, graph_state) -> list[np.ndarray]:
-        """One n × m context whose rows serve several cold users at once."""
-        graph, candidate_users, candidate_items, generation = graph_state
-        cfg = self.config
-        requests = [entry[1][0] for entry in shared]
-        target_users = np.unique(np.array([r.user for r in requests],
-                                          dtype=np.int64))
-        pieces = []
-        for request in requests:
-            reserve = min(len(request.support_items),
-                          max(cfg.context_items // 4, 1))
-            pieces.append(request.item_ids)
-            pieces.append(request.support_items[:reserve])
-        target_items = np.unique(np.concatenate(pieces))
-
-        # Jointly sampled -> deterministic in the set of packed users.
-        rng = np.random.default_rng(
-            [cfg.seed, generation, len(target_items)] + target_users.tolist())
-        users, items = self.sampler.sample(
-            graph, target_users=target_users, target_items=target_items,
-            n=cfg.context_users, m=cfg.context_items, rng=rng,
-            candidate_users=candidate_users, candidate_items=candidate_items)
-        users = _ensure_members(users, target_users)
-        items = _ensure_members(items, target_items)
-
-        user_row = {int(user): row for row, user in enumerate(users)}
-        item_pos = {int(item): col for col, item in enumerate(items)}
-        forced_reveal = np.zeros((len(users), len(items)), dtype=bool)
-        for request in requests:
-            row = user_row[request.user]
-            for item in request.support_items:
-                col = item_pos.get(int(item))
-                if col is not None and graph.has_rating(request.user, int(item)):
-                    forced_reveal[row, col] = True
-        context = build_context(graph, users, items, rng,
-                                reveal_fraction=cfg.reveal_fraction,
-                                forced_reveal=forced_reveal)
-        with nn.no_grad():
-            if (self.config.use_inference_engine
-                    and nn.inference.engine_supported(model)):
-                output = nn.inference.forward_inference(model, context)
-            else:
-                output = model.forward(context).data
-
-        self._counter("shared_context_users_total").inc(len(requests))
-        scores = []
-        for request in requests:
-            row = user_row[request.user]
-            cols = np.array([item_pos[int(i)] for i in request.item_ids],
-                            dtype=np.int64)
-            assert not context.observed[row, cols].any(), (
-                "query ratings leaked into the shared serving context")
-            scores.append(output[row, cols].astype(np.float64))
-        return scores
-
-
-def _ensure_members(selected: np.ndarray, targets: np.ndarray) -> np.ndarray:
-    """Group variant of :func:`repro.core.ensure_targets`: force every
-    target entity into ``selected`` without growing it."""
-    selected = np.asarray(selected, dtype=np.int64)
-    targets = np.asarray(targets, dtype=np.int64)
-    missing = targets[~np.isin(targets, selected)]
-    if missing.size:
-        keep = selected[~np.isin(selected, missing[: len(selected)])]
-        selected = np.concatenate([missing, keep])[: len(selected)]
-    return selected
+    def _score_packed(self, model: HIRE, nb: int, mb: int, bucket_entries,
+                      contexts, store, predicted) -> None:
+        """One padded stacked execution for a mixed-shape bucket."""
+        real = sum(c.n * c.m for c in contexts)
+        padded = nb * mb * len(contexts)
+        with obs.span("serve/pack"):
+            outputs, slots = nn.inference.forward_inference_packed(
+                model, contexts, nb, mb, embed_store=store)
+            for index, (_, _, chunk) in enumerate(bucket_entries):
+                predicted[id(chunk)] = (
+                    outputs[slots[index]][chunk.user_row, chunk.cols])
+        self._counter("packed_contexts_total").inc(len(contexts))
+        self._gauge("pack_pad_waste").set(padded / real - 1.0)
+        self._histogram("pack_bucket_occupancy").observe(len(contexts))

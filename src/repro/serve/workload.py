@@ -32,28 +32,45 @@ __all__ = [
 
 @dataclass(frozen=True)
 class WorkloadRequest:
-    """One replayable ``(user, items)`` request; supports may be explicit."""
+    """One replayable ``(user, items)`` request; supports may be explicit.
+
+    ``context_users`` / ``context_items`` optionally carry per-request
+    context-budget overrides (``None`` = service default) — the knob that
+    makes a workload *mixed-shape* and exercises the padded packer.
+    """
 
     user: int
     item_ids: tuple[int, ...]
     support_items: tuple[int, ...] | None = None
+    context_users: int | None = None
+    context_items: int | None = None
 
     @classmethod
-    def from_task(cls, task: EvalTask) -> "WorkloadRequest":
+    def from_task(cls, task: EvalTask,
+                  context_users: int | None = None,
+                  context_items: int | None = None) -> "WorkloadRequest":
         return cls(user=int(task.user),
                    item_ids=tuple(int(i) for i in task.query_items),
-                   support_items=tuple(int(i) for i in task.support_items))
+                   support_items=tuple(int(i) for i in task.support_items),
+                   context_users=context_users, context_items=context_items)
 
 
 def synthesize_workload(tasks: list[EvalTask], num_requests: int,
                         seed: int = 0, hot_fraction: float = 0.8,
-                        hot_set_size: int | None = None) -> list[WorkloadRequest]:
+                        hot_set_size: int | None = None,
+                        context_budgets: list[tuple[int, int]] | None = None
+                        ) -> list[WorkloadRequest]:
     """Draw a skewed request stream from evaluation tasks.
 
     ``hot_fraction`` of the requests target a random ``hot_set_size``-task
     hot set (default: a quarter of the tasks), the rest are uniform over all
     tasks.  Repeats are intentional — they exercise request coalescing and
     the context cache.
+
+    ``context_budgets`` (a list of ``(context_users, context_items)``
+    pairs) makes the stream mixed-shape: each request draws one pair
+    uniformly as its budget override.  ``None`` keeps every request on the
+    service's default budgets (single-shape traffic).
     """
     if not tasks:
         raise ValueError("need at least one task to synthesize a workload")
@@ -69,7 +86,11 @@ def synthesize_workload(tasks: list[EvalTask], num_requests: int,
             index = int(rng.choice(hot))
         else:
             index = int(rng.integers(len(tasks)))
-        requests.append(WorkloadRequest.from_task(tasks[index]))
+        budget = (None, None)
+        if context_budgets:
+            budget = context_budgets[int(rng.integers(len(context_budgets)))]
+        requests.append(WorkloadRequest.from_task(
+            tasks[index], context_users=budget[0], context_items=budget[1]))
     return requests
 
 
@@ -81,6 +102,10 @@ def save_workload(path: str | Path, requests: list[WorkloadRequest]) -> Path:
             record = {"user": request.user, "items": list(request.item_ids)}
             if request.support_items is not None:
                 record["supports"] = list(request.support_items)
+            if request.context_users is not None:
+                record["context_users"] = request.context_users
+            if request.context_items is not None:
+                record["context_items"] = request.context_items
             handle.write(json.dumps(record) + "\n")
     return path
 
@@ -95,11 +120,17 @@ def load_workload(path: str | Path) -> list[WorkloadRequest]:
                 continue
             record = json.loads(line)
             supports = record.get("supports")
+            context_users = record.get("context_users")
+            context_items = record.get("context_items")
             requests.append(WorkloadRequest(
                 user=int(record["user"]),
                 item_ids=tuple(int(i) for i in record["items"]),
                 support_items=(tuple(int(i) for i in supports)
                                if supports is not None else None),
+                context_users=(int(context_users)
+                               if context_users is not None else None),
+                context_items=(int(context_items)
+                               if context_items is not None else None),
             ))
     return requests
 
@@ -119,8 +150,10 @@ def replay_workload(service, requests: list[WorkloadRequest],
                     if request.support_items is not None else None)
         while True:
             try:
-                futures.append(service.submit(request.user, request.item_ids,
-                                              supports))
+                futures.append(service.submit(
+                    request.user, request.item_ids, supports,
+                    context_users=request.context_users,
+                    context_items=request.context_items))
                 break
             except QueueFullError:
                 time.sleep(retry_interval)

@@ -228,3 +228,160 @@ def test_cache_stats_shape():
     stats = inference.cache_stats()
     assert set(stats) == {"plans", "generation", "workspace_bytes",
                           "hits", "misses"}
+
+
+# ---------------------------------------------------------------------- #
+# Padded packing
+# ---------------------------------------------------------------------- #
+def make_mixed_contexts(graph):
+    """Contexts of several (n, m) shapes, all fitting a (8, 8) bucket."""
+    rng = np.random.default_rng(29)
+    shapes = [(8, 6), (6, 5), (8, 6), (5, 8), (7, 4), (4, 6)]
+    contexts = []
+    for index, (n, m) in enumerate(shapes):
+        contexts.append(build_context(
+            graph, np.arange(index, index + n), np.arange(index, index + m),
+            rng, reveal_fraction=0.3))
+    return contexts
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+@pytest.mark.parametrize("flags", [
+    {},
+    {"learned_mask_token": False},
+    {"use_user": False},
+    {"use_item": False},
+    {"use_attr": False},
+    {"use_layer_norm": False},
+    {"use_residual": False},
+])
+def test_packed_identical_to_unpadded(dataset, graph, dtype, flags):
+    """Padded packing is exact: every real row of a packed forward matches
+    the solo unpadded forward — bitwise at float64, within the documented
+    float32 tolerance (see docs/nn_substrate.md; empirically bitwise on
+    this box at float32 too)."""
+    with nn.dtype_policy(dtype):
+        model = make_model(dataset, **flags)
+        model.eval()
+        contexts = make_mixed_contexts(graph)
+        refs = [inference.forward_inference(model, c).copy() for c in contexts]
+        outputs, slots = inference.forward_inference_packed(
+            model, contexts, 8, 8)
+        got = [outputs[slots[i]][:c.n, :c.m].copy()
+               for i, c in enumerate(contexts)]
+    for ref, out in zip(refs, got):
+        if dtype is np.float64:
+            assert ref.tobytes() == out.tobytes()
+        else:
+            np.testing.assert_allclose(out, ref, rtol=2e-6, atol=1e-6)
+
+
+def test_packed_exact_shapes_match_forward_many(dataset, graph):
+    """When every context already fills the plan shape, packing degrades to
+    the plain stacked forward — same bytes."""
+    model = make_model(dataset)
+    model.eval()
+    ctx, ctx2 = make_contexts(graph)
+    many = inference.forward_inference_many(model, [ctx, ctx2]).copy()
+    outputs, slots = inference.forward_inference_packed(
+        model, [ctx, ctx2], ctx.n, ctx.m)
+    assert slots == [0, 1]
+    assert outputs.tobytes() == many.tobytes()
+
+
+def test_packed_rejects_oversized_and_empty(dataset, graph):
+    model = make_model(dataset)
+    model.eval()
+    ctx, _ = make_contexts(graph)
+    with pytest.raises(ValueError):
+        inference.forward_inference_packed(model, [], 8, 8)
+    with pytest.raises(ValueError):
+        inference.forward_inference_packed(model, [ctx], ctx.n - 1, ctx.m)
+
+
+def test_packed_zero_steady_state_allocations(dataset, graph):
+    """The tracemalloc pin holds for the packed path too: once the plan and
+    its pack program exist, repeated packed forwards allocate nothing."""
+    inference.clear_cache()
+    model = make_model(dataset)
+    model.eval()
+    contexts = make_mixed_contexts(graph)
+    store = inference.EmbeddingStore(model)
+    for _ in range(3):
+        inference.forward_inference_packed(model, contexts, 8, 8,
+                                           embed_store=store)
+    gc.collect()
+    tracemalloc.start()
+    base = tracemalloc.take_snapshot()
+    for _ in range(20):
+        inference.forward_inference_packed(model, contexts, 8, 8,
+                                           embed_store=store)
+    gc.collect()
+    snap = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    growth = sum(stat.size_diff for stat in snap.compare_to(base, "filename")
+                 if "repro" in (stat.traceback[0].filename or ""))
+    assert growth < 1024, f"steady-state packed engine leaked {growth} bytes"
+
+
+# ---------------------------------------------------------------------- #
+# Warm-entity embedding store
+# ---------------------------------------------------------------------- #
+class TestEmbeddingStore:
+    def test_store_backed_scores_are_bitwise_identical(self, dataset, graph):
+        model = make_model(dataset)
+        model.eval()
+        ctx, ctx2 = make_contexts(graph)
+        plain = inference.forward_inference(model, ctx).copy()
+        plain_many = inference.forward_inference_many(model, [ctx, ctx2]).copy()
+        store = inference.EmbeddingStore(model)
+        warm = inference.forward_inference(model, ctx, embed_store=store).copy()
+        warm_many = inference.forward_inference_many(
+            model, [ctx, ctx2], embed_store=store).copy()
+        assert plain.tobytes() == warm.tobytes()
+        assert plain_many.tobytes() == warm_many.tobytes()
+
+    def test_hits_and_misses_accumulate(self, dataset, graph):
+        model = make_model(dataset)
+        model.eval()
+        ctx, _ = make_contexts(graph)
+        store = inference.EmbeddingStore(model)
+        inference.forward_inference(model, ctx, embed_store=store)
+        first = store.stats()
+        assert first["misses"] > 0
+        inference.forward_inference(model, ctx, embed_store=store)
+        second = store.stats()
+        assert second["misses"] == first["misses"]  # all rows warm now
+        assert second["hits"] > first["hits"]
+
+    def test_generation_bump_invalidates(self, dataset):
+        model = make_model(dataset)
+        store = inference.EmbeddingStore(model)
+        assert store.valid_for(model)
+        inference.bump_generation()
+        assert not store.valid_for(model)
+        assert not store.valid_for(make_model(dataset))  # wrong model too
+
+    def test_registry_hot_swap_invalidates(self, dataset):
+        model = make_model(dataset)
+        store = inference.EmbeddingStore(model)
+        registry = ModelRegistry(dataset)
+        registry.add("a", make_model(dataset))  # bumps the generation
+        assert not store.valid_for(model)
+
+    def test_stale_rows_are_not_reused_after_weight_update(self, dataset, graph):
+        """A store outliving a weight hot-update must be discarded by the
+        caller; ``valid_for`` only tracks generation bumps, so registry-less
+        updates are the caller's responsibility — pin the recipe."""
+        model = make_model(dataset)
+        model.eval()
+        ctx, _ = make_contexts(graph)
+        store = inference.EmbeddingStore(model)
+        inference.forward_inference(model, ctx, embed_store=store)
+        state = {name: param.data * 2.0
+                 for name, param in model.named_parameters()}
+        model.load_state_dict(state)
+        fresh = inference.EmbeddingStore(model)
+        out = inference.forward_inference(model, ctx, embed_store=fresh).copy()
+        expected = inference.forward_inference(model, ctx).copy()
+        assert out.tobytes() == expected.tobytes()

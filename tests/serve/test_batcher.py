@@ -1,4 +1,6 @@
-"""MicroBatcher coalescing, deadlines, and close semantics."""
+"""MicroBatcher coalescing, deadlines, bucketing, and close semantics."""
+
+import time
 
 import numpy as np
 import pytest
@@ -6,10 +8,15 @@ import pytest
 from repro.serve import MicroBatcher, PredictRequest, ServiceClosedError, group_requests
 
 
-def make_request(user=1, items=(2, 3), supports=(7,)):
+def make_request(user=1, items=(2, 3), supports=(7,), budgets=(None, None)):
     return PredictRequest(user=user,
                           item_ids=np.array(items, dtype=np.int64),
-                          support_items=np.array(supports, dtype=np.int64))
+                          support_items=np.array(supports, dtype=np.int64),
+                          context_users=budgets[0], context_items=budgets[1])
+
+
+def budget_bucket(request):
+    return (request.context_users, request.context_items)
 
 
 class TestGroupRequests:
@@ -81,3 +88,72 @@ class TestMicroBatcher:
             MicroBatcher(max_batch_size=0)
         with pytest.raises(ValueError):
             MicroBatcher(max_wait_seconds=-1.0)
+
+    def test_budget_overrides_break_coalescing(self):
+        a = make_request(budgets=(16, 16))
+        b = make_request(budgets=(None, None))
+        assert len(group_requests([a, b])) == 2  # different contexts
+
+
+class TestBucketedBatcher:
+    def test_batches_are_bucket_homogeneous(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_seconds=0.01,
+                               bucket_key=budget_bucket)
+        small = [make_request(user=u, budgets=(16, 16)) for u in range(2)]
+        large = [make_request(user=u, budgets=(32, 32)) for u in range(2)]
+        for request in (small[0], large[0], small[1], large[1]):
+            batcher.submit(request)
+        first = batcher.next_batch(0.1)
+        second = batcher.next_batch(0.1)
+        assert [r.user for r in first] == [0, 1]
+        assert {budget_bucket(r) for r in first} == {(16, 16)}
+        assert {budget_bucket(r) for r in second} == {(32, 32)}
+        assert batcher.depth == 0
+
+    def test_parked_requests_lead_the_next_batch(self):
+        batcher = MicroBatcher(max_batch_size=8, max_wait_seconds=0.01,
+                               bucket_key=budget_bucket)
+        batcher.submit(make_request(user=0, budgets=(16, 16)))
+        batcher.submit(make_request(user=1, budgets=(32, 32)))
+        batcher.next_batch(0.1)  # ships bucket (16, 16), parks user 1
+        assert batcher.depth == 1
+        batcher.submit(make_request(user=2, budgets=(32, 32)))
+        batch = batcher.next_batch(0.1)
+        assert [r.user for r in batch] == [1, 2]
+
+    def test_deadline_flushes_partial_bucket_with_bounded_latency(self):
+        """A lone request in its bucket ships after one wait window — it is
+        never held hostage waiting for bucket-mates."""
+        batcher = MicroBatcher(max_batch_size=8, max_wait_seconds=0.02,
+                               bucket_key=budget_bucket)
+        batcher.submit(make_request(budgets=(16, 16)))
+        start = time.perf_counter()
+        batch = batcher.next_batch(0.5)
+        elapsed = time.perf_counter() - start
+        assert len(batch) == 1
+        assert elapsed < 0.25  # one wait window + slack, not the full timeout
+
+    def test_depth_and_drain_include_parked_requests(self):
+        batcher = MicroBatcher(max_batch_size=2, max_wait_seconds=0.01,
+                               bucket_key=budget_bucket)
+        keep = make_request(user=0, budgets=(16, 16))
+        parked = make_request(user=1, budgets=(32, 32))
+        batcher.submit(keep)
+        batcher.submit(parked)
+        assert batcher.next_batch(0.1) == [keep]
+        assert batcher.depth == 1
+        batcher.close()
+        assert batcher.drain() == [parked]
+        assert batcher.depth == 0
+
+    def test_parked_request_survives_close(self):
+        batcher = MicroBatcher(max_batch_size=2, max_wait_seconds=0.01,
+                               bucket_key=budget_bucket)
+        batcher.submit(make_request(user=0, budgets=(16, 16)))
+        batcher.submit(make_request(user=1, budgets=(32, 32)))
+        batcher.next_batch(0.1)  # parks user 1
+        batcher.close()
+        batch = batcher.next_batch(0.1)  # drained queue, parked remains
+        assert [r.user for r in batch] == [1]
+        with pytest.raises(ServiceClosedError):
+            batcher.next_batch(0.1)

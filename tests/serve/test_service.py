@@ -273,22 +273,149 @@ class TestObservability:
 
 
 class TestSharedContexts:
-    def test_share_contexts_serves_valid_scores(self, serve_model, ml_split,
-                                                serve_tasks):
-        """Opt-in approximate mode: right shapes and deterministic, though
-        not bit-identical to per-user contexts (documented)."""
-        def run():
-            with make_service(serve_model, ml_split, serve_tasks,
-                              share_contexts=True, max_batch_size=8,
-                              num_workers=1, max_wait_seconds=0.25,
-                              cache_enabled=False) as service:
-                futures = [service.submit(t.user, t.query_items[:2],
-                                          t.support_items)
-                           for t in serve_tasks]
-                return [f.result(60) for f in futures]
+    def test_share_contexts_is_now_exact(self, serve_model, ml_split,
+                                         serve_tasks, sequential_scores):
+        """``share_contexts`` aliases the exact packed path: scores are
+        bit-identical to sequential prediction (the historical approximate
+        jointly-sampled mode is retired)."""
+        with make_service(serve_model, ml_split, serve_tasks,
+                          share_contexts=True, max_batch_size=8,
+                          num_workers=1, max_wait_seconds=0.25,
+                          cache_enabled=False) as service:
+            assert service.config.pack_contexts  # forced on by the alias
+            futures = [service.submit(t.user, t.query_items, t.support_items)
+                       for t in serve_tasks]
+            got = [f.result(60) for f in futures]
+        for expected, scores in zip(sequential_scores, got):
+            assert np.array_equal(expected, scores)
 
-        first, second = run(), run()
-        for task, a, b in zip(serve_tasks, first, second):
-            assert a.shape == (2,)
-            assert np.isfinite(a).all()
-            assert np.array_equal(a, b)
+
+class TestPackedServing:
+    BUDGETS = [(20, 26), (24, 30), (18, 28)]  # all bucket to (24, 32)
+
+    def reference_scores(self, serve_model, ml_split, serve_tasks):
+        refs = []
+        for task, (n, m) in zip(serve_tasks, self.BUDGETS):
+            predictor = HIREPredictor(serve_model, ml_split, serve_tasks,
+                                      seed=0, per_task_rng=True,
+                                      context_users=n, context_items=m)
+            refs.append(predictor.predict_task(task))
+        return refs
+
+    def test_mixed_budgets_pack_and_stay_bitwise_identical(
+            self, serve_model, ml_split, serve_tasks):
+        """Three different context budgets land in one (24, 32) bucket, run
+        as one padded stacked forward, and every real row still matches the
+        offline predictor with that budget — bit for bit."""
+        refs = self.reference_scores(serve_model, ml_split, serve_tasks)
+        with make_service(serve_model, ml_split, serve_tasks,
+                          max_batch_size=8, num_workers=1,
+                          max_wait_seconds=0.25) as service:
+            futures = [
+                service.submit(task.user, task.query_items, task.support_items,
+                               context_users=n, context_items=m)
+                for task, (n, m) in zip(serve_tasks, self.BUDGETS)]
+            got = [f.result(60) for f in futures]
+            snapshot = service.metrics.snapshot()
+        assert snapshot["serve.packed_contexts_total"]["value"] > 0
+        assert "serve.pack_pad_waste" in snapshot
+        assert snapshot["serve.pack_bucket_occupancy"]["count"] > 0
+        for expected, scores in zip(refs, got):
+            assert np.array_equal(expected, scores)
+
+    def test_pack_disabled_still_exact(self, serve_model, ml_split,
+                                       serve_tasks):
+        refs = self.reference_scores(serve_model, ml_split, serve_tasks)
+        with make_service(serve_model, ml_split, serve_tasks,
+                          pack_contexts=False) as service:
+            got = [
+                service.submit(task.user, task.query_items,
+                               task.support_items,
+                               context_users=n, context_items=m).result(60)
+                for task, (n, m) in zip(serve_tasks, self.BUDGETS)]
+            snapshot = service.metrics.snapshot()
+        assert "serve.packed_contexts_total" not in snapshot
+        for expected, scores in zip(refs, got):
+            assert np.array_equal(expected, scores)
+
+    def test_budget_override_validation(self, serve_model, ml_split,
+                                        serve_tasks):
+        task = serve_tasks[0]
+        with make_service(serve_model, ml_split, serve_tasks) as service:
+            with pytest.raises(RequestError, match="context_users"):
+                service.submit(task.user, task.query_items,
+                               context_users=1)
+            with pytest.raises(RequestError, match="context_items"):
+                service.submit(task.user, task.query_items,
+                               context_items=0)
+
+    def test_bucket_dims_policy(self, serve_model, ml_split, serve_tasks):
+        with make_service(serve_model, ml_split, serve_tasks,
+                          pack_bucket=8, pack_max_waste=1.0) as service:
+            assert service._bucket_dims(20, 26) == (24, 32)
+            assert service._bucket_dims(24, 32) == (24, 32)
+            # Single-token axes never pad (decoder GEMM bitwise hazard).
+            assert service._bucket_dims(1, 26) == (1, 26)
+            assert service._bucket_dims(26, 1) == (26, 1)
+            # Waste cap: padding 2x2 -> 8x8 would inflate 15x; stays exact.
+            assert service._bucket_dims(2, 2) == (2, 2)
+
+
+class TestEmbedStoreServing:
+    def test_store_warms_and_reports_stats(self, serve_model, ml_split,
+                                           serve_tasks, sequential_scores):
+        task = serve_tasks[0]
+        with make_service(serve_model, ml_split, serve_tasks,
+                          cache_enabled=False) as service:
+            first = service.predict(task.user, task.query_items,
+                                    task.support_items)
+            stats = service.stats()["embed_store"]
+            assert stats["misses"] > 0
+            second = service.predict(task.user, task.query_items,
+                                     task.support_items)
+            warmed = service.stats()["embed_store"]
+            assert warmed["hits"] > stats["hits"]
+        assert np.array_equal(first, sequential_scores[0])
+        assert np.array_equal(second, sequential_scores[0])
+
+    def test_update_ratings_drops_the_store(self, serve_model, ml_split,
+                                            serve_tasks):
+        task = serve_tasks[0]
+        with make_service(serve_model, ml_split, serve_tasks) as service:
+            service.predict(task.user, task.query_items, task.support_items)
+            assert service._embed_store is not None
+            service.update_ratings(
+                np.array([[task.user, int(task.query_items[0]), 4.0]]))
+            assert service._embed_store is None
+
+    def test_hot_swap_rebuilds_the_store(self, ml_dataset, serve_model,
+                                         ml_split, serve_tasks,
+                                         sequential_scores):
+        other = HIRE(ml_dataset, HIREConfig(num_blocks=1, num_heads=2,
+                                            attr_dim=8, seed=5))
+        other_predictor = HIREPredictor(other, ml_split, serve_tasks, seed=0,
+                                        per_task_rng=True)
+        registry = ModelRegistry(ml_dataset)
+        registry.add("v1", serve_model)
+        registry.add("v2", other)
+        task = serve_tasks[0]
+        with make_service(registry, ml_split, serve_tasks) as service:
+            before = service.predict(task.user, task.query_items,
+                                     task.support_items)
+            stale = service._embed_store
+            registry.activate("v2")  # generation bump invalidates the store
+            after = service.predict(task.user, task.query_items,
+                                    task.support_items)
+            assert service._embed_store is not stale
+        assert np.array_equal(before, sequential_scores[0])
+        assert np.array_equal(after, other_predictor.predict_task(task))
+
+    def test_store_disabled_is_exact_too(self, serve_model, ml_split,
+                                         serve_tasks, sequential_scores):
+        task = serve_tasks[0]
+        with make_service(serve_model, ml_split, serve_tasks,
+                          embed_store_enabled=False) as service:
+            scores = service.predict(task.user, task.query_items,
+                                     task.support_items)
+            assert "embed_store" not in service.stats()
+        assert np.array_equal(scores, sequential_scores[0])

@@ -9,7 +9,9 @@ Static checks only (no network, no execution of examples):
 * dotted ``repro.*`` references import (attribute tails resolved with
   ``getattr`` walks);
 * every package/module directly under ``src/repro`` has a module
-  docstring and is mentioned in at least one docs page.
+  docstring and is mentioned in at least one docs page;
+* every public symbol (``__all__``) of the serving and inference-engine
+  APIs is mentioned in at least one docs page.
 """
 
 import ast
@@ -108,3 +110,28 @@ class TestEveryPackageDocumented:
         assert any(name in text for _, text in
                    ((p, p.read_text()) for p in DOC_FILES)), (
             f"{name} is not mentioned in README.md or any docs/*.md page")
+
+
+# User-facing API surfaces whose every public symbol must appear in docs.
+DOCUMENTED_APIS = ["repro.serve", "repro.nn.inference"]
+
+
+def api_symbols():
+    pairs = []
+    for module_name in DOCUMENTED_APIS:
+        module = importlib.import_module(module_name)
+        pairs.extend((module_name, symbol) for symbol in module.__all__)
+    return pairs
+
+
+@pytest.mark.parametrize("module_name,symbol", api_symbols(),
+                         ids=[f"{m}.{s}" for m, s in api_symbols()])
+class TestPublicSymbolsDocumented:
+    """A symbol exported from a documented API without a docs mention is a
+    docs bug: either document it or stop exporting it."""
+
+    def test_symbol_mentioned_in_docs(self, module_name, symbol):
+        assert any(symbol in text for text in
+                   (p.read_text() for p in DOC_FILES)), (
+            f"{module_name}.{symbol} is exported but never mentioned in "
+            f"README.md or any docs/*.md page")
