@@ -65,13 +65,28 @@ def test_serve_throughput(benchmark, save, smoke_mode):
         f"({cache['packed']['misses']:.0f} misses); "
         f"{pack['packed_contexts_total']:.0f} contexts padded, "
         f"last pad waste {pack['pad_waste_last'] * 100:.0f}%")
+    tracing = payload["tracing"]
+    lines.append(
+        f"tracing plane: untraced {tracing['untraced_seconds']:.2f}s vs "
+        f"traced {tracing['traced_seconds']:.2f}s "
+        f"-> overhead {tracing['overhead'] * 100:+.1f}%  "
+        f"bit-identical: {tracing['bit_identical']}  "
+        f"({tracing['traces_completed']} traces, "
+        f"{tracing['export_snapshots']} export snapshots)")
+    for stage, stats in tracing["stage_breakdown"].items():
+        lines.append(
+            f"  stage {stage:<10s}: mean {stats['mean_ms']:7.2f} ms  "
+            f"p99 {stats['p99_ms']:7.2f} ms  (n={stats['count']})")
     text = "\n".join(lines)
     print("\nServe throughput benchmark\n" + text)
 
     # Bit-identity is non-negotiable at every scale: batching, caching,
-    # and padded packing may never change a score.
+    # padded packing, and tracing may never change a score.
     assert payload["bit_identical_all_runs"]
     assert payload["packing"]["bit_identical_to_sequential"]
+    assert tracing["bit_identical"]
+    # Every completed trace must reach the JSONL sink.
+    assert tracing["trace_sink_records"] == tracing["traces_completed"]
 
     if not smoke_mode:
         save("serve_throughput", text)
@@ -92,3 +107,6 @@ def test_serve_throughput(benchmark, save, smoke_mode):
         assert (cache["packed"]["hit_rate"]
                 >= cache["exact_only"]["hit_rate"])
         assert cache["packed"]["hit_rate"] >= 0.8
+        # Acceptance: the full telemetry plane (tracer + windows + sink +
+        # exporter) costs at most 3% of steady-state throughput.
+        assert tracing["overhead"] <= 0.03

@@ -19,6 +19,14 @@ occupancy stats, and the plan-cache hit rate of each mode — mixed traffic
 under exact-only grouping fragments micro-batches into per-shape forwards
 and thrashes the plan LRU, which is exactly what shape buckets fix.
 
+A **tracing** section measures the telemetry plane itself: the same
+workload replayed with per-request stage tracing + rolling windows + the
+JSONL trace sink + the background exporter all on, against everything off
+— recording the overhead (must stay within a few percent), a
+trace-derived per-stage latency breakdown (queue wait / batch form /
+assemble / pack / forward / respond), and a bit-identity check proving
+the plane is passive.
+
 ``benchmarks/bench_serve_throughput.py`` writes the result as
 ``BENCH_serve.json`` at the repo root; ``--smoke`` runs a shrunken grid in
 seconds and skips the JSON write.
@@ -27,6 +35,7 @@ seconds and skips the JSON write.
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -39,6 +48,7 @@ from ..core.predictor import assemble_user_chunks, build_serving_graph, task_chu
 from ..core.sampling import NeighborhoodSampler
 from ..data import make_cold_start_split, movielens_like
 from ..eval.tasks import build_eval_tasks
+from ..obs import TRACE_STAGES, read_run
 from ..serve import PredictionService, ServiceConfig, replay_workload, synthesize_workload
 
 __all__ = [
@@ -144,46 +154,72 @@ def _plan_cache_counters() -> tuple[int, int]:
     return stats["hits"], stats["misses"]
 
 
-def _run_packing_mode(model, split, tasks, workload, pack_contexts: bool):
-    """Steady-state replay of the mixed-shape workload in one packing mode.
+def _warm_packing_service(model, split, tasks, workload, pack_contexts: bool):
+    """Build a service in one packing mode and warm it on the workload.
 
-    The first replay warms the context cache and builds plans on the fresh
+    The warm replay fills the context cache and builds plans on the fresh
     worker thread (plan caches are thread-local, so each mode starts
-    cold); the second is timed — the packing win is a forward-execution
-    property, so it is measured with assembly amortized, as a hot serving
-    process runs.  The plan-cache hit rate is the delta of the process
-    counters across the timed replay: steady-state misses mean the mode's
-    key diversity exceeds the LRU and it is rebuilding plans per batch.
+    cold) — the packing win is a forward-execution property, so it is
+    measured with assembly amortized, as a hot serving process runs.
     """
     config = ServiceConfig(max_batch_size=8,
                            queue_size=max(len(workload), 8),
                            pack_contexts=pack_contexts)
     service = PredictionService.from_split(model, split, tasks, config=config)
-    try:
-        replay_workload(service, workload)
-        hits_before, misses_before = _plan_cache_counters()
-        start = time.perf_counter()
-        scores = replay_workload(service, workload)
-        seconds = time.perf_counter() - start
-        hits, misses = _plan_cache_counters()
-        hits -= hits_before
-        misses -= misses_before
-        total = hits + misses
-        cache = {"hits": hits, "misses": misses,
-                 "hit_rate": hits / total if total else 0.0}
-        return seconds, scores, cache, service.metrics.snapshot(), \
-            service.stats()
-    finally:
-        service.close()
+    replay_workload(service, workload)
+    return service
 
 
-def _run_packing_benchmark(model, split, tasks, mixed, config) -> dict:
-    """Packed vs exact-shape-only serving of the mixed-budget workload."""
+def _timed_replay_with_plan_cache(service, workload):
+    """One timed replay plus the plan-cache counter delta across it.
+
+    Steady-state misses mean the mode's key diversity exceeds the LRU and
+    it is rebuilding plans per batch.  Replays never overlap, so the
+    process-global counters attribute cleanly to the replaying service.
+    """
+    hits_before, misses_before = _plan_cache_counters()
+    start = time.perf_counter()
+    scores = replay_workload(service, workload)
+    seconds = time.perf_counter() - start
+    hits, misses = _plan_cache_counters()
+    hits -= hits_before
+    misses -= misses_before
+    total = hits + misses
+    cache = {"hits": hits, "misses": misses,
+             "hit_rate": hits / total if total else 0.0}
+    return seconds, scores, cache
+
+
+def _run_packing_benchmark(model, split, tasks, mixed, config,
+                           repeats: int = 1) -> dict:
+    """Packed vs exact-shape-only serving of the mixed-budget workload.
+
+    Both modes stay warm at once and their timed replays interleave, so
+    slow drift in machine speed lands on both sides of ``pack_gain``
+    instead of biasing whichever mode was measured last; min-of-repeats
+    per mode then absorbs scheduler noise.
+    """
     expected = _score_sequential(model, split, tasks, mixed, config)
-    exact_seconds, exact_scores, exact_cache, _, _ = _run_packing_mode(
-        model, split, tasks, mixed, pack_contexts=False)
-    packed_seconds, packed_scores, packed_cache, snapshot, stats = (
-        _run_packing_mode(model, split, tasks, mixed, pack_contexts=True))
+    exact_service = _warm_packing_service(model, split, tasks, mixed,
+                                          pack_contexts=False)
+    packed_service = _warm_packing_service(model, split, tasks, mixed,
+                                           pack_contexts=True)
+    try:
+        best = {}
+        for _ in range(repeats):
+            for mode, service in (("exact", exact_service),
+                                  ("packed", packed_service)):
+                seconds, scores, cache = _timed_replay_with_plan_cache(
+                    service, mixed)
+                if mode not in best or seconds < best[mode][0]:
+                    best[mode] = (seconds, scores, cache)
+        exact_seconds, exact_scores, exact_cache = best["exact"]
+        packed_seconds, packed_scores, packed_cache = best["packed"]
+        snapshot = packed_service.metrics.snapshot()
+        stats = packed_service.stats()
+    finally:
+        exact_service.close()
+        packed_service.close()
 
     bit_identical = all(
         np.array_equal(a, b) for a, b in zip(expected, exact_scores)
@@ -212,32 +248,144 @@ def _run_packing_benchmark(model, split, tasks, mixed, config) -> dict:
     return section
 
 
+def _warm_tracing_service(model, split, tasks, workload, trace_enabled: bool,
+                          trace_sink=None, export_path=None):
+    """Build a service with the telemetry plane on or off and warm it
+    (caches, plans, thread-local state).
+
+    The export interval is kept short enough to guarantee many periodic
+    snapshots during the timed replays, but not so hot that the exporter
+    thread (each tick renders ``health()``, merging the windowed
+    histograms) becomes a workload of its own on a single-core runner.
+    """
+    config = ServiceConfig(max_batch_size=8,
+                           queue_size=max(len(workload), 8),
+                           trace_enabled=trace_enabled,
+                           trace_sink=trace_sink,
+                           export_path=export_path,
+                           export_interval_seconds=0.25)
+    service = PredictionService.from_split(model, split, tasks, config=config)
+    replay_workload(service, workload)
+    return service
+
+
+def _run_tracing_benchmark(model, split, tasks, workload, expected,
+                           smoke: bool) -> dict:
+    """Tracing-overhead section: full plane on (tracer + stage windows +
+    JSONL trace sink + background exporter) vs everything off, plus the
+    trace-derived per-stage latency breakdown.
+
+    The headline numbers: ``overhead`` (traced vs untraced steady-state
+    wall time; the plane must stay within a few percent) and
+    ``bit_identical`` (traced scores exactly equal untraced scores and the
+    sequential baseline — tracing is passive by construction, this proves
+    it end-to-end).  The overhead is a handful of clock reads per request,
+    far below scheduler noise on a single run, so both modes stay warm at
+    once, their timed replays interleave (drift lands on both sides of
+    the ratio), and each mode keeps its fastest replay.
+    """
+    repeats = 1 if smoke else 3
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_sink = str(Path(tmp) / "traces.jsonl")
+        export_path = str(Path(tmp) / "telemetry.jsonl")
+        untraced_service = _warm_tracing_service(
+            model, split, tasks, workload, trace_enabled=False)
+        traced_service = _warm_tracing_service(
+            model, split, tasks, workload, trace_enabled=True,
+            trace_sink=trace_sink, export_path=export_path)
+        try:
+            untraced_seconds = traced_seconds = float("inf")
+            untraced_scores = traced_scores = None
+            for _ in range(repeats):
+                start = time.perf_counter()
+                untraced_scores = replay_workload(untraced_service, workload)
+                untraced_seconds = min(untraced_seconds,
+                                       time.perf_counter() - start)
+                start = time.perf_counter()
+                traced_scores = replay_workload(traced_service, workload)
+                traced_seconds = min(traced_seconds,
+                                     time.perf_counter() - start)
+            snapshot = traced_service.metrics.snapshot()
+            stages = {}
+            for stage in TRACE_STAGES:
+                snap = snapshot.get(f"serve.stage.{stage}_seconds")
+                if snap and snap["count"]:
+                    stages[stage] = {"count": snap["count"],
+                                     "mean_ms": snap["mean"] * 1e3,
+                                     "p99_ms": snap["p99"] * 1e3}
+            exports = traced_service.exporter.num_exports
+            traces = traced_service.tracer.completed
+        finally:
+            untraced_service.close()
+            traced_service.close()
+        export_records = [r for r in read_run(export_path)
+                          if r.get("type") == "export"]
+        trace_records = [r for r in read_run(trace_sink)
+                         if r.get("type") == "trace"]
+    bit_identical = all(
+        np.array_equal(a, b) for a, b in zip(untraced_scores, traced_scores)
+    ) and all(
+        np.array_equal(a, b) for a, b in zip(expected, traced_scores))
+    return {
+        "num_requests": len(workload),
+        "repeats": repeats,
+        "untraced_seconds": untraced_seconds,
+        "traced_seconds": traced_seconds,
+        "overhead": traced_seconds / untraced_seconds - 1.0,
+        "bit_identical": bit_identical,
+        "stage_breakdown": stages,
+        "traces_completed": traces,
+        "trace_sink_records": len(trace_records),
+        "export_snapshots": exports,
+        "export_file_records": len(export_records),
+    }
+
+
 def run_serve_benchmark(smoke: bool = False) -> dict:
     """Sequential baseline vs. service across batch sizes × cache on/off."""
     dataset, split, tasks, model, workload, mixed, batch_sizes = _setup(smoke)
     config = ServiceConfig()  # shared assembly knobs for every mode
+    # Single-shot timings on shared runners swing by tens of percent;
+    # every timed measurement in the full run is min-of-repeats.
+    repeats = 1 if smoke else 2
 
     # Warm-up: one forward (first-touch allocations, BLAS init).
     _score_sequential(model, split, tasks, workload[:1], config)
 
-    start = time.perf_counter()
-    expected = _score_sequential(model, split, tasks, workload, config)
-    baseline_seconds = time.perf_counter() - start
+    baseline_seconds = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        expected = _score_sequential(model, split, tasks, workload, config)
+        elapsed = time.perf_counter() - start
+        if baseline_seconds is None or elapsed < baseline_seconds:
+            baseline_seconds = elapsed
 
     runs = []
     bit_identical = True
-    for use_engine in (False, True):
-        for cache_enabled in (False, True):
-            for batch_size in batch_sizes:
-                run_config = ServiceConfig(
-                    max_batch_size=batch_size,
-                    cache_enabled=cache_enabled,
-                    use_inference_engine=use_engine,
-                    queue_size=max(len(workload), 8),
-                    seed=config.seed,
-                )
-                result, scores = _run_service(model, split, tasks, workload,
-                                              run_config)
+    # Engine on/off is the innermost, time-adjacent dimension, and the
+    # repeats interleave across it: machine speed drifts over the
+    # multi-minute grid, so measuring every engine-off config first and
+    # every engine-on config last would fold the drift straight into
+    # ``engine_gain``.  Adjacent measurement cancels it from the ratio.
+    for cache_enabled in (False, True):
+        for batch_size in batch_sizes:
+            best = {}
+            for _ in range(repeats):
+                for use_engine in (False, True):
+                    run_config = ServiceConfig(
+                        max_batch_size=batch_size,
+                        cache_enabled=cache_enabled,
+                        use_inference_engine=use_engine,
+                        queue_size=max(len(workload), 8),
+                        seed=config.seed,
+                    )
+                    result, scores = _run_service(model, split, tasks,
+                                                  workload, run_config)
+                    held = best.get(use_engine)
+                    if held is None or result["seconds"] < held[0]["seconds"]:
+                        best[use_engine] = (result, scores)
+            for use_engine in (False, True):
+                result, scores = best[use_engine]
                 result["bit_identical_to_sequential"] = all(
                     np.array_equal(a, b) for a, b in zip(expected, scores))
                 bit_identical = (bit_identical
@@ -246,7 +394,10 @@ def run_serve_benchmark(smoke: bool = False) -> dict:
                     baseline_seconds / result["seconds"])
                 runs.append(result)
 
-    packing = _run_packing_benchmark(model, split, tasks, mixed, config)
+    packing = _run_packing_benchmark(model, split, tasks, mixed, config,
+                                     repeats=repeats)
+    tracing = _run_tracing_benchmark(model, split, tasks, workload, expected,
+                                     smoke)
 
     best = max(runs, key=lambda r: r["speedup_vs_sequential"])
     best_on = max((r for r in runs if r["engine"]),
@@ -256,6 +407,13 @@ def run_serve_benchmark(smoke: bool = False) -> dict:
     return {
         "benchmark": "serve_throughput",
         "smoke": smoke,
+        # Methodology marker: tools/check_bench_regression.py refuses to
+        # compare payloads whose measurement protocol differs, because a
+        # protocol change resets the trajectory.
+        "measurement": {
+            "protocol": "interleaved-min-of-repeats",
+            "repeats": repeats,
+        },
         "config": {
             "num_requests": len(workload),
             "num_tasks": len(tasks),
@@ -270,6 +428,7 @@ def run_serve_benchmark(smoke: bool = False) -> dict:
         },
         "runs": runs,
         "packing": packing,
+        "tracing": tracing,
         "bit_identical_all_runs": bit_identical,
         "best_speedup": best["speedup_vs_sequential"],
         "best_config": {"batch_size": best["batch_size"],

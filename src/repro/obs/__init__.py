@@ -18,10 +18,24 @@ bit-identical with telemetry on or off):
 * :mod:`~repro.obs.report` — renders any of the above as ``results/``-style
   text tables.
 
+The serve-tier plane adds four more, all equally passive:
+
+* :mod:`~repro.obs.trace` — per-request trace ids and stage-attributed
+  timings (queue wait → batch form → assemble → pack → forward →
+  respond) in a bounded ring buffer, with an optional JSONL sink.
+* :mod:`~repro.obs.windows` — rolling time-windowed counters/histograms
+  so p50/p99/rates are reported over the last N seconds, not since boot.
+* :mod:`~repro.obs.slo` — declarative SLO rules (p99 latency, shed rate,
+  cache hit rate) evaluated into ok/warn/breach over burn-rate style
+  short/long windows.
+* :mod:`~repro.obs.export` — a drain-aware background exporter thread
+  snapshotting a registry (plus health/trace sources) to JSONL.
+
 See ``docs/observability.md`` for a walkthrough and overhead numbers.
 """
 
-from . import ophooks, report
+from . import export, ophooks, report, slo, trace, windows
+from .export import TelemetryExporter
 from .metrics import (
     Counter,
     Gauge,
@@ -34,9 +48,20 @@ from .recorder import RunRecorder, jsonable, read_run
 from .report import (
     render_metrics_table,
     render_run_report,
+    render_slo_table,
     render_span_table,
     render_step_table,
+    render_trace_table,
 )
+from .slo import (
+    SLORule,
+    SLOStatus,
+    default_serve_rules,
+    evaluate_slos,
+    worst_state,
+)
+from .trace import TRACE_STAGES, RequestTrace, Tracer
+from .windows import WindowedCounter, WindowedHistogram
 from .sinks import (
     ConsoleSink,
     FitSummary,
@@ -95,4 +120,18 @@ __all__ = [
     "render_step_table",
     "render_span_table",
     "render_metrics_table",
+    # serve-tier plane: traces, windows, SLOs, export
+    "TRACE_STAGES",
+    "RequestTrace",
+    "Tracer",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "SLORule",
+    "SLOStatus",
+    "evaluate_slos",
+    "worst_state",
+    "default_serve_rules",
+    "TelemetryExporter",
+    "render_trace_table",
+    "render_slo_table",
 ]

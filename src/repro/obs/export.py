@@ -1,0 +1,129 @@
+"""Background telemetry export: periodic JSONL snapshots of a registry.
+
+A :class:`TelemetryExporter` runs one daemon thread (built on the shared
+:class:`repro.concurrency.WorkerPool`) that snapshots a
+:class:`~repro.obs.metrics.MetricsRegistry` — plus any extra ``sources``
+(callables returning JSON-able values, e.g. a service's ``health`` or a
+tracer's ``stage_totals``) — to an append-only JSONL file on a fixed
+interval.  The file reuses :class:`~repro.obs.recorder.RunRecorder`'s
+format: a ``run_start`` header, one ``export`` record per tick, and a
+closing ``summary``, all readable by :func:`~repro.obs.recorder.read_run`.
+
+Shutdown is **drain-aware**: :meth:`close` stops the thread, then writes
+one final snapshot before finalizing, so the telemetry produced between
+the last tick and shutdown is never lost.  A source that raises does not
+kill the exporter — the error is counted, recorded in that tick's record,
+and the remaining sources still export.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from ..concurrency import WorkerPool
+from .metrics import MetricsRegistry
+from .recorder import RunRecorder, jsonable
+
+__all__ = ["TelemetryExporter"]
+
+
+class TelemetryExporter:
+    """Periodic JSONL snapshots of metrics (and friends), in the background.
+
+    Parameters
+    ----------
+    path:
+        JSONL output file (parent directories are created).
+    registry:
+        The metrics registry to snapshot each tick (``None`` skips the
+        ``metrics`` field — sources may carry everything).
+    interval_seconds:
+        Tick period; the thread wakes early when closed.
+    sources:
+        Extra named snapshot callables, serialised with
+        :func:`~repro.obs.recorder.jsonable` each tick.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 registry: MetricsRegistry | None = None,
+                 interval_seconds: float = 5.0,
+                 sources: dict | None = None,
+                 run_id: str | None = None,
+                 clock=time.monotonic):
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.interval_seconds = float(interval_seconds)
+        self._registry = registry
+        self._sources = dict(sources or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._num_exports = 0
+        self._num_errors = 0
+        self._closed = False
+        self._recorder = RunRecorder(
+            path, run_id=run_id,
+            config={"interval_seconds": self.interval_seconds,
+                    "sources": sorted(self._sources)})
+        self._pool = WorkerPool(self._loop, 1, name="telemetry-export")
+        self._pool.start()
+
+    def _loop(self, stop_event) -> bool | None:
+        if stop_event.wait(self.interval_seconds):
+            return False  # closing: the final snapshot is written by close()
+        self.export_once()
+        return None
+
+    def export_once(self) -> dict:
+        """Write one snapshot record now (also usable without the thread)."""
+        record: dict = {"at": self._clock()}
+        if self._registry is not None:
+            record["metrics"] = self._registry.snapshot()
+        errors = {}
+        for name, source in self._sources.items():
+            try:
+                record[name] = jsonable(source())
+            except Exception as error:  # keep exporting the healthy sources
+                errors[name] = repr(error)
+        if errors:
+            record["source_errors"] = errors
+        with self._lock:
+            if self._closed:
+                return record  # raced with close(); drop silently
+            record["sequence"] = self._num_exports
+            self._recorder.record("export", **record)
+            self._num_exports += 1
+            self._num_errors += len(errors)
+        return record
+
+    @property
+    def num_exports(self) -> int:
+        with self._lock:
+            return self._num_exports
+
+    @property
+    def path(self):
+        return self._recorder.path
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop the thread, write a final snapshot, and finalize the file."""
+        if self._closed:
+            return
+        self._pool.close(timeout)
+        self.export_once()  # drain: capture everything since the last tick
+        with self._lock:
+            self._closed = True
+            self._recorder.finalize(num_exports=self._num_exports,
+                                    num_source_errors=self._num_errors)
+
+    def __enter__(self) -> "TelemetryExporter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -43,30 +43,35 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def snapshot(self) -> dict:
-        return {"type": "counter", "value": self._value}
+        return {"type": "counter", "value": self.value}
 
 
 class Gauge:
     """Last-written value (e.g. current learning rate)."""
 
-    __slots__ = ("name", "_value")
+    __slots__ = ("name", "_value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self._value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        value = float(value)
+        with self._lock:
+            self._value = value
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def snapshot(self) -> dict:
-        return {"type": "gauge", "value": self._value}
+        return {"type": "gauge", "value": self.value}
 
 
 class Histogram:
@@ -162,6 +167,39 @@ class Histogram:
     def num_buckets(self) -> int:
         return len(self._buckets) + (1 if self._underflow else 0)
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram, in place.
+
+        Both histograms must share the same bucket ``growth`` — merging is
+        a lossless sum of bucket counts, so per-shard or per-window
+        histograms aggregate without losing bucket resolution.  Returns
+        ``self`` so merges chain.
+        """
+        if not isinstance(other, Histogram):
+            raise TypeError(f"cannot merge {type(other).__name__} into a Histogram")
+        if other.growth != self.growth:
+            raise ValueError(
+                f"bucket growth mismatch: {self.growth} vs {other.growth}")
+        with other._lock:
+            buckets = dict(other._buckets)
+            underflow = other._underflow
+            count = other._count
+            total = other._sum
+            other_min, other_max = other._min, other._max
+        if count == 0:
+            return self
+        with self._lock:
+            for index, n in buckets.items():
+                self._buckets[index] = self._buckets.get(index, 0) + n
+            self._underflow += underflow
+            self._count += count
+            self._sum += total
+            if other_min < self._min:
+                self._min = other_min
+            if other_max > self._max:
+                self._max = other_max
+        return self
+
     def snapshot(self) -> dict:
         with self._lock:
             count, total = self._count, self._sum
@@ -199,6 +237,19 @@ class MetricsRegistry:
 
     def histogram(self, name: str, growth: float = 1.05) -> Histogram:
         return self._get(name, Histogram, growth=growth)
+
+    def instrument(self, name: str, factory):
+        """Register a custom instrument (anything with ``snapshot()``).
+
+        ``factory(name)`` is called once on first use; later calls return
+        the existing instrument.  This is how the windowed instruments of
+        :mod:`repro.obs.windows` join a registry's :meth:`snapshot`.
+        """
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = factory(name)
+            return instrument
 
     def names(self) -> list[str]:
         with self._lock:

@@ -18,6 +18,8 @@ __all__ = [
     "render_step_table",
     "render_span_table",
     "render_metrics_table",
+    "render_trace_table",
+    "render_slo_table",
 ]
 
 
@@ -130,26 +132,98 @@ def render_span_table(totals: dict[str, SpanStats] | None = None,
 
 
 def render_metrics_table(registry: MetricsRegistry | None = None) -> str:
-    """Every instrument in a registry, one row per metric."""
+    """Every instrument in a registry, one row per metric.
+
+    Windowed instruments (:mod:`repro.obs.windows`) render like their
+    cumulative counterparts — a windowed histogram shows its in-window
+    count/quantiles, a windowed counter its in-window total — with the
+    kind column marking the window (``w-counter`` / ``w-histogram``).
+    """
     registry = registry if registry is not None else get_registry()
     snapshot = registry.snapshot()
     if not snapshot:
         return "(no metrics recorded)"
+    kinds = {"windowed_counter": "w-counter",
+             "windowed_histogram": "w-histogram"}
     name_width = max(24, max(len(n) for n in snapshot) + 2)
-    header = (f"{'Metric':<{name_width}s} | {'Kind':>9s} | {'Value/Count':>12s}"
+    kind_width = max(9, max(len(kinds.get(s["type"], s["type"]))
+                            for s in snapshot.values()))
+    header = (f"{'Metric':<{name_width}s} | {'Kind':>{kind_width}s}"
+              f" | {'Value/Count':>12s}"
               f" | {'Mean':>10s} | {'p50':>10s} | {'p90':>10s} | {'p99':>10s}")
     lines = [header, "-" * len(header)]
     for name, snap in snapshot.items():
-        kind = snap["type"]
-        if kind == "histogram":
+        kind = kinds.get(snap["type"], snap["type"])
+        if snap["type"] in ("histogram", "windowed_histogram"):
             lines.append(
-                f"{name:<{name_width}s} | {kind:>9s} | {snap['count']:>12d}"
+                f"{name:<{name_width}s} | {kind:>{kind_width}s}"
+                f" | {snap['count']:>12d}"
                 f" | {snap['mean']:>10.4g} | {snap['p50']:>10.4g}"
                 f" | {snap['p90']:>10.4g} | {snap['p99']:>10.4g}"
             )
         else:
+            value = (snap["total"] if snap["type"] == "windowed_counter"
+                     else snap["value"])
             lines.append(
-                f"{name:<{name_width}s} | {kind:>9s} | {snap['value']:>12.6g}"
+                f"{name:<{name_width}s} | {kind:>{kind_width}s}"
+                f" | {value:>12.6g}"
                 f" | {'-':>10s} | {'-':>10s} | {'-':>10s} | {'-':>10s}"
             )
+    return "\n".join(lines)
+
+
+def render_trace_table(stage_totals: dict[str, dict]) -> str:
+    """Per-stage latency attribution from a tracer's buffered traces.
+
+    One row per pipeline stage (plus the ``total`` pseudo-stage), with
+    each stage's share of total traced time — the serve tier's "where does
+    the time go" table.  Accepts :meth:`repro.obs.Tracer.stage_totals`
+    output.
+    """
+    rows = [(stage, stats) for stage, stats in stage_totals.items()
+            if stats.get("count")]
+    if not rows:
+        return "(no traces recorded)"
+    total_seconds = sum(stats["total_seconds"] for stage, stats in rows
+                        if stage != "total") or 1.0
+    header = (f"{'Stage':<12s} | {'Count':>8s} | {'Total s':>10s}"
+              f" | {'Mean ms':>10s} | {'Max ms':>10s} | {'Share':>7s}")
+    lines = [header, "-" * len(header)]
+    for stage, stats in rows:
+        share = ("" if stage == "total"
+                 else f"{stats['total_seconds'] / total_seconds * 100:6.1f}%")
+        lines.append(
+            f"{stage:<12s} | {stats['count']:>8d}"
+            f" | {stats['total_seconds']:>10.3f}"
+            f" | {stats['mean_seconds'] * 1e3:>10.2f}"
+            f" | {stats['max_seconds'] * 1e3:>10.2f} | {share:>7s}"
+        )
+    return "\n".join(lines)
+
+
+def render_slo_table(statuses) -> str:
+    """SLO rule states, one row per rule (short vs long window values).
+
+    Accepts :class:`repro.obs.SLOStatus` objects or their ``snapshot()``
+    dicts — e.g. ``health()["slos"]`` straight from a service.
+    """
+    snaps = [s.snapshot() if hasattr(s, "snapshot") else s for s in statuses]
+    if not snaps:
+        return "(no slo rules)"
+    name_width = max(16, max(len(s["name"]) for s in snaps) + 2)
+
+    def fmt(value):
+        return "-" if value is None else f"{value:.4g}"
+
+    header = (f"{'SLO':<{name_width}s} | {'State':>8s} | {'Short':>10s}"
+              f" | {'Long':>10s} | {'Threshold':>10s}")
+    lines = [header, "-" * len(header)]
+    for snap in snaps:
+        bound = ("<= " if snap["objective"] == "max" else ">= ")
+        lines.append(
+            f"{snap['name']:<{name_width}s} | {snap['state']:>8s}"
+            f" | {fmt(snap['short_value']):>10s}"
+            f" | {fmt(snap['long_value']):>10s}"
+            f" | {bound + format(snap['threshold'], '.4g'):>10s}"
+        )
     return "\n".join(lines)

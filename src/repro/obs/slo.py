@@ -1,0 +1,156 @@
+"""Declarative SLO rules evaluated into ok / warn / breach.
+
+An :class:`SLORule` names a *probe* — a scalar health signal such as
+windowed p99 latency, shed rate, or cache hit rate — and a threshold it
+must stay under (``objective="max"``) or over (``objective="min"``).
+Rules are evaluated against **two windows** of the same probe, burn-rate
+style: a short window (is it bad *right now*?) and a long window (has it
+been bad *long enough to matter*?).
+
+* **breach** — every window with data violates the threshold: the budget
+  is burning now and has been for the long window.
+* **warn** — some window violates the threshold (a fast burn that the
+  long window has not confirmed, or a past burn the short window shows
+  as recovered), or any window is inside the warn margin
+  (``warn_ratio`` of the budget for ``max`` rules, its reciprocal for
+  ``min`` rules).
+* **ok** — every window with data is comfortably inside the budget.
+* **no_data** — no window has data (an idle service breaches nothing).
+
+The evaluator is pure — probes in, statuses out — so it is trivially
+testable with fake values; :meth:`repro.serve.PredictionService.health`
+supplies real windowed probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SLORule",
+    "SLOStatus",
+    "evaluate_slos",
+    "worst_state",
+    "default_serve_rules",
+]
+
+# Severity order for aggregation; no_data never escalates overall state.
+_SEVERITY = {"ok": 0, "no_data": 0, "warn": 1, "breach": 2}
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One objective over one probe.
+
+    ``objective="max"``: the probe must stay **at or below** ``threshold``
+    (latency, shed rate).  ``objective="min"``: the probe must stay **at
+    or above** it (cache hit rate).  ``warn_ratio`` sets the early-warning
+    margin as a fraction of the budget (0.9 → warn within 10 % of it).
+    """
+
+    name: str
+    probe: str
+    objective: str
+    threshold: float
+    warn_ratio: float = 0.9
+    description: str = ""
+
+    def __post_init__(self):
+        if self.objective not in ("max", "min"):
+            raise ValueError("objective must be 'max' or 'min'")
+        if not 0.0 < self.warn_ratio <= 1.0:
+            raise ValueError("warn_ratio must be in (0, 1]")
+
+    def _violates(self, value: float) -> bool:
+        if self.objective == "max":
+            return value > self.threshold
+        return value < self.threshold
+
+    def _warns(self, value: float) -> bool:
+        if self.objective == "max":
+            return value > self.threshold * self.warn_ratio
+        return value < self.threshold / self.warn_ratio
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One rule's evaluated state over the (short, long) window pair."""
+
+    rule: SLORule
+    state: str
+    short_value: float | None
+    long_value: float | None
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.rule.name,
+            "probe": self.rule.probe,
+            "objective": self.rule.objective,
+            "threshold": self.rule.threshold,
+            "state": self.state,
+            "short_value": self.short_value,
+            "long_value": self.long_value,
+        }
+
+
+def evaluate_rule(rule: SLORule, short_value: float | None,
+                  long_value: float | None) -> SLOStatus:
+    """Evaluate one rule against its short/long window probe values."""
+    values = [v for v in (short_value, long_value) if v is not None]
+    if not values:
+        state = "no_data"
+    elif all(rule._violates(v) for v in values):
+        state = "breach"
+    elif any(rule._warns(v) for v in values):
+        state = "warn"
+    else:
+        state = "ok"
+    return SLOStatus(rule, state, short_value, long_value)
+
+
+def evaluate_slos(rules, probes) -> list[SLOStatus]:
+    """Evaluate every rule against a ``{probe: (short, long)}`` mapping.
+
+    A probe missing from the mapping evaluates as ``no_data`` — an absent
+    signal is indistinguishable from an idle one, and neither breaches.
+    """
+    statuses = []
+    for rule in rules:
+        short_value, long_value = probes.get(rule.probe, (None, None))
+        statuses.append(evaluate_rule(rule, short_value, long_value))
+    return statuses
+
+
+def worst_state(statuses) -> str:
+    """Aggregate state: ``breach`` > ``warn`` > ``ok`` (``no_data`` = ok)."""
+    worst = "ok"
+    for status in statuses:
+        state = status.state if isinstance(status, SLOStatus) else str(status)
+        if _SEVERITY.get(state, 0) > _SEVERITY[worst]:
+            worst = state
+    return worst
+
+
+def default_serve_rules(max_p99_seconds: float = 1.0,
+                        max_shed_rate: float = 0.05,
+                        min_cache_hit_rate: float | None = None
+                        ) -> tuple[SLORule, ...]:
+    """The serve tier's stock rules: p99 latency, shed rate, cache hits.
+
+    The cache-hit rule is opt-in (``min_cache_hit_rate``) because a cold
+    or cache-disabled service legitimately runs at 0 %.
+    """
+    rules = [
+        SLORule(name="latency_p99", probe="latency_p99_seconds",
+                objective="max", threshold=max_p99_seconds,
+                description="windowed p99 request latency"),
+        SLORule(name="shed_rate", probe="shed_rate",
+                objective="max", threshold=max_shed_rate,
+                description="rejected / submitted requests"),
+    ]
+    if min_cache_hit_rate is not None:
+        rules.append(SLORule(
+            name="cache_hit_rate", probe="cache_hit_rate",
+            objective="min", threshold=min_cache_hit_rate,
+            description="context cache hits / lookups"))
+    return tuple(rules)

@@ -1,0 +1,183 @@
+"""Rolling time-windowed counters and histograms.
+
+The plain :class:`~repro.obs.metrics.Counter` / ``Histogram`` instruments
+are *lifetime-cumulative*: ``p99`` since process start cannot show a
+regression that began two minutes ago.  The windowed instruments here
+report over **the last N seconds** instead, by keeping a ring of
+fixed-duration *slices* (each slice is a plain log-bucket
+:class:`~repro.obs.metrics.Histogram`, or a float for counters) indexed by
+``floor(now / slice_seconds)``.  Slices older than the window are dropped
+lazily on access, so memory stays bounded at ``num_slices`` regardless of
+traffic.
+
+Both instruments answer queries over *sub*-windows too
+(``total(window_seconds=10)``, ``quantile(0.99, window_seconds=10)``),
+rounded up to whole slices — that is what burn-rate style SLO evaluation
+(:mod:`repro.obs.slo`) uses to compare a short recent window against the
+long one without keeping two copies of every instrument.
+
+Windowed histograms aggregate their live slices through
+:meth:`Histogram.merge`, so quantiles over the window keep full bucket
+resolution.  The clock is injectable everywhere; tests drive rotation with
+a fake clock.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+from .metrics import Histogram
+
+__all__ = ["WindowedCounter", "WindowedHistogram"]
+
+
+def _validate(window_seconds: float, num_slices: int) -> float:
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be positive")
+    if num_slices < 1:
+        raise ValueError("num_slices must be >= 1")
+    return window_seconds / num_slices
+
+
+class WindowedCounter:
+    """An event count over the trailing ``window_seconds``.
+
+    ``total()`` sums the live slices; ``rate()`` divides by the covered
+    wall time (the window once it has filled, the instrument's age before
+    that, so early rates are not diluted by time that never happened).
+    """
+
+    __slots__ = ("name", "window_seconds", "num_slices", "_slice_seconds",
+                 "_slices", "_clock", "_created_at", "_lock")
+
+    def __init__(self, name: str, window_seconds: float = 60.0,
+                 num_slices: int = 6, clock=time.monotonic):
+        self.name = name
+        self.window_seconds = float(window_seconds)
+        self.num_slices = int(num_slices)
+        self._slice_seconds = _validate(self.window_seconds, self.num_slices)
+        self._slices: dict[int, float] = {}
+        self._clock = clock
+        self._created_at = clock()
+        self._lock = threading.Lock()
+
+    def _index(self, now: float) -> int:
+        return int(now // self._slice_seconds)
+
+    def _prune(self, current: int) -> None:
+        floor = current - self.num_slices
+        for index in [i for i in self._slices if i <= floor]:
+            del self._slices[index]
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("windowed counters only increase")
+        now = self._clock()
+        with self._lock:
+            index = self._index(now)
+            self._slices[index] = self._slices.get(index, 0.0) + amount
+            self._prune(index)
+
+    def _live(self, window_seconds: float | None) -> tuple[list[float], float]:
+        """(live slice values, covered seconds) for one query window."""
+        now = self._clock()
+        current = self._index(now)
+        if window_seconds is None:
+            span = self.num_slices
+        else:
+            span = min(self.num_slices,
+                       max(1, math.ceil(window_seconds / self._slice_seconds)))
+        values = [v for i, v in self._slices.items() if i > current - span]
+        covered = min(span * self._slice_seconds, max(now - self._created_at,
+                                                      self._slice_seconds))
+        return values, covered
+
+    def total(self, window_seconds: float | None = None) -> float:
+        with self._lock:
+            values, _ = self._live(window_seconds)
+            return sum(values)
+
+    def rate(self, window_seconds: float | None = None) -> float:
+        """Events per second over the covered window."""
+        with self._lock:
+            values, covered = self._live(window_seconds)
+            return sum(values) / covered
+
+    def snapshot(self) -> dict:
+        return {"type": "windowed_counter",
+                "window_seconds": self.window_seconds,
+                "total": self.total(), "rate": self.rate()}
+
+
+class WindowedHistogram:
+    """A streaming histogram over the trailing ``window_seconds``.
+
+    Each slice is a full log-bucket :class:`Histogram`; queries merge the
+    live slices (lossless — see :meth:`Histogram.merge`) so windowed
+    p50/p90/p99 carry the same bounded relative error as the cumulative
+    instrument.
+    """
+
+    __slots__ = ("name", "window_seconds", "num_slices", "growth",
+                 "_slice_seconds", "_slices", "_clock", "_lock")
+
+    def __init__(self, name: str, window_seconds: float = 60.0,
+                 num_slices: int = 6, growth: float = 1.05,
+                 clock=time.monotonic):
+        self.name = name
+        self.window_seconds = float(window_seconds)
+        self.num_slices = int(num_slices)
+        self.growth = growth
+        self._slice_seconds = _validate(self.window_seconds, self.num_slices)
+        self._slices: dict[int, Histogram] = {}
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        now = self._clock()
+        with self._lock:
+            index = int(now // self._slice_seconds)
+            slice_ = self._slices.get(index)
+            if slice_ is None:
+                slice_ = self._slices[index] = Histogram(
+                    f"{self.name}[{index}]", growth=self.growth)
+                floor = index - self.num_slices
+                for stale in [i for i in self._slices if i <= floor]:
+                    del self._slices[stale]
+        slice_.observe(value)
+
+    def merged(self, window_seconds: float | None = None) -> Histogram:
+        """A fresh cumulative :class:`Histogram` of the live window."""
+        now = self._clock()
+        current = int(now // self._slice_seconds)
+        if window_seconds is None:
+            span = self.num_slices
+        else:
+            span = min(self.num_slices,
+                       max(1, math.ceil(window_seconds / self._slice_seconds)))
+        out = Histogram(self.name, growth=self.growth)
+        with self._lock:
+            live = [h for i, h in self._slices.items() if i > current - span]
+        for histogram in live:
+            out.merge(histogram)
+        return out
+
+    def count(self, window_seconds: float | None = None) -> int:
+        return self.merged(window_seconds).count
+
+    def quantile(self, q: float, window_seconds: float | None = None) -> float:
+        return self.merged(window_seconds).quantile(q)
+
+    def percentiles(self, window_seconds: float | None = None) -> dict:
+        return self.merged(window_seconds).percentiles()
+
+    def snapshot(self) -> dict:
+        merged = self.merged()
+        out = {"type": "windowed_histogram",
+               "window_seconds": self.window_seconds,
+               "count": merged.count, "sum": merged.sum,
+               "min": merged.min, "max": merged.max, "mean": merged.mean}
+        out.update(merged.percentiles())
+        return out

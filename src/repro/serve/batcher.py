@@ -47,6 +47,15 @@ class PredictRequest:
     context budgets for this request (``None`` = service default); they are
     part of the coalescing key, since different budgets sample different
     contexts.
+
+    The three timestamps are stamped by the batcher, **all from the
+    batcher's own clock** (``MicroBatcher(clock=...)``): ``enqueued_at`` on
+    :meth:`MicroBatcher.submit`, ``dequeued_at`` when a worker pops the
+    request (re-stamped if the request is parked and re-popped), and
+    ``batch_formed_at`` when its batch ships.  One clock for stamps and
+    deadlines means latency histograms and deadline flushes always agree —
+    including under a fake clock in tests.  ``trace`` optionally carries a
+    :class:`repro.obs.RequestTrace` through the pipeline.
     """
 
     user: int
@@ -55,7 +64,10 @@ class PredictRequest:
     context_users: int | None = None
     context_items: int | None = None
     future: Future = field(default_factory=Future)
-    enqueued_at: float = field(default_factory=time.perf_counter)
+    enqueued_at: float = field(default_factory=time.monotonic)
+    dequeued_at: float = 0.0
+    batch_formed_at: float = 0.0
+    trace: object = None
 
     def key(self) -> tuple:
         """Coalescing identity: requests with equal keys share one result."""
@@ -101,7 +113,12 @@ class MicroBatcher:
         self._pending_lock = threading.Lock()
 
     def submit(self, request: PredictRequest) -> None:
-        """Enqueue a request (non-blocking; sheds load when full)."""
+        """Enqueue a request (non-blocking; sheds load when full).
+
+        Stamps ``enqueued_at`` from the batcher's clock so queue-wait
+        measurements share a timebase with the gather deadline.
+        """
+        request.enqueued_at = self._clock()
         self.queue.put(request)
 
     def next_batch(self, timeout: float = 0.05) -> list[PredictRequest]:
@@ -123,6 +140,7 @@ class MicroBatcher:
                     raise
             if first is None:
                 return []
+            first.dequeued_at = self._clock()
         if self.bucket_key is None:
             return self._gather(first, lambda request: True)
         bucket = self.bucket_key(first)
@@ -131,13 +149,18 @@ class MicroBatcher:
 
     def _gather(self, first: PredictRequest, accept) -> list[PredictRequest]:
         batch = [first]
-        deadline = self._clock() + self.max_wait_seconds
+        now = self._clock()
+        deadline = now + self.max_wait_seconds
         # Parked requests first: they have been waiting the longest.
         with self._pending_lock:
             kept: deque[PredictRequest] = deque()
             while self._pending and len(batch) < self.max_batch_size:
                 request = self._pending.popleft()
-                (batch if accept(request) else kept).append(request)
+                if accept(request):
+                    request.dequeued_at = now
+                    batch.append(request)
+                else:
+                    kept.append(request)
             kept.extend(self._pending)
             self._pending = kept
         while len(batch) < self.max_batch_size:
@@ -150,16 +173,26 @@ class MicroBatcher:
                 break  # closed-and-drained: ship what we have
             if request is None:
                 break
+            request.dequeued_at = self._clock()
             if accept(request):
                 batch.append(request)
             else:
+                # Parked: dequeued_at is re-stamped at the final pop, so
+                # the enqueue stage spans the park time too.
                 with self._pending_lock:
                     self._pending.append(request)
+        formed_at = self._clock()
+        for request in batch:
+            request.batch_formed_at = formed_at
         return batch
 
     def _pop_pending(self) -> PredictRequest | None:
         with self._pending_lock:
-            return self._pending.popleft() if self._pending else None
+            if not self._pending:
+                return None
+            request = self._pending.popleft()
+            request.dequeued_at = self._clock()
+            return request
 
     def close(self) -> None:
         self.queue.close()

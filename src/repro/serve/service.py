@@ -26,7 +26,12 @@ Ties the serving pieces together behind ``submit()`` / ``predict()`` /
   ``update_ratings``;
 * latency histograms (p50/p99), queue-depth gauges, pad-waste/bucket
   occupancy and cache hit-rate counters stream into a
-  :class:`repro.obs.MetricsRegistry`.
+  :class:`repro.obs.MetricsRegistry`;
+* the telemetry plane rides along, fully passive: per-request stage
+  traces (:mod:`repro.obs.trace`), rolling windowed rates/quantiles
+  (:mod:`repro.obs.windows`), SLO evaluation surfaced by :meth:`health`
+  (:mod:`repro.obs.slo`), and an optional background JSONL exporter
+  (:mod:`repro.obs.export`) — everything on one injectable clock.
 """
 
 from __future__ import annotations
@@ -97,6 +102,22 @@ class ServiceConfig:
     # hatch back to no_grad Tensor forwards.
     use_inference_engine: bool = True
     metrics_prefix: str = "serve"
+    # Telemetry plane (all passive — see docs/observability.md).
+    # Per-request stage tracing into a bounded ring buffer; trace_sink
+    # optionally mirrors completed traces to a JSONL file.
+    trace_enabled: bool = True
+    trace_buffer: int = 256
+    trace_sink: str | None = None
+    # Rolling windows for rates/quantiles and burn-rate SLO evaluation:
+    # the long window is the budget horizon, the short window the "is it
+    # bad right now" probe (it also sets the window slice granularity).
+    window_seconds: float = 60.0
+    short_window_seconds: float = 10.0
+    # SLO rules evaluated by health(); () = obs.default_serve_rules().
+    slo_rules: tuple = ()
+    # Background telemetry export (None disables the exporter thread).
+    export_path: str | None = None
+    export_interval_seconds: float = 5.0
 
     def __post_init__(self):
         if self.num_context_samples < 1:
@@ -107,6 +128,14 @@ class ServiceConfig:
             raise ValueError("pack_bucket must be >= 1")
         if self.pack_max_waste < 0:
             raise ValueError("pack_max_waste must be >= 0")
+        if self.trace_buffer < 1:
+            raise ValueError("trace_buffer must be >= 1")
+        if self.window_seconds <= 0 or self.short_window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.short_window_seconds > self.window_seconds:
+            raise ValueError("short_window_seconds must be <= window_seconds")
+        if self.export_interval_seconds <= 0:
+            raise ValueError("export_interval_seconds must be positive")
         if self.share_contexts:
             self.pack_contexts = True
 
@@ -130,7 +159,8 @@ class PredictionService:
                  candidate_users: np.ndarray, candidate_items: np.ndarray,
                  sampler: ContextSampler | None = None,
                  config: ServiceConfig | None = None,
-                 metrics: obs.MetricsRegistry | None = None):
+                 metrics: obs.MetricsRegistry | None = None,
+                 clock=time.monotonic):
         self.config = config or ServiceConfig()
         self._registry = models if isinstance(models, ModelRegistry) else None
         self._model = None if self._registry is not None else models
@@ -138,6 +168,11 @@ class PredictionService:
             self._model.eval()
         self.sampler = sampler or NeighborhoodSampler()
         self.metrics = metrics if metrics is not None else obs.MetricsRegistry()
+        # One injectable clock for everything time-related on the serve
+        # path: batcher deadlines, request stamps, latency histograms,
+        # rolling windows, trace timings.  One timebase means the numbers
+        # agree with each other — and with a fake clock in tests.
+        self._clock = clock
         self.cache = (ContextCache(self.config.cache_entries,
                                    self.config.cache_ttl_seconds)
                       if self.config.cache_enabled else None)
@@ -158,10 +193,42 @@ class PredictionService:
         self._batcher = MicroBatcher(self.config.max_batch_size,
                                      self.config.max_wait_seconds,
                                      self.config.queue_size,
+                                     clock=clock,
                                      bucket_key=bucket_key)
+        self._init_telemetry()
         self._pool = WorkerPool(self._worker_loop, self.config.num_workers)
         self._closed = False
         self._pool.start()
+
+    def _init_telemetry(self) -> None:
+        """Build the trace / window / SLO / export plane (all passive)."""
+        cfg = self.config
+        self._slo_rules = tuple(cfg.slo_rules) or obs.default_serve_rules()
+        # Rolling windows sliced at short-window granularity so the short
+        # window is exactly one slice of the long one.
+        self._num_slices = max(1, round(cfg.window_seconds
+                                        / cfg.short_window_seconds))
+        self._window_latency = self._windowed_histogram("window.latency_seconds")
+        self._window_requests = self._windowed_counter("window.requests_total")
+        self._window_rejected = self._windowed_counter("window.rejected_total")
+        self._window_completed = self._windowed_counter("window.completed_total")
+        self._window_cache_hits = self._windowed_counter("window.cache_hits_total")
+        self._window_cache_misses = self._windowed_counter(
+            "window.cache_misses_total")
+        self.tracer = (obs.Tracer(capacity=cfg.trace_buffer,
+                                  sink_path=cfg.trace_sink,
+                                  clock=self._clock)
+                       if cfg.trace_enabled else None)
+        self._stage_windows = ({stage: self._windowed_histogram(
+                                    f"stage.{stage}_seconds")
+                                for stage in obs.TRACE_STAGES}
+                               if cfg.trace_enabled else {})
+        self.exporter = (obs.TelemetryExporter(
+                             cfg.export_path, registry=self.metrics,
+                             interval_seconds=cfg.export_interval_seconds,
+                             sources={"health": self.health},
+                             clock=self._clock)
+                         if cfg.export_path is not None else None)
 
     @classmethod
     def from_split(cls, models, split, tasks, **kwargs) -> "PredictionService":
@@ -215,12 +282,18 @@ class PredictionService:
             user=user, item_ids=item_ids, support_items=support_items,
             context_users=None if context_users is None else int(context_users),
             context_items=None if context_items is None else int(context_items))
+        if self.tracer is not None:
+            # Attached before the queue so a worker can never race a
+            # traceless request; rejected requests just drop their trace.
+            request.trace = self.tracer.begin()
         try:
             self._batcher.submit(request)
         except (QueueFullError, ServiceClosedError):
             self._counter("rejected_total").inc()
+            self._window_rejected.inc()
             raise
         self._counter("requests_total").inc()
+        self._window_requests.inc()
         self._gauge("queue_depth").set(self._batcher.depth)
         return request.future
 
@@ -289,6 +362,13 @@ class PredictionService:
                     request.future.set_exception(error)
         self._pool.join(timeout)
         self._pool.close(1.0)
+        # Telemetry last, after the workers stop producing it: the
+        # exporter's close writes one final drain snapshot (which calls
+        # health()), then the tracer finalizes its sink.
+        if self.exporter is not None:
+            self.exporter.close()
+        if self.tracer is not None:
+            self.tracer.close()
 
     def __enter__(self) -> "PredictionService":
         return self
@@ -304,13 +384,73 @@ class PredictionService:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    def _windowed_rate(self, numerator, denominators, window: float | None
+                       ) -> float | None:
+        """``num / sum(denoms)`` over one window; ``None`` when idle."""
+        total = sum(d.total(window) for d in denominators)
+        if total <= 0:
+            return None
+        return numerator.total(window) / total
+
+    def _probes(self) -> dict:
+        """The SLO probe values as ``{probe: (short, long)}`` pairs."""
+        short = self.config.short_window_seconds
+
+        def p99(window):
+            if self._window_latency.count(window) == 0:
+                return None
+            return self._window_latency.quantile(0.99, window_seconds=window)
+
+        submitted = (self._window_requests, self._window_rejected)
+        lookups = (self._window_cache_hits, self._window_cache_misses)
+        return {
+            "latency_p99_seconds": (p99(short), p99(None)),
+            "shed_rate": (
+                self._windowed_rate(self._window_rejected, submitted, short),
+                self._windowed_rate(self._window_rejected, submitted, None)),
+            "cache_hit_rate": (
+                self._windowed_rate(self._window_cache_hits, lookups, short),
+                self._windowed_rate(self._window_cache_hits, lookups, None)),
+        }
+
+    def health(self) -> dict:
+        """SLO states over the rolling windows, plus liveness basics.
+
+        ``state`` aggregates every rule (``breach`` > ``warn`` > ``ok``;
+        idle probes are ``no_data`` and never escalate).  JSON-able — this
+        is also what the telemetry exporter snapshots each tick.
+        """
+        probes = self._probes()
+        statuses = obs.evaluate_slos(self._slo_rules, probes)
+        return {
+            "state": obs.worst_state(statuses),
+            "slos": [status.snapshot() for status in statuses],
+            "probes": {name: {"short": short, "long": long}
+                       for name, (short, long) in probes.items()},
+            "windows": {
+                "window_seconds": self.config.window_seconds,
+                "short_window_seconds": self.config.short_window_seconds,
+            },
+            "queue_depth": self._batcher.depth,
+            "workers_alive": self._pool.alive_count(),
+            "closed": self._closed,
+            "graph_generation": self.graph_generation,
+        }
+
     def stats(self) -> dict:
-        """Queue, cache, and metric state as one JSON-able snapshot."""
+        """Queue, cache, metric, trace, and SLO state as one snapshot."""
         out = {
             "queue_depth": self._batcher.depth,
             "graph_generation": self.graph_generation,
             "metrics": self.metrics.snapshot(),
+            "health": self.health(),
         }
+        if self.tracer is not None:
+            out["trace"] = {
+                "completed": self.tracer.completed,
+                "buffered": len(self.tracer),
+                "stage_totals": self.tracer.stage_totals(),
+            }
         if self.cache is not None:
             out["cache"] = {**self.cache.stats.snapshot(), "entries": len(self.cache)}
         store = self._embed_store
@@ -319,8 +459,15 @@ class PredictionService:
         return out
 
     def report(self) -> str:
-        """The service's metrics as an ``obs.report`` text table."""
+        """The service's telemetry as ``obs.report`` text tables."""
         lines = [obs.render_metrics_table(self.metrics)]
+        if self.tracer is not None:
+            lines.append("")
+            lines.append(obs.render_trace_table(self.tracer.stage_totals()))
+        health = self.health()
+        lines.append("")
+        lines.append(obs.render_slo_table(health["slos"]))
+        lines.append(f"health: {health['state']}")
         if self.cache is not None:
             snap = self.cache.stats.snapshot()
             lines.append("")
@@ -346,6 +493,22 @@ class PredictionService:
     def _histogram(self, name: str):
         return self.metrics.histogram(self._metric_name(name))
 
+    def _windowed_histogram(self, name: str):
+        cfg = self.config
+        return self.metrics.instrument(
+            self._metric_name(name),
+            lambda full_name: obs.WindowedHistogram(
+                full_name, window_seconds=cfg.window_seconds,
+                num_slices=self._num_slices, clock=self._clock))
+
+    def _windowed_counter(self, name: str):
+        cfg = self.config
+        return self.metrics.instrument(
+            self._metric_name(name),
+            lambda full_name: obs.WindowedCounter(
+                full_name, window_seconds=cfg.window_seconds,
+                num_slices=self._num_slices, clock=self._clock))
+
     def _resolve_model(self) -> HIRE:
         if self._registry is not None:
             return self._registry.active()[1]
@@ -370,17 +533,26 @@ class PredictionService:
             graph_state = self._graph_state
             groups = group_requests(batch)
 
+            assemble_start = self._clock()
             plans = []
             with obs.span("serve/assemble"):
                 for key, requests in groups:
                     plans.append((requests, self._chunks_for(requests[0],
                                                              graph_state)))
+            assembled_at = self._clock()
+            # Pack time accumulates here so the forward stage can report
+            # model execution exclusive of padded stacking.
+            stage_seconds = {"pack": 0.0}
             with obs.span("serve/forward"):
-                scores_by_plan = self._score_plans(model, plans)
+                scores_by_plan = self._score_plans(model, plans, stage_seconds)
+            forwarded_at = self._clock()
 
-            now = time.perf_counter()
+            # Batch-level stages are shared by every request in the batch.
+            stage_seconds["assemble"] = assembled_at - assemble_start
+            stage_seconds["forward"] = max(
+                forwarded_at - assembled_at - stage_seconds["pack"], 0.0)
             for (requests, _), scores in zip(plans, scores_by_plan):
-                self._resolve(requests, scores, now)
+                self._resolve(requests, scores, forwarded_at, stage_seconds)
         except Exception as error:  # fail the whole batch, never hang callers
             self._counter("failed_total").inc(len(batch))
             for request in batch:
@@ -388,13 +560,30 @@ class PredictionService:
                     request.future.set_exception(error)
 
     def _resolve(self, requests: list[PredictRequest], scores: np.ndarray,
-                 now: float) -> None:
+                 forwarded_at: float, stage_seconds: dict) -> None:
         latency = self._histogram("latency_seconds")
         for index, request in enumerate(requests):
             # Coalesced requests each get their own array (no sharing).
             request.future.set_result(scores if index == 0 else scores.copy())
-            latency.observe(now - request.enqueued_at)
+            now = self._clock()
+            total = now - request.enqueued_at
+            latency.observe(total)
+            self._window_latency.observe(total)
             self._counter("completed_total").inc()
+            self._window_completed.inc()
+            trace = request.trace
+            if trace is not None and self.tracer is not None:
+                trace.mark("enqueue",
+                           request.dequeued_at - request.enqueued_at)
+                trace.mark("batch_form",
+                           request.batch_formed_at - request.dequeued_at)
+                trace.mark("assemble", stage_seconds["assemble"])
+                trace.mark("pack", stage_seconds["pack"])
+                trace.mark("forward", stage_seconds["forward"])
+                trace.mark("respond", now - forwarded_at)
+                self.tracer.finish(trace, total)
+                for stage, seconds in trace.stages.items():
+                    self._stage_windows[stage].observe(seconds)
 
     # -- shape buckets ------------------------------------------------- #
     def _effective_budgets(self, request: PredictRequest) -> tuple[int, int]:
@@ -453,8 +642,10 @@ class PredictionService:
             cached = self.cache.get(key)
             if cached is not None:
                 self._counter("cache_hits_total").inc()
+                self._window_cache_hits.inc()
                 return cached
             self._counter("cache_misses_total").inc()
+            self._window_cache_misses.inc()
 
         samples = []
         for sample_index in range(cfg.num_context_samples):
@@ -474,7 +665,8 @@ class PredictionService:
             self.cache.put(key, samples)
         return samples
 
-    def _score_plans(self, model: HIRE, plans) -> list[np.ndarray]:
+    def _score_plans(self, model: HIRE, plans,
+                     stage_seconds: dict | None = None) -> list[np.ndarray]:
         """Score every plan's chunks, stacking same-*bucket* contexts into
         one padded :func:`~repro.nn.inference.forward_inference_packed`
         execution (bit-identical per real row to solo forwards).
@@ -512,7 +704,8 @@ class PredictionService:
                 exact = all(c.n == nb and c.m == mb for c in contexts)
                 if use_engine and not exact:
                     self._score_packed(model, nb, mb, bucket_entries,
-                                       contexts, store, predicted)
+                                       contexts, store, predicted,
+                                       stage_seconds)
                     continue
                 if use_engine:
                     if len(contexts) == 1:
@@ -547,16 +740,20 @@ class PredictionService:
         return scores_by_plan
 
     def _score_packed(self, model: HIRE, nb: int, mb: int, bucket_entries,
-                      contexts, store, predicted) -> None:
+                      contexts, store, predicted,
+                      stage_seconds: dict | None = None) -> None:
         """One padded stacked execution for a mixed-shape bucket."""
         real = sum(c.n * c.m for c in contexts)
         padded = nb * mb * len(contexts)
+        pack_start = self._clock()
         with obs.span("serve/pack"):
             outputs, slots = nn.inference.forward_inference_packed(
                 model, contexts, nb, mb, embed_store=store)
             for index, (_, _, chunk) in enumerate(bucket_entries):
                 predicted[id(chunk)] = (
                     outputs[slots[index]][chunk.user_row, chunk.cols])
+        if stage_seconds is not None:
+            stage_seconds["pack"] += self._clock() - pack_start
         self._counter("packed_contexts_total").inc(len(contexts))
         self._gauge("pack_pad_waste").set(padded / real - 1.0)
         self._histogram("pack_bucket_occupancy").observe(len(contexts))

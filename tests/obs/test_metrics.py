@@ -85,6 +85,89 @@ class TestHistogram:
         assert set(h.percentiles()) == {"p50", "p90", "p99"}
 
 
+class TestLockedReads:
+    def test_counter_read_under_writer_contention(self):
+        import threading
+        c = Counter("c")
+
+        def writer():
+            for _ in range(5_000):
+                c.inc()
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        while any(t.is_alive() for t in threads):
+            value = c.value  # must never see torn state
+            assert 0.0 <= value <= 20_000.0
+        for t in threads:
+            t.join()
+        assert c.value == 20_000.0
+
+    def test_gauge_read_is_locked(self):
+        g = Gauge("g")
+        g.set(1.0)
+        assert g.value == 1.0
+
+
+class TestHistogramMerge:
+    def test_merge_combines_counts_and_moments(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in (1.0, 2.0):
+            a.observe(v)
+        for v in (4.0, 8.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.sum == pytest.approx(15.0)
+        assert a.min == pytest.approx(1.0)
+        assert a.max == pytest.approx(8.0)
+        # b is untouched.
+        assert b.count == 2
+
+    def test_merge_preserves_quantile_resolution(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(size=20_000)
+        whole, a, b = Histogram("w"), Histogram("a"), Histogram("b")
+        for i, v in enumerate(values):
+            whole.observe(v)
+            (a if i % 2 else b).observe(v)
+        a.merge(b)
+        for q in (0.5, 0.9, 0.99):
+            # Merged shards agree with single-histogram ingestion exactly:
+            # bucket merge is lossless addition, not re-sampling.
+            assert a.quantile(q) == pytest.approx(whole.quantile(q))
+
+    def test_merge_underflow_bucket(self):
+        a, b = Histogram("a"), Histogram("b")
+        b.observe(-2.0)
+        b.observe(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.quantile(0.0) == pytest.approx(-2.0)
+
+    def test_merge_empty_is_noop(self):
+        a = Histogram("a")
+        a.observe(1.0)
+        a.merge(Histogram("b"))
+        assert a.count == 1
+
+    def test_merge_into_empty(self):
+        a, b = Histogram("a"), Histogram("b")
+        b.observe(5.0)
+        assert a.merge(b) is a
+        assert a.count == 1
+        assert a.quantile(0.5) == pytest.approx(5.0, rel=0.1)
+
+    def test_merge_growth_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("a", growth=1.05).merge(Histogram("b", growth=1.1))
+
+    def test_merge_type_checked(self):
+        with pytest.raises(TypeError):
+            Histogram("a").merge("not a histogram")
+
+
 class TestRegistry:
     def test_same_name_same_instrument(self):
         reg = MetricsRegistry()
@@ -113,6 +196,20 @@ class TestRegistry:
         reg.counter("c").inc()
         reg.reset()
         assert reg.names() == []
+
+    def test_instrument_registers_once(self):
+        reg = MetricsRegistry()
+        calls = []
+
+        def factory(name):
+            calls.append(name)
+            return Histogram(name)
+
+        first = reg.instrument("x", factory)
+        second = reg.instrument("x", factory)
+        assert first is second
+        assert calls == ["x"]
+        assert "x" in reg.snapshot()
 
     def test_default_registry_swap(self):
         fresh = MetricsRegistry()

@@ -1,0 +1,92 @@
+"""Report renderers on empty, zero-sample, and populated telemetry."""
+
+from repro.obs import (
+    MetricsRegistry,
+    SLORule,
+    Tracer,
+    WindowedCounter,
+    WindowedHistogram,
+    evaluate_slos,
+    render_metrics_table,
+    render_slo_table,
+    render_trace_table,
+)
+
+
+class TestMetricsTable:
+    def test_empty_registry(self):
+        assert render_metrics_table(MetricsRegistry()) == "(no metrics recorded)"
+
+    def test_zero_sample_histogram_renders(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")  # registered, never observed
+        text = render_metrics_table(reg)
+        assert "h" in text
+        assert "histogram" in text
+
+    def test_zero_sample_windowed_histogram_renders(self):
+        reg = MetricsRegistry()
+        reg.instrument("w", lambda name: WindowedHistogram(name))
+        text = render_metrics_table(reg)
+        assert "w-histogram" in text
+
+    def test_windowed_counter_shows_window_total(self):
+        reg = MetricsRegistry()
+        counter = reg.instrument("w.req", lambda name: WindowedCounter(name))
+        counter.inc(7)
+        text = render_metrics_table(reg)
+        assert "w-counter" in text
+        assert "7" in text
+
+    def test_mixed_kinds_share_the_table(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(2.0)
+        reg.instrument("wh", lambda name: WindowedHistogram(name)).observe(3.0)
+        text = render_metrics_table(reg)
+        for name in ("c", "g", "h", "wh"):
+            assert name in text
+
+
+class TestTraceTable:
+    def test_no_traces(self):
+        assert render_trace_table(Tracer().stage_totals()) == \
+            "(no traces recorded)"
+
+    def test_stage_rows_and_share(self):
+        tracer = Tracer()
+        trace = tracer.begin()
+        trace.mark("forward", 0.3)
+        trace.mark("enqueue", 0.1)
+        tracer.finish(trace, 0.4)
+        text = render_trace_table(tracer.stage_totals())
+        assert "forward" in text
+        assert "75.0%" in text
+        assert "total" in text
+
+    def test_accepts_plain_dicts(self):
+        totals = {"forward": {"count": 2, "total_seconds": 1.0,
+                              "mean_seconds": 0.5, "max_seconds": 0.6}}
+        text = render_trace_table(totals)
+        assert "forward" in text
+
+
+class TestSloTable:
+    def test_no_rules(self):
+        assert render_slo_table([]) == "(no slo rules)"
+
+    def test_statuses_and_snapshots_both_render(self):
+        rule = SLORule(name="lat", probe="p", objective="max", threshold=1.0)
+        statuses = evaluate_slos([rule], {"p": (2.0, 2.0)})
+        from_objects = render_slo_table(statuses)
+        from_dicts = render_slo_table([s.snapshot() for s in statuses])
+        assert from_objects == from_dicts
+        assert "breach" in from_objects
+        assert "<= 1" in from_objects
+
+    def test_no_data_renders_dashes(self):
+        rule = SLORule(name="hits", probe="p", objective="min", threshold=0.5)
+        text = render_slo_table(evaluate_slos([rule], {}))
+        assert "no_data" in text
+        assert ">= 0.5" in text

@@ -1,0 +1,126 @@
+"""SLO rules: burn-rate evaluation over (short, long) window pairs."""
+
+import pytest
+
+from repro.obs import SLORule, default_serve_rules, evaluate_slos, worst_state
+from repro.obs.slo import evaluate_rule
+
+
+def max_rule(threshold=1.0, warn_ratio=0.9):
+    return SLORule(name="lat", probe="latency_p99_seconds",
+                   objective="max", threshold=threshold,
+                   warn_ratio=warn_ratio)
+
+
+def min_rule(threshold=0.5, warn_ratio=0.9):
+    return SLORule(name="hits", probe="cache_hit_rate",
+                   objective="min", threshold=threshold,
+                   warn_ratio=warn_ratio)
+
+
+class TestRuleValidation:
+    def test_objective_must_be_max_or_min(self):
+        with pytest.raises(ValueError):
+            SLORule(name="x", probe="p", objective="avg", threshold=1.0)
+
+    def test_warn_ratio_bounds(self):
+        with pytest.raises(ValueError):
+            SLORule(name="x", probe="p", objective="max", threshold=1.0,
+                    warn_ratio=0.0)
+        with pytest.raises(ValueError):
+            SLORule(name="x", probe="p", objective="max", threshold=1.0,
+                    warn_ratio=1.5)
+
+
+class TestMaxObjective:
+    def test_ok_well_under_threshold(self):
+        assert evaluate_rule(max_rule(), 0.2, 0.3).state == "ok"
+
+    def test_breach_requires_every_window(self):
+        assert evaluate_rule(max_rule(), 2.0, 2.0).state == "breach"
+
+    def test_one_violating_window_is_warn(self):
+        # Fast burn: bad now, long window not yet confirming.
+        assert evaluate_rule(max_rule(), 2.0, 0.2).state == "warn"
+        # Recovered: long window still bad, short back under budget.
+        assert evaluate_rule(max_rule(), 0.2, 2.0).state == "warn"
+
+    def test_warn_margin(self):
+        # Within 10% of the budget (warn_ratio 0.9) warns early.
+        assert evaluate_rule(max_rule(), 0.95, 0.2).state == "warn"
+
+    def test_no_data(self):
+        assert evaluate_rule(max_rule(), None, None).state == "no_data"
+
+    def test_single_window_breaches_alone(self):
+        # Only one window has data and it violates: breach, not warn.
+        assert evaluate_rule(max_rule(), 2.0, None).state == "breach"
+
+
+class TestMinObjective:
+    def test_ok_above_threshold(self):
+        assert evaluate_rule(min_rule(), 0.9, 0.9).state == "ok"
+
+    def test_breach_below_threshold(self):
+        assert evaluate_rule(min_rule(), 0.1, 0.1).state == "breach"
+
+    def test_warn_margin_is_reciprocal(self):
+        # threshold 0.5, warn_ratio 0.9 -> warn under 0.5/0.9 ~ 0.556.
+        assert evaluate_rule(min_rule(), 0.54, 0.8).state == "warn"
+        assert evaluate_rule(min_rule(), 0.6, 0.8).state == "ok"
+
+
+class TestEvaluateSlos:
+    def test_missing_probe_is_no_data(self):
+        statuses = evaluate_slos([max_rule()], {})
+        assert statuses[0].state == "no_data"
+
+    def test_statuses_align_with_rules(self):
+        rules = [max_rule(), min_rule()]
+        statuses = evaluate_slos(rules, {
+            "latency_p99_seconds": (2.0, 2.0),
+            "cache_hit_rate": (0.9, 0.9),
+        })
+        assert [s.state for s in statuses] == ["breach", "ok"]
+
+    def test_snapshot_is_jsonable(self):
+        status = evaluate_rule(max_rule(), 0.5, None)
+        snap = status.snapshot()
+        assert snap["name"] == "lat"
+        assert snap["objective"] == "max"
+        assert snap["short_value"] == 0.5
+        assert snap["long_value"] is None
+
+
+class TestWorstState:
+    def test_severity_order(self):
+        assert worst_state([]) == "ok"
+        statuses = evaluate_slos(
+            [max_rule(), min_rule()],
+            {"latency_p99_seconds": (0.95, 0.2),
+             "cache_hit_rate": (0.1, 0.1)})
+        assert worst_state(statuses) == "breach"
+
+    def test_no_data_never_escalates(self):
+        statuses = evaluate_slos([max_rule()], {})
+        assert worst_state(statuses) == "ok"
+
+    def test_accepts_raw_strings(self):
+        assert worst_state(["ok", "warn"]) == "warn"
+
+
+class TestDefaultServeRules:
+    def test_stock_rules(self):
+        rules = default_serve_rules()
+        assert [r.probe for r in rules] == ["latency_p99_seconds",
+                                            "shed_rate"]
+
+    def test_cache_rule_is_opt_in(self):
+        rules = default_serve_rules(min_cache_hit_rate=0.5)
+        assert rules[-1].probe == "cache_hit_rate"
+        assert rules[-1].objective == "min"
+
+    def test_thresholds_propagate(self):
+        rules = default_serve_rules(max_p99_seconds=0.25, max_shed_rate=0.01)
+        assert rules[0].threshold == 0.25
+        assert rules[1].threshold == 0.01

@@ -1,0 +1,163 @@
+"""Rolling windowed instruments under a fake clock: rotation, pruning,
+sub-window queries, rates, and registry integration."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, WindowedCounter, WindowedHistogram
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestWindowedCounter:
+    def test_counts_within_window(self):
+        clock = FakeClock()
+        c = WindowedCounter("req", window_seconds=60.0, num_slices=6,
+                            clock=clock)
+        c.inc()
+        c.inc(2)
+        assert c.total() == pytest.approx(3.0)
+
+    def test_old_slices_expire(self):
+        clock = FakeClock()
+        c = WindowedCounter("req", window_seconds=60.0, num_slices=6,
+                            clock=clock)
+        c.inc(5)
+        clock.advance(30)
+        c.inc(1)
+        assert c.total() == pytest.approx(6.0)
+        clock.advance(40)  # first slice now outside the 60s window
+        assert c.total() == pytest.approx(1.0)
+        clock.advance(60)
+        assert c.total() == 0.0
+
+    def test_sub_window_query(self):
+        clock = FakeClock()
+        c = WindowedCounter("req", window_seconds=60.0, num_slices=6,
+                            clock=clock)
+        c.inc(5)
+        clock.advance(30)
+        c.inc(1)
+        # Last 10s covers only the current slice.
+        assert c.total(10.0) == pytest.approx(1.0)
+        assert c.total(60.0) == pytest.approx(6.0)
+
+    def test_rate_divides_by_covered_time(self):
+        clock = FakeClock(1000.0)
+        c = WindowedCounter("req", window_seconds=60.0, num_slices=6,
+                            clock=clock)
+        for _ in range(30):
+            c.inc()
+            clock.advance(1.0)
+        assert c.rate() == pytest.approx(1.0, rel=0.35)
+
+    def test_rejects_negative(self):
+        c = WindowedCounter("req", clock=FakeClock())
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_snapshot_shape(self):
+        c = WindowedCounter("req", window_seconds=60.0, clock=FakeClock())
+        c.inc(2)
+        snap = c.snapshot()
+        assert snap["type"] == "windowed_counter"
+        assert snap["window_seconds"] == 60.0
+        assert snap["total"] == pytest.approx(2.0)
+        assert snap["rate"] > 0
+
+
+class TestWindowedHistogram:
+    def test_quantiles_within_window(self):
+        clock = FakeClock()
+        h = WindowedHistogram("lat", window_seconds=60.0, num_slices=6,
+                              clock=clock)
+        for v in (1.0, 2.0, 4.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.quantile(1.0) == pytest.approx(4.0, rel=0.1)
+
+    def test_observations_expire(self):
+        clock = FakeClock()
+        h = WindowedHistogram("lat", window_seconds=60.0, num_slices=6,
+                              clock=clock)
+        h.observe(100.0)
+        clock.advance(30)
+        h.observe(1.0)
+        assert h.count() == 2
+        clock.advance(40)
+        assert h.count() == 1
+        # The big old observation no longer pollutes the p99.
+        assert h.quantile(0.99) == pytest.approx(1.0, rel=0.1)
+
+    def test_sub_window_rounds_up_to_slices(self):
+        clock = FakeClock()
+        h = WindowedHistogram("lat", window_seconds=60.0, num_slices=6,
+                              clock=clock)
+        h.observe(5.0)
+        clock.advance(15)  # one full slice boundary crossed
+        h.observe(1.0)
+        assert h.count(10.0) == 1
+        assert h.count(60.0) == 2
+
+    def test_merged_is_lossless_union(self):
+        clock = FakeClock()
+        h = WindowedHistogram("lat", window_seconds=60.0, num_slices=6,
+                              clock=clock)
+        values = [0.5, 1.0, 2.0, 8.0]
+        for i, v in enumerate(values):
+            h.observe(v)
+            clock.advance(5)
+        merged = h.merged()
+        assert merged.count == len(values)
+        assert merged.min == pytest.approx(0.5)
+        assert merged.max == pytest.approx(8.0)
+        assert merged.sum == pytest.approx(sum(values))
+
+    def test_empty_window_reports_zero(self):
+        h = WindowedHistogram("lat", clock=FakeClock())
+        assert h.count() == 0
+        assert h.quantile(0.99) == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["p99"] == 0.0
+
+    def test_snapshot_shape(self):
+        h = WindowedHistogram("lat", window_seconds=60.0, clock=FakeClock())
+        h.observe(2.0)
+        snap = h.snapshot()
+        assert snap["type"] == "windowed_histogram"
+        assert snap["count"] == 1
+        for key in ("sum", "min", "max", "mean", "p50", "p90", "p99"):
+            assert key in snap
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedHistogram("x", window_seconds=0.0)
+        with pytest.raises(ValueError):
+            WindowedHistogram("x", num_slices=0)
+        with pytest.raises(ValueError):
+            WindowedCounter("x", window_seconds=-1.0)
+
+
+class TestRegistryIntegration:
+    def test_windowed_instruments_join_snapshot(self):
+        clock = FakeClock()
+        reg = MetricsRegistry()
+        c = reg.instrument("w.req", lambda name: WindowedCounter(
+            name, window_seconds=60.0, clock=clock))
+        h = reg.instrument("w.lat", lambda name: WindowedHistogram(
+            name, window_seconds=60.0, clock=clock))
+        assert reg.instrument("w.req", lambda name: None) is c
+        c.inc()
+        h.observe(1.0)
+        snap = reg.snapshot()
+        assert snap["w.req"]["type"] == "windowed_counter"
+        assert snap["w.lat"]["type"] == "windowed_histogram"

@@ -95,6 +95,86 @@ class TestMicroBatcher:
         assert len(group_requests([a, b])) == 2  # different contexts
 
 
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestClockStamps:
+    """All request timestamps come from the batcher's one injectable clock,
+    so stamps and deadline flushes agree — the mixed perf_counter/monotonic
+    clocks bug made latency histograms lie under a fake clock."""
+
+    def test_submit_stamps_enqueued_at_from_batcher_clock(self):
+        clock = FakeClock(now=500.0)
+        batcher = MicroBatcher(clock=clock)
+        request = make_request()
+        assert request.enqueued_at != 500.0  # default stamp, pre-submit
+        batcher.submit(request)
+        assert request.enqueued_at == 500.0
+
+    def test_dequeue_and_batch_form_stamps(self):
+        clock = FakeClock(now=10.0)
+        batcher = MicroBatcher(max_batch_size=2, max_wait_seconds=0.0,
+                               clock=clock)
+        request = make_request()
+        batcher.submit(request)
+        clock.advance(3.0)
+        (got,) = batcher.next_batch(0.1)
+        assert got is request
+        assert got.enqueued_at == 10.0
+        assert got.dequeued_at == 13.0
+        assert got.batch_formed_at == 13.0
+
+    def test_queue_wait_measurable_under_fake_clock(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch_size=2, max_wait_seconds=0.05,
+                               clock=clock)
+        early = make_request(user=1)
+        batcher.submit(early)
+        clock.advance(5.0)
+        late = make_request(user=2)
+        batcher.submit(late)
+        batch = batcher.next_batch(0.1)
+        waits = {r.user: r.dequeued_at - r.enqueued_at for r in batch}
+        assert waits[1] == 5.0
+        assert waits[2] == 0.0
+
+    def test_every_batch_member_shares_batch_formed_at(self):
+        batcher = MicroBatcher(max_batch_size=4, max_wait_seconds=0.2)
+        for user in range(3):
+            batcher.submit(make_request(user=user))
+        batch = batcher.next_batch(0.1)
+        assert len(batch) == 3
+        formed = {r.batch_formed_at for r in batch}
+        assert len(formed) == 1
+        for r in batch:
+            assert r.enqueued_at <= r.dequeued_at <= r.batch_formed_at
+
+    def test_parked_request_is_restamped_on_final_pop(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch_size=2, max_wait_seconds=0.0,
+                               clock=clock, bucket_key=budget_bucket)
+        a = make_request(budgets=(8, 8))
+        b = make_request(budgets=(16, 16))
+        batcher.submit(a)
+        batcher.submit(b)
+        first = batcher.next_batch(0.1)
+        assert [r.context_users for r in first] == [8]
+        clock.advance(2.0)
+        second = batcher.next_batch(0.1)
+        assert second == [b]
+        # The park time counts as queue wait: dequeued at the final pop.
+        assert b.dequeued_at == clock.now
+        assert b.dequeued_at - b.enqueued_at == 2.0
+
+
 class TestBucketedBatcher:
     def test_batches_are_bucket_homogeneous(self):
         batcher = MicroBatcher(max_batch_size=8, max_wait_seconds=0.01,

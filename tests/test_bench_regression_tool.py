@@ -1,0 +1,168 @@
+"""Unit tests of ``tools/check_bench_regression.py``.
+
+The tool guards the committed benchmark trajectory; these tests drive it
+through ``--baseline-dir`` (no git involved) with synthetic payloads, so
+both verdicts — clean pass and >10% headline regression — are exercised
+deterministically.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOOL_PATH = REPO_ROOT / "tools" / "check_bench_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                              TOOL_PATH)
+tool = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(tool)
+
+
+def serve_payload(best_speedup=2.0, pack_gain=1.5, smoke=False):
+    return {
+        "benchmark": "serve_throughput",
+        "smoke": smoke,
+        "best_speedup": best_speedup,
+        "packing": {"pack_gain": pack_gain},
+    }
+
+
+def write(directory: Path, filename: str, payload: dict) -> None:
+    (directory / filename).write_text(json.dumps(payload))
+
+
+@pytest.fixture
+def roots(tmp_path):
+    current = tmp_path / "current"
+    baseline = tmp_path / "baseline"
+    current.mkdir()
+    baseline.mkdir()
+    return current, baseline
+
+
+def run_tool(current: Path, baseline: Path, *extra: str) -> int:
+    return tool.main(["--repo-root", str(current),
+                      "--baseline-dir", str(baseline), *extra])
+
+
+class TestDottedGet:
+    def test_resolves_nested(self):
+        payload = {"a": {"b": {"c": 3.0}}}
+        assert tool.dotted_get(payload, "a.b.c") == 3.0
+
+    def test_missing_returns_none(self):
+        assert tool.dotted_get({"a": 1}, "a.b") is None
+        assert tool.dotted_get({}, "missing") is None
+
+
+class TestVerdicts:
+    def test_identical_passes(self, roots):
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload())
+        write(baseline, "BENCH_serve.json", serve_payload())
+        assert run_tool(current, baseline) == 0
+
+    def test_improvement_passes(self, roots):
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload(best_speedup=3.0))
+        write(baseline, "BENCH_serve.json", serve_payload(best_speedup=2.0))
+        assert run_tool(current, baseline) == 0
+
+    def test_small_drop_within_tolerance_passes(self, roots):
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload(best_speedup=1.85))
+        write(baseline, "BENCH_serve.json", serve_payload(best_speedup=2.0))
+        assert run_tool(current, baseline) == 0  # -7.5% < 10%
+
+    def test_large_drop_fails(self, roots):
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload(best_speedup=1.5))
+        write(baseline, "BENCH_serve.json", serve_payload(best_speedup=2.0))
+        assert run_tool(current, baseline) == 1  # -25%
+
+    def test_nested_metric_drop_fails(self, roots):
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload(pack_gain=1.0))
+        write(baseline, "BENCH_serve.json", serve_payload(pack_gain=1.6))
+        assert run_tool(current, baseline) == 1
+
+    def test_tolerance_is_configurable(self, roots):
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload(best_speedup=1.9))
+        write(baseline, "BENCH_serve.json", serve_payload(best_speedup=2.0))
+        assert run_tool(current, baseline, "--tolerance", "0.02") == 1
+        assert run_tool(current, baseline, "--tolerance", "0.10") == 0
+
+
+class TestSkips:
+    def test_missing_baseline_file_skipped(self, roots):
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload(best_speedup=0.1))
+        assert run_tool(current, baseline) == 0
+
+    def test_missing_current_file_skipped(self, roots):
+        current, baseline = roots
+        write(baseline, "BENCH_serve.json", serve_payload())
+        assert run_tool(current, baseline) == 0
+
+    def test_smoke_payload_skipped(self, roots):
+        current, baseline = roots
+        write(current, "BENCH_serve.json",
+              serve_payload(best_speedup=0.1, smoke=True))
+        write(baseline, "BENCH_serve.json", serve_payload())
+        assert run_tool(current, baseline) == 0
+
+    def test_measurement_protocol_change_skipped(self, roots):
+        """Numbers from different measurement protocols are incomparable:
+        the first run under a new protocol resets the trajectory rather
+        than being judged against the old one."""
+        current, baseline = roots
+        changed = serve_payload(pack_gain=0.5)  # would fail if compared
+        changed["measurement"] = {"protocol": "interleaved", "repeats": 2}
+        write(current, "BENCH_serve.json", changed)
+        write(baseline, "BENCH_serve.json", serve_payload(pack_gain=1.6))
+        assert run_tool(current, baseline) == 0
+
+    def test_same_measurement_protocol_still_compared(self, roots):
+        current, baseline = roots
+        new, old = serve_payload(pack_gain=0.5), serve_payload(pack_gain=1.6)
+        for payload in (new, old):
+            payload["measurement"] = {"protocol": "interleaved", "repeats": 2}
+        write(current, "BENCH_serve.json", new)
+        write(baseline, "BENCH_serve.json", old)
+        assert run_tool(current, baseline) == 1
+
+    def test_metric_missing_from_baseline_skipped(self, roots):
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload())
+        old = serve_payload()
+        del old["packing"]
+        write(baseline, "BENCH_serve.json", old)
+        assert run_tool(current, baseline) == 0
+
+
+class TestAgainstRealRepoFiles:
+    def test_headline_schema_matches_committed_files(self):
+        """Every headline metric must exist in the committed BENCH files —
+        otherwise the guard silently checks nothing."""
+        for filename, metrics in tool.HEADLINE.items():
+            path = REPO_ROOT / filename
+            if not path.is_file():
+                continue
+            payload = json.loads(path.read_text())
+            for metric in metrics:
+                assert isinstance(tool.dotted_get(payload, metric),
+                                  (int, float)), (
+                    f"{filename}: headline metric {metric!r} missing from "
+                    f"the committed payload")
+
+    def test_repo_vs_itself_passes(self, tmp_path):
+        for filename in tool.HEADLINE:
+            source = REPO_ROOT / filename
+            if source.is_file():
+                (tmp_path / filename).write_text(source.read_text())
+        assert tool.main(["--repo-root", str(REPO_ROOT),
+                          "--baseline-dir", str(tmp_path)]) == 0

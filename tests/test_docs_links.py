@@ -113,7 +113,7 @@ class TestEveryPackageDocumented:
 
 
 # User-facing API surfaces whose every public symbol must appear in docs.
-DOCUMENTED_APIS = ["repro.serve", "repro.nn.inference"]
+DOCUMENTED_APIS = ["repro.serve", "repro.nn.inference", "repro.obs"]
 
 
 def api_symbols():
@@ -135,3 +135,48 @@ class TestPublicSymbolsDocumented:
                    (p.read_text() for p in DOC_FILES)), (
             f"{module_name}.{symbol} is exported but never mentioned in "
             f"README.md or any docs/*.md page")
+
+
+# Metric-name lint: every instrument name emitted by the serve tier
+# (``self._counter("x")`` -> ``serve.x``) or the trainer metrics sink
+# (``self._name("x")`` -> ``trainer.x``) must appear in
+# docs/observability.md — an operator grepping a dashboard name has to
+# land somewhere.
+SERVE_METRIC_CALL = re.compile(
+    r"self\._(?:windowed_)?(?:counter|gauge|histogram)\(\s*f?\"([^\"]+)\"")
+SINK_METRIC_CALL = re.compile(r"self\._name\(\s*\"([^\"]+)\"")
+
+
+def emitted_metric_names():
+    from repro.obs import TRACE_STAGES
+
+    names = set()
+    for source in sorted((REPO_ROOT / "src" / "repro" / "serve").glob("*.py")):
+        for name in SERVE_METRIC_CALL.findall(source.read_text()):
+            if "{stage}" in name:
+                names.update(f"serve.{name.format(stage=stage)}"
+                             for stage in TRACE_STAGES)
+            else:
+                names.add(f"serve.{name}")
+    for source in sorted((REPO_ROOT / "src" / "repro" / "obs").glob("*.py")):
+        names.update(f"trainer.{name}"
+                     for name in SINK_METRIC_CALL.findall(source.read_text()))
+    return sorted(names)
+
+
+@pytest.mark.parametrize("metric", emitted_metric_names())
+def test_metric_name_in_observability_docs(metric):
+    text = (REPO_ROOT / "docs" / "observability.md").read_text()
+    assert metric in text, (
+        f"metric {metric!r} is emitted by the code but absent from "
+        f"docs/observability.md")
+
+
+def test_metric_extraction_found_the_core_metrics():
+    # Canary: the regexes must keep matching the real emission sites
+    # (a refactor that silently empties the lint would pass trivially).
+    names = emitted_metric_names()
+    assert "serve.latency_seconds" in names
+    assert "serve.window.latency_seconds" in names
+    assert "serve.stage.forward_seconds" in names
+    assert "trainer.loss" in names
