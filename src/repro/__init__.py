@@ -16,6 +16,9 @@ including:
 * ``repro.obs`` — telemetry: profiling spans, metrics, structured run logs,
 * ``repro.serve`` — online inference: model registry with hot swap, request
   micro-batching, context caching, and backpressure,
+* ``repro.online`` — the incremental-learning loop: rating-delta log,
+  bounded bit-reproducible fine-tune rounds, probe-gated promotion with
+  rollback, zero-downtime hot swaps,
 * ``repro.pipeline`` — parallel training-context prefetching, bit-identical
   to sequential sampling,
 * ``repro.concurrency`` — the bounded-queue / worker-pool primitives shared
@@ -35,7 +38,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 from . import baselines, concurrency, core, data, eval, experiments, nn, obs
-from . import pipeline, serve
+from . import online, pipeline, serve
 
 __all__ = ["nn", "data", "core", "baselines", "eval", "experiments", "obs",
-           "serve", "pipeline", "concurrency", "__version__"]
+           "serve", "online", "pipeline", "concurrency", "__version__"]

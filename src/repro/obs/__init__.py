@@ -56,6 +56,7 @@ from .report import (
 from .slo import (
     SLORule,
     SLOStatus,
+    default_online_rules,
     default_serve_rules,
     evaluate_slos,
     worst_state,
@@ -131,6 +132,7 @@ __all__ = [
     "evaluate_slos",
     "worst_state",
     "default_serve_rules",
+    "default_online_rules",
     "TelemetryExporter",
     "render_trace_table",
     "render_slo_table",

@@ -32,6 +32,7 @@ __all__ = [
     "evaluate_slos",
     "worst_state",
     "default_serve_rules",
+    "default_online_rules",
 ]
 
 # Severity order for aggregation; no_data never escalates overall state.
@@ -153,4 +154,28 @@ def default_serve_rules(max_p99_seconds: float = 1.0,
             name="cache_hit_rate", probe="cache_hit_rate",
             objective="min", threshold=min_cache_hit_rate,
             description="context cache hits / lookups"))
+    return tuple(rules)
+
+
+def default_online_rules(max_staleness_seconds: float = 3600.0,
+                         max_probe_rmse: float | None = None
+                         ) -> tuple[SLORule, ...]:
+    """The online-learning loop's stock rules: model staleness (and,
+    opt-in, an absolute probe-RMSE ceiling for the promoted model).
+
+    Staleness is seconds since the serving model last absorbed the stream
+    (a promotion or a rollback both reset it); an idle stream legitimately
+    ages the model, so size the budget to the ingest cadence.
+    """
+    rules = [
+        SLORule(name="model_staleness", probe="model_staleness_seconds",
+                objective="max", threshold=max_staleness_seconds,
+                description="seconds since the serving model last "
+                            "absorbed the stream"),
+    ]
+    if max_probe_rmse is not None:
+        rules.append(SLORule(
+            name="probe_rmse", probe="probe_rmse",
+            objective="max", threshold=max_probe_rmse,
+            description="promoted model's cold-start probe RMSE"))
     return tuple(rules)

@@ -1,0 +1,120 @@
+"""Append-only log of rating deltas feeding the online fine-tuning loop.
+
+The serving layer folds fresh ratings into its graph immediately
+(:meth:`repro.serve.PredictionService.update_ratings`); the :class:`RatingLog`
+is the durable trail those deltas leave behind so the background trainer can
+consume them later, at its own pace.  Offsets are the contract: every
+appended triple gets a monotonically increasing position, and a fine-tune
+round is keyed by the log offset it trained up to — re-running from the same
+``(checkpoint, offset, seed)`` replays exactly the same deltas, which is
+half of what makes rounds bit-reproducible (the other half is the per-step
+RNG derivation, :func:`repro.online.derive_round_seed`).
+
+The log is thread-safe and in-memory; an optional ``path`` tees every append
+to a JSONL file (one ``{"offset", "ratings"}`` record per batch) so a
+restarted process can rebuild the log with :meth:`RatingLog.load`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["RatingLog"]
+
+
+class RatingLog:
+    """Thread-safe append-only store of ``(user, item, rating)`` triples."""
+
+    def __init__(self, path: str | Path | None = None):
+        self._lock = threading.Lock()
+        self._batches: list[np.ndarray] = []
+        self._size = 0
+        self._appends = 0
+        self._path = Path(path) if path is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def append(self, ratings: np.ndarray) -> tuple[int, int]:
+        """Append a batch of triples; returns its ``(start, end)`` offsets.
+
+        ``end`` is the exclusive offset after the batch — the value a
+        consumer records as "trained up to here".  Empty batches are legal
+        and leave the log untouched (``start == end``).
+        """
+        ratings = np.asarray(ratings, dtype=np.float64).reshape(-1, 3)
+        with self._lock:
+            start = self._size
+            if ratings.size:
+                self._batches.append(ratings.copy())
+                self._size += len(ratings)
+                self._appends += 1
+                if self._path is not None:
+                    record = {"offset": start, "ratings": ratings.tolist()}
+                    with self._path.open("a", encoding="utf-8") as handle:
+                        handle.write(json.dumps(record) + "\n")
+            return start, self._size
+
+    @classmethod
+    def load(cls, path: str | Path, resume: bool = True) -> "RatingLog":
+        """Rebuild a log from its JSONL trail.
+
+        ``resume=True`` keeps teeing subsequent appends to the same file;
+        ``False`` loads a read-only-by-convention copy (appends stay
+        in-memory only).
+        """
+        log = cls(path=path if resume else None)
+        path = Path(path)
+        if path.exists():
+            with path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = json.loads(line)
+                    ratings = np.asarray(record["ratings"], dtype=np.float64)
+                    with log._lock:
+                        log._batches.append(ratings.reshape(-1, 3))
+                        log._size += len(log._batches[-1])
+                        log._appends += 1
+        return log
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def slice(self, start: int, end: int | None = None) -> np.ndarray:
+        """Triples in ``[start, end)`` as an ``(k, 3)`` array (copies).
+
+        ``end=None`` reads to the current tail.  Offsets outside the log
+        clamp rather than raise — a consumer holding yesterday's tail can
+        always ask for "everything since".
+        """
+        with self._lock:
+            size = self._size
+            end = size if end is None else min(int(end), size)
+            start = max(int(start), 0)
+            if start >= end:
+                return np.empty((0, 3))
+            flat = np.concatenate(self._batches) if self._batches else np.empty((0, 3))
+        return flat[start:end].copy()
+
+    def since(self, offset: int) -> np.ndarray:
+        """Everything appended at or after ``offset``."""
+        return self.slice(offset)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    def stats(self) -> dict:
+        """Size and append counts as one JSON-able snapshot."""
+        with self._lock:
+            return {
+                "size": self._size,
+                "batches": self._appends,
+                "persisted": self._path is not None,
+            }

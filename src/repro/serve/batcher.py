@@ -68,12 +68,21 @@ class PredictRequest:
     dequeued_at: float = 0.0
     batch_formed_at: float = 0.0
     trace: object = None
+    # Graph snapshot pinned at admission: (graph, candidate_users,
+    # candidate_items, generation).  A request always executes against the
+    # graph it was validated under, so a concurrent ``update_ratings`` can
+    # never turn an admitted request's query cells observed mid-flight.
+    graph_state: tuple | None = None
+
+    @property
+    def generation(self) -> int | None:
+        return None if self.graph_state is None else self.graph_state[3]
 
     def key(self) -> tuple:
         """Coalescing identity: requests with equal keys share one result."""
         return (self.user, tuple(self.item_ids.tolist()),
                 tuple(self.support_items.tolist()),
-                self.context_users, self.context_items)
+                self.context_users, self.context_items, self.generation)
 
 
 def group_requests(batch: list[PredictRequest]

@@ -89,13 +89,28 @@ class ModelRegistry:
         inference.bump_generation()
         return version
 
-    def unregister(self, name: str) -> None:
+    def unregister(self, name: str, fallback: bool = False) -> None:
+        """Remove a version; the registry can never be left headless.
+
+        Unregistering the active version raises by default.  With
+        ``fallback=True`` it instead atomically activates the most
+        recently registered remaining version — unless ``name`` is the
+        only one, which still raises (a registry must always be able to
+        answer :meth:`active`).
+        """
         with self._lock:
             if name not in self._versions:
                 raise UnknownModelError(name)
             if name == self._active:
-                raise ValueError(
-                    f"model {name!r} is active; activate another version first")
+                others = [n for n in self._versions if n != name]
+                if not others or not fallback:
+                    raise ValueError(
+                        f"model {name!r} is active; activate another version "
+                        "first" + (" (no other version to fall back to)"
+                                   if fallback and not others else ""))
+                # dicts preserve insertion order: the last remaining key is
+                # the most recently registered version.
+                self._active = others[-1]
             del self._versions[name]
         inference.bump_generation()
 

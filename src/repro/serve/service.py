@@ -160,6 +160,7 @@ class PredictionService:
                  sampler: ContextSampler | None = None,
                  config: ServiceConfig | None = None,
                  metrics: obs.MetricsRegistry | None = None,
+                 rating_log=None,
                  clock=time.monotonic):
         self.config = config or ServiceConfig()
         self._registry = models if isinstance(models, ModelRegistry) else None
@@ -168,6 +169,10 @@ class PredictionService:
             self._model.eval()
         self.sampler = sampler or NeighborhoodSampler()
         self.metrics = metrics if metrics is not None else obs.MetricsRegistry()
+        # Optional repro.online.RatingLog: update_ratings tees every
+        # *applied* delta into it, so the incremental-training loop
+        # consumes exactly what the serving graph absorbed.
+        self.rating_log = rating_log
         # One injectable clock for everything time-related on the serve
         # path: batcher deadlines, request stamps, latency histograms,
         # rolling windows, trace timings.  One timebase means the numbers
@@ -262,7 +267,8 @@ class PredictionService:
             if value is not None and int(value) < 2:
                 raise RequestError(f"{name} override must be >= 2")
         item_ids = np.asarray(item_ids, dtype=np.int64).ravel()
-        graph = self._graph_state[0]
+        graph_state = self._graph_state
+        graph = graph_state[0]
         if item_ids.size == 0:
             raise RequestError("a request needs at least one item")
         if not 0 <= user < graph.num_users:
@@ -281,7 +287,8 @@ class PredictionService:
         request = PredictRequest(
             user=user, item_ids=item_ids, support_items=support_items,
             context_users=None if context_users is None else int(context_users),
-            context_items=None if context_items is None else int(context_items))
+            context_items=None if context_items is None else int(context_items),
+            graph_state=graph_state)
         if self.tracer is not None:
             # Attached before the queue so a worker can never race a
             # traceless request; rejected requests just drop their trace.
@@ -310,22 +317,36 @@ class PredictionService:
     # Graph updates
     # ------------------------------------------------------------------ #
     def update_ratings(self, ratings: np.ndarray) -> int:
-        """Add (user, item, rating) triples to the visible graph.
+        """Apply (user, item, rating) deltas to the visible graph.
 
-        Builds a fresh immutable graph, extends the candidate pools with
-        the new entities, bumps the graph generation and invalidates the
-        context cache (cached neighbourhoods may have changed).  Returns
-        the new generation number.
+        Deltas are deduped before application: within the batch the most
+        recent rating per ``(user, item)`` pair wins (a re-rated pair keeps
+        only its last value), and triples that restate the graph's current
+        value are no-ops.  When anything survives, a fresh immutable graph
+        is built (re-rated pairs take the new value), the candidate pools
+        grow with the new entities, the graph generation bumps, the context
+        cache invalidates, and the applied deltas are teed into the
+        attached ``rating_log``.  Returns the number of deltas applied —
+        zero means nothing changed (and nothing was invalidated).
+
+        In-flight requests are unaffected: each request pins the graph
+        snapshot it was admitted under and executes against it, so a
+        delta that rates a queried pair can never fail (or leak into) a
+        request that was already accepted.  Only submissions after the
+        update see the new graph.
         """
         ratings = np.asarray(ratings, dtype=np.float64).reshape(-1, 3)
         with self._graph_lock:
             graph, candidate_users, candidate_items, generation = self._graph_state
-            combined = np.concatenate([graph.triples(), ratings])
+            applied = self._dedupe_deltas(graph, ratings)
+            if not applied.size:
+                return 0
+            combined = np.concatenate([graph.triples(), applied])
             new_graph = RatingGraph(combined, graph.num_users, graph.num_items)
             self._graph_state = (
                 new_graph,
-                np.union1d(candidate_users, ratings[:, 0].astype(np.int64)),
-                np.union1d(candidate_items, ratings[:, 1].astype(np.int64)),
+                np.union1d(candidate_users, applied[:, 0].astype(np.int64)),
+                np.union1d(candidate_items, applied[:, 1].astype(np.int64)),
                 generation + 1,
             )
         if self.cache is not None:
@@ -333,7 +354,31 @@ class PredictionService:
         # Conservatively retire the warm-entity rows too: the rebuild may
         # have introduced entities the store has never seen sized for.
         self._embed_store = None
-        return self._graph_state[3]
+        if self.rating_log is not None:
+            self.rating_log.append(applied)
+        return len(applied)
+
+    @staticmethod
+    def _dedupe_deltas(graph: RatingGraph, ratings: np.ndarray) -> np.ndarray:
+        """Collapse a delta batch to its effective updates.
+
+        Keeps the last occurrence per ``(user, item)`` (batch order is
+        arrival order, so later is fresher) and drops triples whose value
+        the graph already holds.
+        """
+        if not ratings.size:
+            return ratings
+        keys = (ratings[:, 0].astype(np.int64) * graph.num_items
+                + ratings[:, 1].astype(np.int64))
+        # np.unique on the reversed keys finds each pair's LAST occurrence.
+        _, reversed_first = np.unique(keys[::-1], return_index=True)
+        keep = np.sort(len(ratings) - 1 - reversed_first)
+        deduped = ratings[keep]
+        changed = np.array([
+            graph.rating(int(row[0]), int(row[1])) != row[2]
+            for row in deduped
+        ])
+        return deduped[changed]
 
     @property
     def graph_generation(self) -> int:
@@ -530,15 +575,20 @@ class PredictionService:
         self._counter("batches_total").inc()
         try:
             model = self._resolve_model()
-            graph_state = self._graph_state
+            fallback_state = self._graph_state
             groups = group_requests(batch)
 
             assemble_start = self._clock()
             plans = []
             with obs.span("serve/assemble"):
                 for key, requests in groups:
+                    # Snapshot isolation: assemble against the graph the
+                    # request was admitted under (requests from different
+                    # generations never coalesce — generation is in the
+                    # coalescing key).
+                    state = requests[0].graph_state or fallback_state
                     plans.append((requests, self._chunks_for(requests[0],
-                                                             graph_state)))
+                                                             state)))
             assembled_at = self._clock()
             # Pack time accumulates here so the forward stage can report
             # model execution exclusive of padded stacking.

@@ -1,0 +1,47 @@
+"""Online-loop fixtures: a tiny model, a frozen probe, fast configs."""
+
+import numpy as np
+import pytest
+
+from repro.core import HIRE, HIREConfig
+from repro.eval.tasks import build_eval_tasks
+from repro.online import FineTuneConfig, GateConfig, IncrementalTrainer, PromotionGate
+
+
+@pytest.fixture(scope="session")
+def online_model(ml_dataset):
+    """Untrained-but-deterministic HIRE; the loop tests care about
+    reproducibility and control flow, not accuracy."""
+    model = HIRE(ml_dataset, HIREConfig(num_blocks=1, num_heads=2, attr_dim=8))
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def probe_tasks(ml_split):
+    return build_eval_tasks(ml_split, "user", min_query=2, seed=1, max_tasks=3)
+
+
+@pytest.fixture
+def fast_tune_config():
+    return FineTuneConfig(steps=2, batch_size=2, context_users=12,
+                          context_items=12)
+
+
+@pytest.fixture
+def trainer(ml_split, fast_tune_config):
+    return IncrementalTrainer(ml_split, config=fast_tune_config)
+
+
+@pytest.fixture
+def gate(ml_split, probe_tasks):
+    return PromotionGate(ml_split, probe_tasks,
+                         GateConfig(context_users=12, context_items=12))
+
+
+@pytest.fixture
+def warm_deltas(ml_split):
+    """Re-ratings of warm training pairs — the stream the loop consumes."""
+    deltas = ml_split.train_ratings()[:10].copy()
+    deltas[:, 2] = np.clip(deltas[:, 2] + 1.0, 1.0, 5.0)
+    return deltas

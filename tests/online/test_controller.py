@@ -1,0 +1,249 @@
+"""OnlineController: round flow, promotion, rejection, rollback, pruning,
+background loop, staleness health."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.online import (
+    GateDecision,
+    OnlineConfig,
+    OnlineController,
+    ProbeResult,
+)
+from repro.serve import ModelRegistry
+
+
+def probe(rmse):
+    return ProbeResult(rmse=rmse, mae=rmse, num_tasks=1, num_ratings=1)
+
+
+class FakeGate:
+    """Scripted gate: pops one RMSE per evaluate() call, in call order.
+
+    Lets controller tests pin accept/reject/rollback outcomes without
+    paying for real probe evaluations.
+    """
+
+    def __init__(self, scores, rollback_margin=0.05):
+        self.scores = list(scores)
+        self.rollback_margin = rollback_margin
+        self.live = []
+
+    def evaluate(self, model, tasks=None):
+        return probe(self.scores.pop(0))
+
+    def decide(self, candidate, active):
+        accepted = candidate.rmse <= active.rmse
+        return GateDecision(accepted=accepted, candidate=candidate,
+                            active=active, margin=0.0, reason="scripted")
+
+    def live_tasks(self, deltas):
+        return self.live
+
+    def regressed(self, promoted, previous):
+        return promoted.rmse > previous.rmse * (1.0 + self.rollback_margin)
+
+
+def make_controller(ml_dataset, trainer, online_model, gate, **config):
+    registry = ModelRegistry(ml_dataset)
+    registry.add("base", online_model)
+    defaults = dict(min_new_ratings=2, min_rollback_ratings=100)
+    defaults.update(config)
+    controller = OnlineController(registry, trainer, gate,
+                                  config=OnlineConfig(**defaults))
+    return registry, controller
+
+
+class TestRoundFlow:
+    def test_skips_below_threshold(self, ml_dataset, trainer, online_model,
+                                   warm_deltas):
+        registry, controller = make_controller(
+            ml_dataset, trainer, online_model, FakeGate([]),
+            min_new_ratings=20)
+        controller.ingest(warm_deltas[:3])
+        summary = controller.run_round()
+        assert summary["status"] == "skipped"
+        assert registry.active_name == "base"
+        snapshot = controller.metrics.snapshot()
+        assert snapshot["online.skipped_total"]["value"] == 1
+
+    def test_force_overrides_threshold(self, ml_dataset, trainer,
+                                       online_model, warm_deltas):
+        _, controller = make_controller(
+            ml_dataset, trainer, online_model, FakeGate([1.0, 0.9]),
+            min_new_ratings=50)
+        controller.ingest(warm_deltas[:3])
+        assert controller.run_round(force=True)["status"] == "promoted"
+
+    def test_promotion_swaps_the_registry(self, ml_dataset, trainer,
+                                          online_model, warm_deltas):
+        registry, controller = make_controller(
+            ml_dataset, trainer, online_model, FakeGate([1.0, 0.9]))
+        controller.ingest(warm_deltas)
+        summary = controller.run_round()
+        assert summary["status"] == "promoted"
+        assert summary["version"] == "online-r0"
+        assert registry.active_name == "online-r0"
+        assert registry.version("online-r0").metadata["log_offset"] == len(
+            warm_deltas)
+        stats = controller.stats()
+        assert stats["trained_offset"] == len(warm_deltas)
+        assert stats["pending"] == 0
+        assert stats["rollback_target"] == "base"
+        snapshot = controller.metrics.snapshot()
+        assert snapshot["online.promotions_total"]["value"] == 1
+        assert snapshot["online.swap_seconds"]["count"] == 1
+
+    def test_rejection_keeps_the_active_model(self, ml_dataset, trainer,
+                                              online_model, warm_deltas):
+        registry, controller = make_controller(
+            ml_dataset, trainer, online_model, FakeGate([1.0, 1.5]))
+        controller.ingest(warm_deltas)
+        summary = controller.run_round()
+        assert summary["status"] == "rejected"
+        assert registry.active_name == "base"
+        # The deltas are still accounted for: a rejected round is
+        # deterministic, so retrying it would only spin.
+        assert controller.stats()["trained_offset"] == len(warm_deltas)
+        snapshot = controller.metrics.snapshot()
+        assert snapshot["online.rejections_total"]["value"] == 1
+
+    def test_promoted_round_is_reproducible(self, ml_dataset, trainer,
+                                            online_model, warm_deltas):
+        """The summary's (round_seed, log_offset) fully determine the
+        candidate: re-running the round offline yields the same model."""
+        registry, controller = make_controller(
+            ml_dataset, trainer, online_model, FakeGate([1.0, 0.9]))
+        controller.ingest(warm_deltas)
+        summary = controller.run_round()
+        rerun = trainer.fine_tune(online_model,
+                                  controller.log.slice(0, summary["log_offset"]),
+                                  summary["log_offset"])
+        assert rerun.round_seed == summary["round_seed"]
+        promoted = registry.get(summary["version"])
+        for name, value in promoted.state_dict().items():
+            assert np.array_equal(value, rerun.model.state_dict()[name])
+
+
+class TestRollback:
+    def test_live_window_regression_reverts_the_swap(
+            self, ml_dataset, trainer, online_model, warm_deltas):
+        gate = FakeGate([1.0, 0.9])
+        registry, controller = make_controller(
+            ml_dataset, trainer, online_model, gate,
+            min_rollback_ratings=4)
+        controller.ingest(warm_deltas)
+        assert controller.run_round()["status"] == "promoted"
+
+        # Post-promotion live window: the promoted model scores 2.0, the
+        # predecessor 1.0 — a regression beyond the 5% margin.
+        gate.scores = [2.0, 1.0]
+        gate.live = [object()]
+        controller.ingest(warm_deltas[:4])
+        summary = controller.run_round()
+        assert summary["status"] == "rolled_back"
+        assert registry.active_name == "base"
+        assert controller.stats()["rollback_target"] is None
+        snapshot = controller.metrics.snapshot()
+        assert snapshot["online.rollbacks_total"]["value"] == 1
+
+    def test_healthy_promotion_is_not_reverted(self, ml_dataset, trainer,
+                                               online_model, warm_deltas):
+        gate = FakeGate([1.0, 0.9])
+        registry, controller = make_controller(
+            ml_dataset, trainer, online_model, gate,
+            min_rollback_ratings=4, min_new_ratings=50)
+        controller.ingest(warm_deltas)
+        controller.run_round(force=True)
+
+        gate.scores = [1.0, 1.0]  # promoted no worse than predecessor
+        gate.live = [object()]
+        controller.ingest(warm_deltas[:4])
+        summary = controller.run_round()
+        assert summary["status"] == "skipped"
+        assert registry.active_name == "online-r0"
+
+    def test_rollback_disabled_never_reverts(self, ml_dataset, trainer,
+                                             online_model, warm_deltas):
+        gate = FakeGate([1.0, 0.9])
+        registry, controller = make_controller(
+            ml_dataset, trainer, online_model, gate,
+            min_rollback_ratings=1, min_new_ratings=50,
+            rollback_enabled=False)
+        controller.ingest(warm_deltas)
+        controller.run_round(force=True)
+        gate.live = [object()]
+        controller.ingest(warm_deltas[:4])
+        assert controller.run_round()["status"] == "skipped"
+        assert registry.active_name == "online-r0"
+
+
+class TestPruning:
+    def test_old_versions_pruned_but_rollback_target_kept(
+            self, ml_dataset, trainer, online_model, warm_deltas):
+        registry, controller = make_controller(
+            ml_dataset, trainer, online_model,
+            FakeGate([1.0, 0.9, 0.85, 0.8]), retain_versions=1)
+        for _ in range(3):
+            controller.ingest(warm_deltas)
+            assert controller.run_round()["status"] == "promoted"
+        assert registry.active_name == "online-r2"
+        assert "online-r0" not in registry
+        # The immediate predecessor stays registered: it is the rollback
+        # target, pruning must never strand a revert.
+        assert "online-r1" in registry
+        assert "base" in registry
+
+
+class TestBackgroundLoop:
+    def test_background_round_promotes(self, ml_dataset, trainer,
+                                       online_model, warm_deltas):
+        registry, controller = make_controller(
+            ml_dataset, trainer, online_model, FakeGate([1.0, 0.9]),
+            poll_interval_seconds=0.01)
+        with controller:
+            controller.start()
+            controller.ingest(warm_deltas)
+            deadline = time.monotonic() + 30.0
+            while (registry.active_name == "base"
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+        assert registry.active_name == "online-r0"
+        assert controller.health()["closed"]
+
+    def test_close_is_idempotent_and_start_after_close_raises(
+            self, ml_dataset, trainer, online_model):
+        _, controller = make_controller(ml_dataset, trainer, online_model,
+                                        FakeGate([]))
+        controller.start()
+        controller.close()
+        controller.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            controller.start()
+
+
+class TestHealth:
+    def test_staleness_breaches_after_budget(self, ml_dataset, trainer,
+                                             online_model, warm_deltas):
+        now = [0.0]
+        registry = ModelRegistry(ml_dataset)
+        registry.add("base", online_model)
+        controller = OnlineController(
+            registry, trainer, FakeGate([1.0, 0.9]),
+            config=OnlineConfig(min_new_ratings=2,
+                                min_rollback_ratings=100,
+                                max_staleness_seconds=10.0),
+            clock=lambda: now[0])
+        assert controller.health()["state"] == "ok"
+        now[0] = 20.0
+        health = controller.health()
+        assert health["state"] == "breach"
+        assert health["staleness_seconds"] == 20.0
+        # A promotion absorbs the stream and resets the staleness clock.
+        controller.ingest(warm_deltas)
+        assert controller.run_round()["status"] == "promoted"
+        assert controller.health()["state"] == "ok"
+        snapshot = controller.metrics.snapshot()
+        assert snapshot["online.staleness_seconds"]["value"] == 0.0

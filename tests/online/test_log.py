@@ -1,0 +1,93 @@
+"""RatingLog: offsets, slicing, persistence, thread safety."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.online import RatingLog
+
+
+def triples(*rows):
+    return np.array(rows, dtype=np.float64)
+
+
+class TestOffsets:
+    def test_append_returns_contiguous_offsets(self):
+        log = RatingLog()
+        assert log.append(triples([0, 1, 3.0], [2, 3, 4.0])) == (0, 2)
+        assert log.append(triples([4, 5, 2.0])) == (2, 3)
+        assert len(log) == 3
+
+    def test_empty_append_is_a_noop(self):
+        log = RatingLog()
+        log.append(triples([0, 1, 3.0]))
+        assert log.append(np.empty((0, 3))) == (1, 1)
+        assert len(log) == 1
+        assert log.stats()["batches"] == 1
+
+    def test_slice_clamps_out_of_range(self):
+        log = RatingLog()
+        log.append(triples([0, 1, 3.0], [2, 3, 4.0]))
+        assert log.slice(-5, 99).shape == (2, 3)
+        assert log.slice(2).shape == (0, 3)
+        assert log.slice(5, 2).shape == (0, 3)
+
+    def test_since_reads_to_tail(self):
+        log = RatingLog()
+        log.append(triples([0, 1, 3.0], [2, 3, 4.0], [4, 5, 5.0]))
+        tail = log.since(1)
+        assert np.array_equal(tail, triples([2, 3, 4.0], [4, 5, 5.0]))
+
+    def test_slice_returns_copies(self):
+        log = RatingLog()
+        log.append(triples([0, 1, 3.0]))
+        view = log.since(0)
+        view[0, 2] = 99.0
+        assert log.since(0)[0, 2] == 3.0
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = RatingLog(path=path)
+        log.append(triples([0, 1, 3.0], [2, 3, 4.0]))
+        log.append(triples([4, 5, 2.0]))
+        loaded = RatingLog.load(path)
+        assert len(loaded) == 3
+        assert np.array_equal(loaded.since(0), log.since(0))
+        assert loaded.stats()["persisted"]
+
+    def test_resume_keeps_teeing(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        RatingLog(path=path).append(triples([0, 1, 3.0]))
+        resumed = RatingLog.load(path)
+        resumed.append(triples([2, 3, 4.0]))
+        fresh = RatingLog.load(path, resume=False)
+        assert len(fresh) == 2
+        assert not fresh.stats()["persisted"]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        log = RatingLog.load(tmp_path / "absent.jsonl")
+        assert len(log) == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_appends_interleave_without_loss(self):
+        log = RatingLog()
+        per_thread = 50
+
+        def writer(tag):
+            for index in range(per_thread):
+                log.append(triples([tag, index, 3.0]))
+
+        threads = [threading.Thread(target=writer, args=(tag,))
+                   for tag in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(log) == 4 * per_thread
+        everything = log.since(0)
+        for tag in range(4):
+            assert (everything[:, 0] == tag).sum() == per_thread

@@ -67,6 +67,36 @@ class TestRegistration:
         with pytest.raises(ValueError, match="active"):
             registry.unregister("v1")
 
+    def test_unregister_active_with_fallback_promotes_most_recent(
+            self, ml_dataset, serve_model, other_model):
+        registry = ModelRegistry(ml_dataset)
+        registry.add("v1", serve_model)
+        registry.add("v2", other_model, activate=False)
+        registry.add("v3", other_model, activate=False)
+        registry.unregister("v1", fallback=True)
+        assert "v1" not in registry
+        name, model = registry.active()
+        assert name == "v3"
+        assert model is other_model
+
+    def test_fallback_on_sole_version_still_raises(self, ml_dataset,
+                                                   serve_model):
+        """A registry must never be left headless, even with fallback."""
+        registry = ModelRegistry(ml_dataset)
+        registry.add("only", serve_model)
+        with pytest.raises(ValueError, match="no other version"):
+            registry.unregister("only", fallback=True)
+        assert registry.active()[0] == "only"
+
+    def test_fallback_is_inert_for_inactive_versions(self, ml_dataset,
+                                                     serve_model,
+                                                     other_model):
+        registry = ModelRegistry(ml_dataset)
+        registry.add("v1", serve_model)
+        registry.add("v2", other_model, activate=False)
+        registry.unregister("v2", fallback=True)
+        assert registry.active()[0] == "v1"
+
 
 class TestHotSwap:
     def test_activate_swaps_serving_model(self, ml_dataset, serve_model,

@@ -235,9 +235,10 @@ class TestGraphUpdates:
             service.predict(task.user, task.query_items, task.support_items)
             assert len(service.cache) > 0
             target_item = int(task.query_items[0])
-            generation = service.update_ratings(
+            applied = service.update_ratings(
                 np.array([[task.user, target_item, 4.0]]))
-            assert generation == 1
+            assert applied == 1
+            assert service.graph_generation == 1
             assert len(service.cache) == 0
             # The new rating is visible: that pair can no longer be queried.
             with pytest.raises(RequestError, match="already rated"):

@@ -143,6 +143,62 @@ class TestSkips:
         write(baseline, "BENCH_serve.json", old)
         assert run_tool(current, baseline) == 0
 
+    def test_corrupt_baseline_file_skipped(self, roots):
+        """A truncated/mangled baseline reads as "no baseline", not a
+        crash — a broken baseline can never prove a regression."""
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload(best_speedup=0.1))
+        (baseline / "BENCH_serve.json").write_text('{"best_speedup": 2.0')
+        assert run_tool(current, baseline) == 0
+
+    def test_corrupt_current_file_skipped(self, roots):
+        current, baseline = roots
+        (current / "BENCH_serve.json").write_text("not json at all")
+        write(baseline, "BENCH_serve.json", serve_payload())
+        assert run_tool(current, baseline) == 0
+
+    def test_non_dict_payload_skipped(self, roots):
+        current, baseline = roots
+        (current / "BENCH_serve.json").write_text('[1, 2, 3]')
+        write(baseline, "BENCH_serve.json", serve_payload())
+        assert run_tool(current, baseline) == 0
+
+    def test_unknown_git_ref_skips_cleanly(self, tmp_path):
+        """Through the git path (no --baseline-dir), a ref that does not
+        exist yields a skip for every file, not a crash."""
+        write(tmp_path, "BENCH_serve.json", serve_payload())
+        assert tool.main(["--repo-root", str(tmp_path),
+                          "--baseline-ref", "no-such-ref"]) == 0
+
+
+def online_payload(recovery_ratio=1.2, smoke=False):
+    return {
+        "benchmark": "online_loop",
+        "smoke": smoke,
+        "recovery": {"rmse_recovery_ratio": recovery_ratio},
+    }
+
+
+class TestOnlineHeadline:
+    def test_online_recovery_drop_fails(self, roots):
+        current, baseline = roots
+        write(current, "BENCH_online.json", online_payload(1.0))
+        write(baseline, "BENCH_online.json", online_payload(1.5))
+        assert run_tool(current, baseline) == 1
+
+    def test_online_recovery_held_passes(self, roots):
+        current, baseline = roots
+        write(current, "BENCH_online.json", online_payload(1.5))
+        write(baseline, "BENCH_online.json", online_payload(1.5))
+        assert run_tool(current, baseline) == 0
+
+    def test_online_absent_from_baseline_skipped(self, roots):
+        """The first commit shipping BENCH_online.json has no baseline to
+        regress against — the gate must skip it, not crash."""
+        current, baseline = roots
+        write(current, "BENCH_online.json", online_payload(0.5))
+        assert run_tool(current, baseline) == 0
+
 
 class TestAgainstRealRepoFiles:
     def test_headline_schema_matches_committed_files(self):

@@ -113,7 +113,8 @@ class TestEveryPackageDocumented:
 
 
 # User-facing API surfaces whose every public symbol must appear in docs.
-DOCUMENTED_APIS = ["repro.serve", "repro.nn.inference", "repro.obs"]
+DOCUMENTED_APIS = ["repro.serve", "repro.nn.inference", "repro.obs",
+                   "repro.online"]
 
 
 def api_symbols():
@@ -138,10 +139,10 @@ class TestPublicSymbolsDocumented:
 
 
 # Metric-name lint: every instrument name emitted by the serve tier
-# (``self._counter("x")`` -> ``serve.x``) or the trainer metrics sink
-# (``self._name("x")`` -> ``trainer.x``) must appear in
-# docs/observability.md — an operator grepping a dashboard name has to
-# land somewhere.
+# (``self._counter("x")`` -> ``serve.x``), the online loop
+# (``online.x``), or the trainer metrics sink (``self._name("x")`` ->
+# ``trainer.x``) must appear in docs/observability.md — an operator
+# grepping a dashboard name has to land somewhere.
 SERVE_METRIC_CALL = re.compile(
     r"self\._(?:windowed_)?(?:counter|gauge|histogram)\(\s*f?\"([^\"]+)\"")
 SINK_METRIC_CALL = re.compile(r"self\._name\(\s*\"([^\"]+)\"")
@@ -158,6 +159,9 @@ def emitted_metric_names():
                              for stage in TRACE_STAGES)
             else:
                 names.add(f"serve.{name}")
+    for source in sorted((REPO_ROOT / "src" / "repro" / "online").glob("*.py")):
+        names.update(f"online.{name}"
+                     for name in SERVE_METRIC_CALL.findall(source.read_text()))
     for source in sorted((REPO_ROOT / "src" / "repro" / "obs").glob("*.py")):
         names.update(f"trainer.{name}"
                      for name in SINK_METRIC_CALL.findall(source.read_text()))
@@ -180,3 +184,4 @@ def test_metric_extraction_found_the_core_metrics():
     assert "serve.window.latency_seconds" in names
     assert "serve.stage.forward_seconds" in names
     assert "trainer.loss" in names
+    assert "online.promotions_total" in names

@@ -41,6 +41,7 @@ HEADLINE = {
         "packing.pack_gain",
     ),
     "BENCH_infer.json": ("speedup_single", "speedup_batched"),
+    "BENCH_online.json": ("recovery.rmse_recovery_ratio",),
     "BENCH_pipeline.json": ("best_speedup",),
     "BENCH_substrate.json": ("speedup_forward", "speedup_train_step"),
 }
@@ -56,11 +57,24 @@ def dotted_get(payload: dict, path: str):
     return node
 
 
+def _parse(text: str) -> dict | None:
+    """JSON-decode a payload; ``None`` (→ clean skip) on anything broken.
+
+    A truncated or hand-mangled baseline file must read as "no baseline",
+    not crash the gate — a broken baseline can never prove a regression.
+    """
+    try:
+        payload = json.loads(text)
+    except (json.JSONDecodeError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
 def load_current(repo_root: Path, filename: str) -> dict | None:
     path = repo_root / filename
     if not path.is_file():
         return None
-    return json.loads(path.read_text())
+    return _parse(path.read_text())
 
 
 def load_baseline(repo_root: Path, filename: str, ref: str,
@@ -69,13 +83,18 @@ def load_baseline(repo_root: Path, filename: str, ref: str,
         path = baseline_dir / filename
         if not path.is_file():
             return None
-        return json.loads(path.read_text())
-    proc = subprocess.run(
-        ["git", "show", f"{ref}:{filename}"],
-        cwd=repo_root, capture_output=True, text=True)
-    if proc.returncode != 0:
+        return _parse(path.read_text())
+    try:
+        proc = subprocess.run(
+            ["git", "show", f"{ref}:{filename}"],
+            cwd=repo_root, capture_output=True, text=True)
+    except OSError:
         return None
-    return json.loads(proc.stdout)
+    if proc.returncode != 0:
+        # The file is absent from the baseline commit (a brand-new
+        # benchmark) or the ref is unknown — nothing to regress against.
+        return None
+    return _parse(proc.stdout)
 
 
 def compare(current: dict, baseline: dict, filename: str,
