@@ -2,8 +2,11 @@
 
 Replays a skewed workload through ``repro.serve.PredictionService`` across
 micro-batch sizes with the context cache on and off, against a sequential
-one-request-at-a-time baseline on the same predictor code path.  Every
-serviced run must stay bit-identical to the baseline.  The full run writes
+one-request-at-a-time baseline on the same predictor code path.  A
+sharding section drives a ``ShardRouter`` with a power-law workload and
+flash update bursts through the incremental data plane (verify mode on).
+Every serviced run must stay bit-identical to the baseline.  The full run
+writes
 ``BENCH_serve.json`` at the repo root so the throughput trajectory is
 tracked across PRs; ``--smoke`` runs a shrunken grid in seconds and skips
 the JSON write.
@@ -77,16 +80,39 @@ def test_serve_throughput(benchmark, save, smoke_mode):
         lines.append(
             f"  stage {stage:<10s}: mean {stats['mean_ms']:7.2f} ms  "
             f"p99 {stats['p99_ms']:7.2f} ms  (n={stats['count']})")
+    shard = payload["sharding"]
+    p99s = ", ".join("-" if p is None else f"{p:.1f}"
+                     for p in shard["per_shard_p99_ms"])
+    precision = shard["invalidation_precision"]
+    lines.append(
+        f"sharding ({shard['num_shards']} shards, power-law "
+        f"{shard['num_requests']} requests, {shard['num_bursts']} bursts of "
+        f"{shard['burst_size']}): {shard['requests_per_second']:7.1f} req/s  "
+        f"routed {shard['routed_per_shard']}  "
+        f"balance {shard['balance']:.2f}  per-shard p99 [{p99s}] ms  "
+        f"bit-identical: {shard['bit_identical_to_sequential']}")
+    lines.append(
+        f"  incremental updates: {shard['updates']['applied_total']} deltas "
+        f"applied in {shard['update_incremental_seconds'] * 1e3:.1f} ms vs "
+        f"{shard['update_rebuild_seconds'] * 1e3:.1f} ms rebuilds "
+        f"({shard['update_speedup']:.1f}x)  invalidation precision "
+        + ("n/a" if precision is None else f"{precision * 100:.0f}%"))
     text = "\n".join(lines)
     print("\nServe throughput benchmark\n" + text)
 
     # Bit-identity is non-negotiable at every scale: batching, caching,
-    # padded packing, and tracing may never change a score.
+    # padded packing, tracing, sharding, and incremental graph updates may
+    # never change a score.
     assert payload["bit_identical_all_runs"]
     assert payload["packing"]["bit_identical_to_sequential"]
     assert tracing["bit_identical"]
+    assert shard["bit_identical_to_sequential"]
     # Every completed trace must reach the JSONL sink.
     assert tracing["trace_sink_records"] == tracing["traces_completed"]
+    # Routing must spread the power-law workload across shards (balance is
+    # mean/max routed: 1.0 = even, 1/num_shards = everything on one shard).
+    assert 0.0 < shard["balance"] <= 1.0
+    assert sum(shard["routed_per_shard"]) == shard["num_requests"]
 
     if not smoke_mode:
         save("serve_throughput", text)
@@ -110,3 +136,10 @@ def test_serve_throughput(benchmark, save, smoke_mode):
         # Acceptance: the full telemetry plane (tracer + windows + sink +
         # exporter) costs at most 3% of steady-state throughput.
         assert tracing["overhead"] <= 0.03
+        # Acceptance: fine-grained invalidation must spare some cache
+        # entries across the tail-biased bursts (the old global-bump
+        # scheme scores identically 0 here), and the O(deltas) update
+        # path must beat full rebuilds outright.
+        assert shard["invalidation_precision"] is not None
+        assert shard["invalidation_precision"] > 0.0
+        assert shard["update_speedup"] > 1.0

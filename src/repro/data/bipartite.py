@@ -1,8 +1,12 @@
 """User-item bipartite rating graph with fast neighbourhood queries.
 
 HIRE's context sampler (§IV-B) walks this graph hop by hop from the cold
-seed entities, so adjacency lookups must be O(1) per entity.  The graph is
-built once from a rating triple array and kept immutable.
+seed entities, so adjacency lookups must be O(1) per entity.  Every graph
+instance is immutable; the visible rating set grows by deriving a *new*
+graph — either a full rebuild from ``triples()`` plus additions, or the
+O(deltas) copy-on-write path :meth:`RatingGraph.apply_deltas`, which
+shares the adjacency arrays of untouched entities with its parent and is
+asserted bitwise identical to the rebuild (:meth:`RatingGraph.identical_to`).
 """
 
 from __future__ import annotations
@@ -75,13 +79,82 @@ class RatingGraph:
         """All observed (user, item, rating) triples as an (E, 3) array.
 
         The graph is immutable; growing the visible rating set means
-        building a new graph from ``triples()`` plus the additions (this is
-        what :meth:`repro.serve.PredictionService.update_ratings` does).
+        deriving a new graph — via :meth:`apply_deltas` (incremental) or by
+        rebuilding from ``triples()`` plus the additions.
         """
         if not self._rating_lookup:
             return np.empty((0, 3))
         return np.array([[user, item, value]
                          for (user, item), value in self._rating_lookup.items()])
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def apply_deltas(self, deltas: np.ndarray) -> "RatingGraph":
+        """A new graph with ``(user, item, rating)`` deltas applied.
+
+        Copy-on-write in O(deltas) instead of O(edges): the adjacency
+        *lists* and rating lookup are shallow-copied, and only the rows of
+        touched entities get new sorted-unique arrays (``np.insert`` at the
+        ``searchsorted`` position).  Untouched entities share their arrays
+        with this graph — both graphs stay immutable and internally
+        consistent, which is what lets the serving tier pin an old snapshot
+        for in-flight requests while new submissions see the update.
+
+        Semantics match a full rebuild from ``triples()`` + ``deltas``
+        exactly (pinned by :meth:`identical_to` under the data plane's
+        verify mode): a re-rated pair keeps the delta's value, a duplicated
+        pair within ``deltas`` keeps its last occurrence.
+        """
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if deltas.size == 0:
+            return self
+        if deltas.ndim != 2 or deltas.shape[1] != 3:
+            raise ValueError("deltas must be (n, 3) (user, item, rating)")
+        users = deltas[:, 0].astype(np.int64)
+        items = deltas[:, 1].astype(np.int64)
+        if (users < 0).any() or (users >= self.num_users).any():
+            raise ValueError(f"delta user ids outside [0, {self.num_users})")
+        if (items < 0).any() or (items >= self.num_items).any():
+            raise ValueError(f"delta item ids outside [0, {self.num_items})")
+
+        derived = self.__class__.__new__(self.__class__)
+        derived.num_users = self.num_users
+        derived.num_items = self.num_items
+        derived._user_items = list(self._user_items)
+        derived._item_users = list(self._item_users)
+        derived._rating_lookup = dict(self._rating_lookup)
+        for user, item, value in zip(users, items, deltas[:, 2]):
+            pair = (int(user), int(item))
+            if pair not in derived._rating_lookup:
+                derived._user_items[pair[0]] = self._sorted_insert(
+                    derived._user_items[pair[0]], pair[1])
+                derived._item_users[pair[1]] = self._sorted_insert(
+                    derived._item_users[pair[1]], pair[0])
+            derived._rating_lookup[pair] = float(value)
+        derived.num_edges = len(derived._rating_lookup)
+        return derived
+
+    @staticmethod
+    def _sorted_insert(array: np.ndarray, value: int) -> np.ndarray:
+        """A new sorted array with ``value`` inserted (caller ensures absence)."""
+        position = np.searchsorted(array, value)
+        return np.insert(array, position, np.int64(value))
+
+    def identical_to(self, other: "RatingGraph") -> bool:
+        """Bitwise structural equality: dimensions, every adjacency array,
+        and every rating value (exact float compare — this is the assertion
+        backing the incremental data plane's verify mode)."""
+        if self.num_users != other.num_users or self.num_items != other.num_items:
+            return False
+        if self._rating_lookup != other._rating_lookup:
+            return False
+        return (
+            all(np.array_equal(a, b) for a, b in
+                zip(self._user_items, other._user_items))
+            and all(np.array_equal(a, b) for a, b in
+                    zip(self._item_users, other._item_users))
+        )
 
     def rating_matrix(self, users: np.ndarray, items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Dense sub-matrix of observed ratings for a user × item block.

@@ -153,15 +153,20 @@ def _cmd_compare(args) -> int:
 
 def _cmd_serve(args) -> int:
     """Stand up a PredictionService, replay a workload, print its report."""
+    import numpy as np
+
     from ..core import HIRE, HIREConfig, HIRETrainer, TrainerConfig
     from ..data import dataset_by_name, make_cold_start_split
     from ..eval.tasks import build_eval_tasks
     from ..serve import (
         ModelRegistry,
         PredictionService,
+        RouterConfig,
         ServiceConfig,
+        ShardRouter,
         load_workload,
         replay_workload,
+        synthesize_update_bursts,
         synthesize_workload,
     )
     from .runner import _SPLIT_FRACTIONS
@@ -194,6 +199,11 @@ def _cmd_serve(args) -> int:
         requests = load_workload(args.workload)
     else:
         requests = synthesize_workload(tasks, args.requests, seed=args.seed)
+    bursts = (synthesize_update_bursts(split, tasks,
+                                       num_bursts=args.update_bursts,
+                                       burst_size=args.burst_size,
+                                       seed=args.seed)
+              if args.update_bursts else [])
 
     config = ServiceConfig(
         max_batch_size=args.batch_size,
@@ -202,17 +212,34 @@ def _cmd_serve(args) -> int:
         cache_enabled=not args.no_cache,
         seed=args.seed,
     )
-    service = PredictionService.from_split(registry, split, tasks, config=config)
+    if args.shards > 1:
+        service = ShardRouter.from_split(
+            registry, split, tasks, config=config,
+            router_config=RouterConfig(num_shards=args.shards))
+        store = service.store
+    else:
+        service = PredictionService.from_split(registry, split, tasks,
+                                               config=config)
+        store = service.graph_store
+    segments = np.array_split(np.arange(len(requests)), len(bursts) + 1)
     start = time.perf_counter()
-    replay_workload(service, requests)
+    for index, segment in enumerate(segments):
+        replay_workload(service, [requests[i] for i in segment])
+        if index < len(bursts):
+            service.update_ratings(bursts[index])
     elapsed = time.perf_counter() - start
     service.close()
 
+    updates = store.stats()
     lines = [
         f"== serve replay ({args.dataset}, scale={args.scale}, "
-        f"model={registry.active_name}) ==",
+        f"model={registry.active_name}"
+        + (f", shards={args.shards}" if args.shards > 1 else "") + ") ==",
         f"{len(requests)} requests in {elapsed:.2f}s "
-        f"({len(requests) / elapsed:.1f} req/s)",
+        f"({len(requests) / elapsed:.1f} req/s)"
+        + (f"; updates: {updates['applied_total']} applied / "
+           f"{updates['skipped_total']} skipped across {len(bursts)} bursts"
+           if bursts else ""),
         "",
         service.report(),
     ]
@@ -388,6 +415,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-size", type=int, default=8)
     serve.add_argument("--workers", type=int, default=1)
     serve.add_argument("--queue-size", type=int, default=64)
+    serve.add_argument("--shards", type=int, default=1,
+                       help="route across N service shards (>1 uses the "
+                            "ShardRouter; see docs/scaling.md)")
+    serve.add_argument("--update-bursts", type=int, default=0,
+                       help="apply N rating-update bursts between replay "
+                            "segments (exercises the incremental data plane)")
+    serve.add_argument("--burst-size", type=int, default=4,
+                       help="deltas per update burst")
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the assembled-context cache")
     serve.add_argument("-o", "--output", default=None,

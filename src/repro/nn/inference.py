@@ -185,6 +185,22 @@ class EmbeddingStore:
         self.misses += int(missing.size)
         registry.counter("infer.embed_store.miss").inc(int(missing.size))
 
+    def invalidate_entities(self, users, items) -> None:
+        """Mark these entities' rows stale so they refill on next touch.
+
+        Rating deltas cannot actually change a row (rows are pure functions
+        of static attributes and encoder weights), so this is strictly
+        conservative — the serving tier calls it on fine-grained graph
+        updates so the store's invalidation granularity matches the
+        context cache's, instead of dropping the whole store per update.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.size:
+            self._user_valid[users] = False
+        if items.size:
+            self._item_valid[items] = False
+
     def stats(self) -> dict:
         return {
             "hits": self.hits,

@@ -8,14 +8,20 @@ pipeline into an always-on prediction service:
 * :mod:`~repro.serve.batcher` — a bounded-queue micro-batcher coalescing
   ``(user, item_ids)`` requests by size/deadline into shared forward passes;
 * :mod:`~repro.serve.cache` — an LRU+TTL cache for assembled prediction
-  contexts, invalidated whenever the visible rating graph changes;
+  contexts, with entity-tagged fine-grained invalidation;
+* :mod:`~repro.serve.dataplane` — the shared :class:`GraphStore`: atomic
+  graph snapshots, incremental delta application
+  (:meth:`RatingGraph.apply_deltas`), per-entity version tracking;
 * :mod:`~repro.serve.workers` — a thread worker pool with load-shedding
   backpressure and graceful, drain-aware shutdown;
 * :mod:`~repro.serve.service` — the :class:`PredictionService` façade tying
   these together behind ``submit()`` / ``predict()`` / ``close()``, with
   latency/queue/cache telemetry through :mod:`repro.obs`;
-* :mod:`~repro.serve.workload` — workload synthesis, JSONL persistence, and
-  replay (the ``repro-experiments serve`` CLI builds on this).
+* :mod:`~repro.serve.shard` — the :class:`ShardRouter`: user-hash routing
+  across N services sharing one graph store (``docs/scaling.md``);
+* :mod:`~repro.serve.workload` — workload synthesis (skewed, power-law,
+  update bursts), JSONL persistence, and replay (the ``repro-experiments
+  serve`` CLI builds on this).
 
 Because context assembly derives its RNG from ``(seed, user, sample,
 chunk)`` (:func:`repro.core.task_chunk_rng`), served scores are
@@ -26,6 +32,13 @@ matter how requests are batched, cached, or spread across workers.  See
 
 from .batcher import MicroBatcher, PredictRequest, group_requests
 from .cache import CacheStats, ContextCache, context_cache_key
+from .dataplane import (
+    EntityVersions,
+    GraphSnapshot,
+    GraphStore,
+    UpdateResult,
+    dedupe_deltas,
+)
 from .errors import (
     QueueFullError,
     RequestError,
@@ -35,12 +48,15 @@ from .errors import (
 )
 from .registry import ModelRegistry, ModelVersion
 from .service import PredictionService, ServiceConfig
+from .shard import RouterConfig, ShardRouter, shard_of_user
 from .workers import BoundedQueue, WorkerPool
 from .workload import (
     WorkloadRequest,
     load_workload,
     replay_workload,
     save_workload,
+    synthesize_power_law_workload,
+    synthesize_update_bursts,
     synthesize_workload,
 )
 
@@ -64,12 +80,24 @@ __all__ = [
     "ContextCache",
     "CacheStats",
     "context_cache_key",
+    # data plane
+    "GraphStore",
+    "GraphSnapshot",
+    "EntityVersions",
+    "UpdateResult",
+    "dedupe_deltas",
     # service
     "PredictionService",
     "ServiceConfig",
+    # sharding
+    "ShardRouter",
+    "RouterConfig",
+    "shard_of_user",
     # workload
     "WorkloadRequest",
     "synthesize_workload",
+    "synthesize_power_law_workload",
+    "synthesize_update_bursts",
     "save_workload",
     "load_workload",
     "replay_workload",

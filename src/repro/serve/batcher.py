@@ -68,10 +68,12 @@ class PredictRequest:
     dequeued_at: float = 0.0
     batch_formed_at: float = 0.0
     trace: object = None
-    # Graph snapshot pinned at admission: (graph, candidate_users,
-    # candidate_items, generation).  A request always executes against the
-    # graph it was validated under, so a concurrent ``update_ratings`` can
-    # never turn an admitted request's query cells observed mid-flight.
+    # Graph snapshot pinned at admission — a
+    # repro.serve.dataplane.GraphSnapshot, i.e. a (graph, candidate_users,
+    # candidate_items, generation, epoch) NamedTuple.  A request always
+    # executes against the graph it was validated under, so a concurrent
+    # ``update_ratings`` can never turn an admitted request's query cells
+    # observed mid-flight.
     graph_state: tuple | None = None
 
     @property

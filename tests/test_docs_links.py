@@ -113,8 +113,8 @@ class TestEveryPackageDocumented:
 
 
 # User-facing API surfaces whose every public symbol must appear in docs.
-DOCUMENTED_APIS = ["repro.serve", "repro.nn.inference", "repro.obs",
-                   "repro.online"]
+DOCUMENTED_APIS = ["repro.serve", "repro.serve.shard", "repro.nn.inference",
+                   "repro.obs", "repro.online"]
 
 
 def api_symbols():
@@ -185,3 +185,45 @@ def test_metric_extraction_found_the_core_metrics():
     assert "serve.stage.forward_seconds" in names
     assert "trainer.loss" in names
     assert "online.promotions_total" in names
+    assert "serve.shard.routed_total" in names
+    assert "serve.invalidation_evicted_total" in names
+
+
+# Config surfaces: every tunable field of the serving/router configs must
+# be documented somewhere — an operator reading a config dataclass has to
+# find each knob's meaning in the docs.
+DOCUMENTED_CONFIGS = ["repro.serve.ServiceConfig",
+                      "repro.serve.RouterConfig"]
+
+
+def config_fields():
+    import dataclasses
+
+    pairs = []
+    for dotted in DOCUMENTED_CONFIGS:
+        module_name, _, class_name = dotted.rpartition(".")
+        cls = getattr(importlib.import_module(module_name), class_name)
+        pairs.extend((dotted, field.name)
+                     for field in dataclasses.fields(cls))
+    return pairs
+
+
+@pytest.mark.parametrize("config,field", config_fields(),
+                         ids=[f"{c}.{f}" for c, f in config_fields()])
+def test_config_field_documented(config, field):
+    assert any(field in text for text in
+               (p.read_text() for p in DOC_FILES)), (
+        f"{config} field {field!r} is not mentioned in README.md or any "
+        f"docs/*.md page")
+
+
+def test_docs_readme_links_every_docs_page():
+    """docs/README.md is the index: every docs/*.md page must be linked
+    from it (and the links themselves resolve via TestLinksResolve)."""
+    index = REPO_ROOT / "docs" / "README.md"
+    assert index.is_file(), "docs/README.md index is missing"
+    text = index.read_text()
+    linked = {target.split("#", 1)[0] for target in MD_LINK.findall(text)}
+    missing = [page.name for page in sorted((REPO_ROOT / "docs").glob("*.md"))
+               if page.name != "README.md" and page.name not in linked]
+    assert not missing, f"docs/README.md does not link {missing}"

@@ -35,10 +35,17 @@ import sys
 from pathlib import Path
 
 # file -> dotted paths of higher-is-better headline metrics (ratios only).
+# The sharding metrics are deterministic ratios (seeded workload + stable
+# user hash): balance = mean/max requests per shard, precision = fraction
+# of cache entries spared by fine-grained invalidation.  Per-shard p99s
+# are recorded in the payload but deliberately not gated — absolute
+# latencies move with machine state, not code.
 HEADLINE = {
     "BENCH_serve.json": (
         "best_speedup",
         "packing.pack_gain",
+        "sharding.balance",
+        "sharding.invalidation_precision",
     ),
     "BENCH_infer.json": ("speedup_single", "speedup_batched"),
     "BENCH_online.json": ("recovery.rmse_recovery_ratio",),
