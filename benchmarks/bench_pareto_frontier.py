@@ -1,0 +1,48 @@
+"""Pareto frontier of context budgets: RMSE vs assembly+forward latency.
+
+Sweeps the ``(context_users, context_items)`` grid the adaptive budget
+ladder degrades along, scoring every evaluation task at each budget with
+a briefly trained model — assembly and forward timed separately, RMSE
+against held-out query ratings.  The full run writes ``BENCH_pareto.json``
+at the repo root so the dial's latency dynamic range is tracked across
+PRs; ``--smoke`` runs a two-point grid in seconds and skips the write.
+"""
+
+import pytest
+
+from repro.experiments.pareto_bench import (
+    render_pareto_bench,
+    run_pareto_benchmark,
+    write_pareto_bench_json,
+)
+
+
+@pytest.mark.benchmark(group="pareto")
+def test_pareto_frontier(benchmark, save, smoke_mode):
+    payload = benchmark.pedantic(
+        lambda: run_pareto_benchmark(smoke=smoke_mode),
+        rounds=1, iterations=1,
+    )
+    text = render_pareto_bench(payload)
+    print("\nContext-budget pareto frontier\n" + text)
+
+    # Grid points are scored through the pure per-chunk RNG derivation, so
+    # every RMSE must be exactly reproducible — otherwise the frontier
+    # would not predict what a service degraded to that budget serves.
+    assert payload["deterministic"]
+    points = payload["points"]
+    assert len(points) == len(payload["config"]["grid"])
+    assert all(p["rmse"] > 0 for p in points)
+
+    if not smoke_mode:
+        save("pareto_frontier", text)
+        path = write_pareto_bench_json(payload)
+        print(f"wrote {path}")
+        # The grid is ordered cheap -> rich; at full scale the rich end
+        # must cost real time (at smoke scale tiny budgets split queries
+        # into more chunks and per-chunk overhead can invert the order).
+        assert points[-1]["total_seconds"] > points[0]["total_seconds"]
+        # Acceptance: the budget dial spans a real latency range — the
+        # whole point of adaptive degradation.  2x is conservative for an
+        # 8x8 -> 32x32 grid (cell count grows 16x).
+        assert payload["latency_dynamic_range"] >= 2.0

@@ -2,7 +2,10 @@
 
 Replays a skewed workload through ``repro.serve.PredictionService`` across
 micro-batch sizes with the context cache on and off, against a sequential
-one-request-at-a-time baseline on the same predictor code path.  A
+one-request-at-a-time baseline on the same predictor code path.  An
+assembly section measures the CSR-vectorized sampler against the loop
+reference, the frontier cache's hot hit rate, and the adaptive budget
+ladder under overload.  A
 sharding section drives a ``ShardRouter`` with a power-law workload and
 flash update bursts through the incremental data plane (verify mode on).
 Every serviced run must stay bit-identical to the baseline.  The full run
@@ -80,6 +83,30 @@ def test_serve_throughput(benchmark, save, smoke_mode):
         lines.append(
             f"  stage {stage:<10s}: mean {stats['mean_ms']:7.2f} ms  "
             f"p99 {stats['p99_ms']:7.2f} ms  (n={stats['count']})")
+    assembly = payload["assembly"]
+    frontier = assembly["frontier"]
+    adaptive = assembly["adaptive"]
+    lines.append(
+        f"assembly ({assembly['num_requests']} power-law requests): "
+        f"loop {assembly['loop_seconds']:.2f}s vs vectorized "
+        f"{assembly['vectorized_seconds']:.2f}s "
+        f"-> {assembly['vectorized_speedup']:.2f}x  "
+        f"contexts identical: {assembly['contexts_identical']}")
+    lines.append(
+        f"  frontier cache: cold hit rate "
+        f"{frontier['cold_hit_rate'] * 100:.0f}% -> hot "
+        f"{frontier['hot_hit_rate'] * 100:.0f}% "
+        f"({frontier['hits']} hits / {frontier['misses']} misses)  "
+        f"bit-identical: {frontier['bit_identical_to_sequential']}")
+    lines.append(
+        f"  adaptive ladder {adaptive['ladder']}: fixed p99 "
+        f"{adaptive['fixed_p99_ms']:.0f} ms vs adaptive "
+        f"{adaptive['adaptive_p99_ms']:.0f} ms "
+        f"(SLO {adaptive['slo_p99_ms']:.0f} ms, health "
+        f"{adaptive['health_state']})  "
+        f"{adaptive['degraded_requests']:.0f} degraded  "
+        f"bit-identical at effective budgets: "
+        f"{adaptive['degraded_bit_identical']}")
     shard = payload["sharding"]
     p99s = ", ".join("-" if p is None else f"{p:.1f}"
                      for p in shard["per_shard_p99_ms"])
@@ -107,6 +134,14 @@ def test_serve_throughput(benchmark, save, smoke_mode):
     assert payload["packing"]["bit_identical_to_sequential"]
     assert tracing["bit_identical"]
     assert shard["bit_identical_to_sequential"]
+    # The vectorized sampler is an implementation of the loop sampler,
+    # not a variant: contexts must match bit for bit, and every frontier
+    # hit / adaptive degradation must reproduce sequential scores exactly.
+    assert assembly["contexts_identical"]
+    assert frontier["bit_identical_to_sequential"]
+    assert adaptive["fixed_bit_identical"]
+    assert adaptive["degraded_bit_identical"]
+    assert all(check["bit_identical"] for check in adaptive["rung_checks"])
     # Every completed trace must reach the JSONL sink.
     assert tracing["trace_sink_records"] == tracing["traces_completed"]
     # Routing must spread the power-law workload across shards (balance is
@@ -143,3 +178,13 @@ def test_serve_throughput(benchmark, save, smoke_mode):
         assert shard["invalidation_precision"] is not None
         assert shard["invalidation_precision"] > 0.0
         assert shard["update_speedup"] > 1.0
+        # Acceptance: CSR-vectorized assembly beats the loop sampler
+        # outright, and repeat traffic skips the BFS almost entirely.
+        assert assembly["vectorized_speedup"] >= 1.5
+        assert frontier["hot_hit_rate"] >= 0.8
+        # Acceptance: under overload, degrading context budgets must buy
+        # real tail latency — the ladder's p99 beats fixed budgets and
+        # lands inside the SLO that fixed budgets breach.
+        assert adaptive["adaptive_p99_ms"] < adaptive["fixed_p99_ms"]
+        assert adaptive["health_state"] == "ok"
+        assert adaptive["degraded_requests"] > 0

@@ -17,6 +17,8 @@ candidate pools when the graph is exhausted), with the targets always first.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..data.bipartite import RatingGraph
@@ -37,6 +39,8 @@ __all__ = [
 # Exhaustion means every attempt produced a context with zero masked query
 # cells — there is nothing to supervise on, so retrying forever would hang.
 MAX_CONTEXT_RETRIES = 16
+
+_EMPTY = np.empty(0, dtype=np.int64)
 
 
 def sample_training_context(graph: RatingGraph, sampler: ContextSampler,
@@ -64,11 +68,21 @@ def sample_training_context(graph: RatingGraph, sampler: ContextSampler,
     produced zero query cells (e.g. ``reveal_fraction`` so high that every
     observed rating is revealed), naming the retry count and the last seed
     pair tried.
+
+    Tiny graphs degrade instead of looping: when the graph and candidate
+    pools cannot supply the requested budgets, the sampler returns every
+    entity it can reach and the context is built at that achievable shape
+    (with a :class:`RuntimeWarning` naming it).  If *both* axes fall short
+    — the context already contains the entire candidate universe, so every
+    retry would rebuild the same observed cells — and the reveal fraction
+    is deterministic, a zero-query draw is a :class:`RuntimeError`
+    immediately rather than after ``max_retries`` identical failures.
     """
     if len(train_ratings) == 0:
         raise ValueError("train_ratings is empty; nothing to sample from")
     last_pair: tuple[int, int] | None = None
-    for _ in range(max_retries):
+    warned_degraded = False
+    for attempt in range(max_retries):
         seed_row = train_ratings[rng.integers(len(train_ratings))]
         last_pair = (int(seed_row[0]), int(seed_row[1]))
         users, items = sampler.sample(
@@ -80,6 +94,16 @@ def sample_training_context(graph: RatingGraph, sampler: ContextSampler,
             candidate_users=candidate_users,
             candidate_items=candidate_items,
         )
+        users_short = len(users) < context_users
+        items_short = len(items) < context_items
+        if (users_short or items_short) and not warned_degraded:
+            warned_degraded = True
+            warnings.warn(
+                f"context budgets ({context_users} users x {context_items} "
+                f"items) exceed what the graph and candidate pools can "
+                f"supply; degraded to the achievable "
+                f"({len(users)}, {len(items)}) shape",
+                RuntimeWarning, stacklevel=2)
         reveal = reveal_fraction
         if reveal_fraction_high is not None:
             reveal = rng.uniform(reveal_fraction, reveal_fraction_high)
@@ -87,6 +111,22 @@ def sample_training_context(graph: RatingGraph, sampler: ContextSampler,
                                 reveal_fraction=reveal)
         if context.num_query() > 0:
             return context
+        if (users_short and items_short and reveal_fraction_high is None
+                and np.isin(last_pair[0], candidate_users)
+                and np.isin(last_pair[1], candidate_items)):
+            # Both pools are exhausted, so the context's entity set — and
+            # with a fixed reveal fraction, its query-cell *count* — is the
+            # same on every retry.  Burning the remaining attempts on a
+            # deterministic zero cannot succeed; fail fast instead.
+            raise RuntimeError(
+                f"zero maskable query cells at the degraded context shape "
+                f"({len(users)}, {len(items)}): both candidate pools are "
+                f"exhausted, so every retry rebuilds the same observed "
+                f"cells (gave up on attempt {attempt + 1} of {max_retries}; "
+                f"seed pair: user {last_pair[0]}, item {last_pair[1]}) — "
+                f"lower reveal_fraction (currently {reveal_fraction}) or "
+                f"grow the graph"
+            )
     raise RuntimeError(
         f"could not sample a context with any masked ratings after "
         f"{max_retries} attempts (last seed pair: user {last_pair[0]}, "
@@ -132,12 +172,104 @@ class ContextSampler:
 
 
 class NeighborhoodSampler(ContextSampler):
-    """BFS sampler over the user-item bipartite graph (the paper's default)."""
+    """BFS sampler over the user-item bipartite graph (the paper's default).
+
+    Two implementations of the same sampling process:
+
+    * the **vectorised** fast path (default) expands each hop with numpy
+      array ops over the graph's flat CSR adjacency views
+      (:meth:`RatingGraph.user_adjacency` / ``item_adjacency``) — one
+      fancy-indexed gather + ``np.unique`` + boolean-mask filter per hop
+      instead of per-entity Python loops;
+    * the **loop** reference mode (``vectorized=False``) is the original
+      per-entity implementation, kept as the executable specification.
+
+    Both consume the generator identically (``rng.choice`` fires only when
+    a frontier pool exceeds the remaining budget, in the same order), so
+    they produce **bit-identical** choices from the same rng state —
+    property-tested by ``tests/core/test_sampling_equivalence.py``.  The
+    shared ``name`` is deliberate: equal outputs mean cache keys built
+    from either mode stay interchangeable.
+    """
 
     name = "neighborhood"
 
+    def __init__(self, vectorized: bool = True):
+        self.vectorized = vectorized
+
     def sample(self, graph, target_users, target_items, n, m, rng,
                candidate_users, candidate_items):
+        if self.vectorized:
+            return self._sample_vectorized(graph, target_users, target_items,
+                                           n, m, rng, candidate_users,
+                                           candidate_items)
+        return self._sample_loop(graph, target_users, target_items, n, m,
+                                 rng, candidate_users, candidate_items)
+
+    # -- vectorised fast path ------------------------------------------ #
+    def _sample_vectorized(self, graph, target_users, target_items, n, m,
+                           rng, candidate_users, candidate_items):
+        users, items = self._prepare_targets(target_users, target_items, n, m)
+        candidate_users = np.asarray(candidate_users, dtype=np.int64)
+        candidate_items = np.asarray(candidate_items, dtype=np.int64)
+        user_adjacency = graph.user_adjacency()   # user -> items
+        item_adjacency = graph.item_adjacency()   # item -> users
+        allowed_users = np.zeros(graph.num_users, dtype=bool)
+        allowed_users[candidate_users] = True
+        allowed_users[users] = True
+        allowed_items = np.zeros(graph.num_items, dtype=bool)
+        allowed_items[candidate_items] = True
+        allowed_items[items] = True
+        chosen_user_mask = np.zeros(graph.num_users, dtype=bool)
+        chosen_user_mask[users] = True
+        chosen_item_mask = np.zeros(graph.num_items, dtype=bool)
+        chosen_item_mask[items] = True
+        chosen_users, chosen_items = users, items
+        frontier_users, frontier_items = users, items
+
+        while ((len(chosen_users) < n or len(chosen_items) < m)
+               and (frontier_users.size or frontier_items.size)):
+            next_users = next_items = _EMPTY
+            if len(chosen_users) < n:
+                # == sorted(set(union of neighbours)) minus chosen/denied.
+                pool = np.unique(item_adjacency.gather(frontier_items))
+                if pool.size:
+                    pool = pool[allowed_users[pool] & ~chosen_user_mask[pool]]
+                picked = self._take_array(pool, n - len(chosen_users), rng)
+                if picked.size:
+                    chosen_users = np.concatenate([chosen_users, picked])
+                    chosen_user_mask[picked] = True
+                next_users = picked
+            if len(chosen_items) < m:
+                pool = np.unique(user_adjacency.gather(frontier_users))
+                if pool.size:
+                    pool = pool[allowed_items[pool] & ~chosen_item_mask[pool]]
+                picked = self._take_array(pool, m - len(chosen_items), rng)
+                if picked.size:
+                    chosen_items = np.concatenate([chosen_items, picked])
+                    chosen_item_mask[picked] = True
+                next_items = picked
+            if not next_users.size and not next_items.size:
+                break
+            frontier_users = next_users
+            frontier_items = next_items
+
+        users_final = self._pad_uniform(chosen_users, n, candidate_users, rng)
+        items_final = self._pad_uniform(chosen_items, m, candidate_items, rng)
+        return users_final, items_final
+
+    @staticmethod
+    def _take_array(pool: np.ndarray, budget: int,
+                    rng: np.random.Generator) -> np.ndarray:
+        """Array twin of :meth:`_take`: same rng consumption, same order."""
+        if pool.size <= budget:
+            return pool
+        picks = rng.choice(pool.size, size=budget, replace=False)
+        return pool[picks]
+
+    # -- loop reference mode ------------------------------------------- #
+    def _sample_loop(self, graph, target_users, target_items, n, m, rng,
+                     candidate_users, candidate_items):
         users, items = self._prepare_targets(target_users, target_items, n, m)
         chosen_users = list(users)
         chosen_items = list(items)

@@ -7,13 +7,100 @@ graph — either a full rebuild from ``triples()`` plus additions, or the
 O(deltas) copy-on-write path :meth:`RatingGraph.apply_deltas`, which
 shares the adjacency arrays of untouched entities with its parent and is
 asserted bitwise identical to the rebuild (:meth:`RatingGraph.identical_to`).
+
+Besides the per-entity adjacency arrays, each side also exposes a flat
+CSR view (:class:`CSRAdjacency`: one ``indptr`` / ``indices`` pair per
+direction) so the vectorised sampler can gather a whole frontier's
+neighbours in one fancy-index instead of a Python loop.  The CSR arrays
+are built lazily, shared with derived graphs through ``apply_deltas``
+(changed entities are marked *stale* and read from their fresh per-entity
+arrays until the stale fraction justifies a rebuild), and never change the
+graph's semantics — :meth:`RatingGraph.items_of_user` and
+:meth:`CSRAdjacency.gather` always agree.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RatingGraph"]
+__all__ = ["RatingGraph", "CSRAdjacency"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+# A derived graph keeps sharing its parent's flat CSR arrays until more
+# than 1/8 of a side's entities have gone stale; past that the fallback
+# reads dominate and a fresh O(edges) build pays for itself.
+_CSR_STALE_REBUILD_FRACTION = 8
+
+
+class CSRAdjacency:
+    """Flat CSR view of one adjacency direction (user→items or item→users).
+
+    ``indptr``/``indices`` are the classic compressed-sparse-row pair over
+    the graph's sorted-unique per-entity neighbour arrays.  ``stale`` marks
+    entities whose adjacency changed *after* the flat arrays were built
+    (via :meth:`RatingGraph.apply_deltas`); their rows are read from
+    ``lists`` — the owning graph's per-entity arrays, always current — so
+    a derived graph can keep sharing its parent's flat arrays in O(deltas)
+    instead of rebuilding O(edges) on every update.
+    """
+
+    __slots__ = ("indptr", "indices", "stale", "stale_count", "lists")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 stale: np.ndarray, stale_count: int, lists: list):
+        self.indptr = indptr
+        self.indices = indices
+        self.stale = stale
+        self.stale_count = stale_count
+        self.lists = lists
+
+    @classmethod
+    def from_lists(cls, lists: list) -> "CSRAdjacency":
+        """Build the flat arrays from per-entity sorted-unique arrays."""
+        count = len(lists)
+        lengths = np.fromiter((a.size for a in lists), dtype=np.int64,
+                              count=count)
+        indptr = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        indices = np.concatenate(lists) if count and indptr[-1] else _EMPTY
+        return cls(indptr, indices, np.zeros(count, dtype=bool), 0, lists)
+
+    def derive(self, changed: np.ndarray, lists: list) -> "CSRAdjacency":
+        """The view for a derived graph: same flat arrays, ``changed``
+        entities marked stale and redirected to the derived ``lists``."""
+        stale = self.stale.copy()
+        stale[changed] = True
+        return CSRAdjacency(self.indptr, self.indices, stale,
+                            int(stale.sum()), lists)
+
+    def gather(self, entities: np.ndarray) -> np.ndarray:
+        """All neighbours of ``entities`` concatenated (duplicates kept).
+
+        Entity order is irrelevant to callers (the sampler uniques the
+        result), so stale rows may append after the flat gather.
+        """
+        entities = np.asarray(entities, dtype=np.int64)
+        if entities.size == 0:
+            return _EMPTY
+        if self.stale_count:
+            stale_here = self.stale[entities]
+            if stale_here.any():
+                fresh = self._gather_flat(entities[~stale_here])
+                overlaid = [self.lists[int(e)] for e in entities[stale_here]]
+                return np.concatenate([fresh, *overlaid])
+        return self._gather_flat(entities)
+
+    def _gather_flat(self, entities: np.ndarray) -> np.ndarray:
+        starts = self.indptr[entities]
+        counts = self.indptr[entities + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return _EMPTY
+        # Positions start[k] + [0..count[k]) for every entity k, built as
+        # one repeat + arange (no per-entity loop).
+        offsets = np.repeat(starts - (np.cumsum(counts) - counts), counts)
+        return self.indices[offsets + np.arange(total)]
 
 
 class RatingGraph:
@@ -42,6 +129,11 @@ class RatingGraph:
             (int(u), int(i)): float(v) for u, i, v in zip(users, items, values)
         }
         self.num_edges = len(self._rating_lookup)
+        # Lazy flat CSR views (see CSRAdjacency).  Building one mutates
+        # only this private slot; a racing double-build is benign (both
+        # results are identical and assignment is atomic).
+        self._csr_users: CSRAdjacency | None = None
+        self._csr_items: CSRAdjacency | None = None
 
     @staticmethod
     def _fill_adjacency(slots, keys, neighbors, count):
@@ -61,6 +153,25 @@ class RatingGraph:
     def users_of_item(self, item: int) -> np.ndarray:
         """User ids who rated the item (sorted, deduplicated)."""
         return self._item_users[item]
+
+    def user_adjacency(self) -> CSRAdjacency:
+        """The flat user→items CSR view (built lazily, cached; rebuilt
+        once :meth:`apply_deltas` derivations leave too many rows stale)."""
+        csr = self._csr_users
+        if (csr is None or csr.stale_count * _CSR_STALE_REBUILD_FRACTION
+                > max(self.num_users, 1)):
+            csr = CSRAdjacency.from_lists(self._user_items)
+            self._csr_users = csr
+        return csr
+
+    def item_adjacency(self) -> CSRAdjacency:
+        """The flat item→users CSR view (see :meth:`user_adjacency`)."""
+        csr = self._csr_items
+        if (csr is None or csr.stale_count * _CSR_STALE_REBUILD_FRACTION
+                > max(self.num_items, 1)):
+            csr = CSRAdjacency.from_lists(self._item_users)
+            self._csr_items = csr
+        return csr
 
     def user_degree(self, user: int) -> int:
         return len(self._user_items[user])
@@ -124,6 +235,8 @@ class RatingGraph:
         derived._user_items = list(self._user_items)
         derived._item_users = list(self._item_users)
         derived._rating_lookup = dict(self._rating_lookup)
+        adjacency_users: list[int] = []
+        adjacency_items: list[int] = []
         for user, item, value in zip(users, items, deltas[:, 2]):
             pair = (int(user), int(item))
             if pair not in derived._rating_lookup:
@@ -131,8 +244,21 @@ class RatingGraph:
                     derived._user_items[pair[0]], pair[1])
                 derived._item_users[pair[1]] = self._sorted_insert(
                     derived._item_users[pair[1]], pair[0])
+                adjacency_users.append(pair[0])
+                adjacency_items.append(pair[1])
             derived._rating_lookup[pair] = float(value)
         derived.num_edges = len(derived._rating_lookup)
+        # Carry the flat CSR views forward in O(deltas): only new pairs
+        # change adjacency (re-rates touch values, not neighbour sets), so
+        # just their entities go stale.  Unbuilt views stay unbuilt.
+        derived._csr_users = (
+            None if self._csr_users is None else self._csr_users.derive(
+                np.asarray(adjacency_users, dtype=np.int64),
+                derived._user_items))
+        derived._csr_items = (
+            None if self._csr_items is None else self._csr_items.derive(
+                np.asarray(adjacency_items, dtype=np.int64),
+                derived._item_users))
         return derived
 
     @staticmethod

@@ -12,6 +12,7 @@ Examples::
     python -m repro.experiments.cli infer --smoke
     python -m repro.experiments.cli pipeline --smoke
     python -m repro.experiments.cli online --smoke --json
+    python -m repro.experiments.cli pareto --smoke --json
 
 ``run`` prints the paper-style rendering of the chosen artifact and, with
 ``--output``, writes it to ``<output>/<experiment>.txt``.  ``serve`` stands
@@ -23,7 +24,10 @@ against the Tensor forward and prints plan-cache/workspace stats.
 against the sequential baseline and prints throughput + bit-identity per
 grid point.  ``online`` drives the incremental-learning loop
 (``repro.online``) through a simulated distribution shift and a
-serve-while-training replay, printing recovery and swap stats.
+serve-while-training replay, printing recovery and swap stats.  ``pareto``
+sweeps the context-budget grid (``repro.experiments.pareto_bench``) and
+prints the RMSE-vs-latency frontier the adaptive budget ladder trades
+along.
 """
 
 from __future__ import annotations
@@ -362,6 +366,31 @@ def _cmd_online(args) -> int:
     return 0
 
 
+def _cmd_pareto(args) -> int:
+    """Sweep the context-budget grid; print the RMSE/latency frontier."""
+    from .pareto_bench import (
+        render_pareto_bench,
+        run_pareto_benchmark,
+        write_pareto_bench_json,
+    )
+
+    payload = run_pareto_benchmark(smoke=args.smoke)
+    text = render_pareto_bench(payload)
+    print(text)
+    if args.output:
+        out = Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "pareto_frontier.txt").write_text(text + "\n")
+    if args.json:
+        path = write_pareto_bench_json(payload)
+        print(f"wrote {path}")
+    if not payload["deterministic"]:
+        print("ERROR: a grid point scored differently on a repeat run",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -461,6 +490,17 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("-o", "--output", default=None,
                         help="directory to write online_loop.txt into")
     online.set_defaults(func=_cmd_online)
+
+    pareto = sub.add_parser(
+        "pareto",
+        help="map context budgets (n, m) to RMSE vs serving latency")
+    pareto.add_argument("--smoke", action="store_true",
+                        help="shrunken grid (seconds, not minutes)")
+    pareto.add_argument("--json", action="store_true",
+                        help="also write BENCH_pareto.json at the repo root")
+    pareto.add_argument("-o", "--output", default=None,
+                        help="directory to write pareto_frontier.txt into")
+    pareto.set_defaults(func=_cmd_pareto)
     return parser
 
 

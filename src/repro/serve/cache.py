@@ -19,6 +19,17 @@ tag intersects the changed entities, sparing the rest
 ``guard`` closes the in-flight race: a worker pinned to a pre-update
 snapshot re-checks the per-entity version map under the cache lock before
 its entry lands, so a stale assembly is dropped instead of cached.
+
+Eviction sweeps are O(touched entries): a reverse per-entity index maps
+every tagged entity to the keys carrying it, so ``invalidate_entities``
+unions the changed entities' key sets instead of scanning the cache.
+
+:class:`FrontierCache` reuses all of that machinery one level down: it
+memoises *sampled frontiers* — the ``(users, items)`` a single BFS call
+chose, plus the rng state right after it — keyed by
+:func:`frontier_cache_key`, so hot users skip the BFS even when the
+request-level context cache misses (different query combination, cache
+disabled) while staying bit-identical via rng-state restoration.
 """
 
 from __future__ import annotations
@@ -27,7 +38,14 @@ import threading
 import time
 from collections import OrderedDict
 
-__all__ = ["ContextCache", "CacheStats", "context_cache_key"]
+__all__ = [
+    "ContextCache",
+    "FrontierCache",
+    "FrontierBinding",
+    "CacheStats",
+    "context_cache_key",
+    "frontier_cache_key",
+]
 
 _MISSING = object()
 
@@ -142,8 +160,49 @@ class ContextCache:
         self._clock = clock
         self._entries: OrderedDict[tuple, tuple[float, object]] = OrderedDict()
         self._tags: dict[tuple, tuple[frozenset, frozenset]] = {}
+        # Reverse index entity -> {keys tagged with it}, so an eviction
+        # sweep unions the changed entities' key sets instead of scanning
+        # every entry's tags (O(touched entries), not O(cache size)).
+        # Untagged keys depend on everything and fall in every sweep.
+        self._user_index: dict[int, set] = {}
+        self._item_index: dict[int, set] = {}
+        self._untagged: set = set()
         self._lock = threading.Lock()
         self.stats = CacheStats()
+
+    def _link(self, key: tuple, users, items) -> None:
+        """Index ``key`` under its tag entities (lock held)."""
+        if users is None and items is None:
+            self._untagged.add(key)
+            return
+        tag_users = (frozenset(int(u) for u in users)
+                     if users is not None else frozenset())
+        tag_items = (frozenset(int(i) for i in items)
+                     if items is not None else frozenset())
+        self._tags[key] = (tag_users, tag_items)
+        for user in tag_users:
+            self._user_index.setdefault(user, set()).add(key)
+        for item in tag_items:
+            self._item_index.setdefault(item, set()).add(key)
+
+    def _unlink(self, key: tuple) -> None:
+        """Remove ``key`` from the tag index (lock held)."""
+        self._untagged.discard(key)
+        tag = self._tags.pop(key, None)
+        if tag is None:
+            return
+        for user in tag[0]:
+            keys = self._user_index.get(user)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._user_index[user]
+        for item in tag[1]:
+            keys = self._item_index.get(item)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._item_index[item]
 
     def get(self, key: tuple, default=None):
         """The cached value, refreshing recency; ``default`` on miss."""
@@ -156,7 +215,7 @@ class ContextCache:
             if (self.ttl_seconds is not None
                     and self._clock() - stored_at > self.ttl_seconds):
                 del self._entries[key]
-                self._tags.pop(key, None)
+                self._unlink(key)
                 self.stats.expirations += 1
                 self.stats.misses += 1
                 return default
@@ -184,19 +243,12 @@ class ContextCache:
                 return False
             if key in self._entries:
                 self._entries.move_to_end(key)
+                self._unlink(key)  # re-put may carry different tags
             self._entries[key] = (self._clock(), value)
-            if users is not None or items is not None:
-                self._tags[key] = (
-                    frozenset(int(u) for u in users) if users is not None
-                    else frozenset(),
-                    frozenset(int(i) for i in items) if items is not None
-                    else frozenset(),
-                )
-            else:
-                self._tags.pop(key, None)
+            self._link(key, users, items)
             while len(self._entries) > self.max_entries:
                 evicted, _ = self._entries.popitem(last=False)
-                self._tags.pop(evicted, None)
+                self._unlink(evicted)
                 self.stats.evictions += 1
             return True
 
@@ -205,6 +257,9 @@ class ContextCache:
         with self._lock:
             self._entries.clear()
             self._tags.clear()
+            self._user_index.clear()
+            self._item_index.clear()
+            self._untagged.clear()
             self.stats.invalidations += 1
 
     def invalidate_entities(self, users, items) -> tuple[int, int]:
@@ -213,21 +268,19 @@ class ContextCache:
 
         Soundness rests on the tag being a superset of the assembly's
         graph read-set (see :mod:`repro.serve.dataplane`); untagged
-        entries are evicted unconditionally.
+        entries are evicted unconditionally.  The reverse per-entity
+        index makes each sweep O(touched entries): only the changed
+        entities' key sets are unioned, never the whole cache.
         """
-        changed_users = frozenset(int(u) for u in users)
-        changed_items = frozenset(int(i) for i in items)
         with self._lock:
-            doomed = []
-            for key in self._entries:
-                tag = self._tags.get(key)
-                if (tag is None
-                        or not changed_users.isdisjoint(tag[0])
-                        or not changed_items.isdisjoint(tag[1])):
-                    doomed.append(key)
+            doomed = set(self._untagged)
+            for user in users:
+                doomed.update(self._user_index.get(int(user), ()))
+            for item in items:
+                doomed.update(self._item_index.get(int(item), ()))
             for key in doomed:
                 del self._entries[key]
-                self._tags.pop(key, None)
+                self._unlink(key)
             spared = len(self._entries)
             self.stats.partial_invalidations += 1
             self.stats.entries_evicted += len(doomed)
@@ -241,3 +294,93 @@ class ContextCache:
     def __contains__(self, key: tuple) -> bool:
         with self._lock:
             return key in self._entries
+
+
+def frontier_cache_key(graph_epoch: int, sampler_name: str, user: int,
+                       query_items, support_items, context_users: int,
+                       context_items: int, seed: int, sample_index: int,
+                       chunk_start: int) -> tuple:
+    """Hashable key identifying one chunk's sampled frontier.
+
+    Finer-grained than :func:`context_cache_key`: one entry per
+    ``(sample, chunk)`` rather than per request, because a frontier is the
+    output of a single ``sampler.sample`` call.  The rng driving that call
+    is :func:`repro.core.task_chunk_rng` — a pure function of
+    ``(seed, user, sample_index, chunk_start)`` — and the chunk's target
+    items derive from ``(query_items, support_items, context_items,
+    chunk_start)``, so the key pins every sampling input.  The *reveal*
+    fraction is deliberately absent: frontiers precede the reveal draw
+    (the cached rng state replays it exactly — see :class:`FrontierCache`).
+    """
+    return (
+        int(graph_epoch),
+        str(sampler_name),
+        int(user),
+        tuple(int(i) for i in query_items),
+        tuple(int(i) for i in support_items),
+        int(context_users),
+        int(context_items),
+        int(seed),
+        int(sample_index),
+        int(chunk_start),
+    )
+
+
+class FrontierCache(ContextCache):
+    """Memoised BFS frontiers for hot users: repeat traffic skips sampling.
+
+    Entries are ``(users, items, rng_state)`` triples — the two entity
+    arrays one ``sampler.sample`` call produced plus the generator state
+    *after* that call.  On a hit the caller restores the state onto its
+    freshly derived chunk rng and proceeds straight to the reveal draw, so
+    a cached frontier yields **bit-identical** contexts to a fresh BFS
+    (the reveal consumes exactly the stream suffix it would have seen).
+
+    Sits below the request-level :class:`ContextCache` (which memoises the
+    finished contexts): when that cache is disabled, cold, or misses on a
+    new query-item combination whose frontier chunks are nonetheless warm,
+    this one still removes the BFS.  Same machinery otherwise — LRU + TTL,
+    entity tags over the sampled users/items (a superset of the BFS
+    adjacency read-set), fine-grained invalidation by the data plane, and
+    the put-time staleness guard.
+    """
+
+
+class FrontierBinding:
+    """Per-(request, sample) adapter handed to ``assemble_user_chunks``.
+
+    Bridges the serve-layer cache to the core assembly loop without the
+    core importing serve: ``load(start)`` returns a cached
+    ``(users, items, rng_state)`` or ``None``; ``store(start, ...)``
+    inserts one, tagged with the sampled entities and guarded against
+    concurrent graph updates.  ``on_hit`` / ``on_miss`` are metric hooks.
+    """
+
+    __slots__ = ("cache", "key_factory", "generation", "guard",
+                 "on_hit", "on_miss")
+
+    def __init__(self, cache: FrontierCache, key_factory, *,
+                 generation: int = 0, guard=None,
+                 on_hit=None, on_miss=None):
+        self.cache = cache
+        self.key_factory = key_factory
+        self.generation = generation
+        self.guard = guard
+        self.on_hit = on_hit
+        self.on_miss = on_miss
+
+    def load(self, chunk_start: int):
+        entry = self.cache.get(self.key_factory(chunk_start))
+        if entry is None:
+            if self.on_miss is not None:
+                self.on_miss()
+            return None
+        if self.on_hit is not None:
+            self.on_hit()
+        return entry
+
+    def store(self, chunk_start: int, users, items, rng_state) -> None:
+        self.cache.put(self.key_factory(chunk_start),
+                       (users, items, rng_state),
+                       users=users, items=items,
+                       generation=self.generation, guard=self.guard)

@@ -183,6 +183,12 @@ class GraphStore:
         self.incremental = incremental
         self.verify = verify
         self.rating_log = rating_log
+        # Warm the flat CSR adjacency views up front: the vectorised
+        # sampler gathers frontiers through them on every request, so the
+        # one O(edges) build belongs here, not on the first request's
+        # latency.  apply() keeps them warm across derivations.
+        graph.user_adjacency()
+        graph.item_adjacency()
         self.versions = EntityVersions(graph.num_users, graph.num_items)
         self._lock = threading.Lock()
         self._state = GraphSnapshot(
@@ -270,6 +276,13 @@ class GraphStore:
                     np.setdiff1d(changed_users, users_pool).size > 0
                     or np.setdiff1d(changed_items, items_pool).size > 0)
                 new_graph = self._derive(graph, applied)
+                # Keep the CSR views warm on the publish path: after an
+                # incremental derive this is O(deltas) bookkeeping (stale
+                # marks carried by apply_deltas), and when the stale
+                # fraction crosses the rebuild threshold the O(edges)
+                # rebuild lands here instead of on a request.
+                new_graph.user_adjacency()
+                new_graph.item_adjacency()
                 full = pool_grew or not self.incremental
                 generation += 1
                 # Bump before publishing: a reader that sees the new

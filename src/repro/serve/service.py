@@ -57,7 +57,13 @@ from ..core.predictor import (
 from ..core.sampling import ContextSampler, NeighborhoodSampler
 from ..data.bipartite import RatingGraph
 from .batcher import MicroBatcher, PredictRequest, group_requests
-from .cache import ContextCache, context_cache_key
+from .cache import (
+    ContextCache,
+    FrontierBinding,
+    FrontierCache,
+    context_cache_key,
+    frontier_cache_key,
+)
 from .dataplane import GraphStore, UpdateResult
 from .errors import QueueFullError, RequestError, ServiceClosedError
 from .registry import ModelRegistry
@@ -85,6 +91,23 @@ class ServiceConfig:
     cache_enabled: bool = True
     cache_entries: int = 2048
     cache_ttl_seconds: float | None = None
+    # Frontier cache: memoise sampled BFS frontiers per (sample, chunk) so
+    # hot users skip the BFS even when the request-level context cache
+    # misses (bit-identical via rng-state restoration; invalidated
+    # entity-wise like the context cache — see docs/adaptive_context.md).
+    frontier_cache_enabled: bool = True
+    frontier_cache_entries: int = 4096
+    # Adaptive context budgets: when on, requests without explicit budget
+    # overrides get per-request (n, m) from budget_ladder — a tuple of
+    # (queue_depth_threshold, context_users, context_items) rungs, first
+    # threshold 0, thresholds strictly increasing, budgets non-increasing
+    # (shrink under load, grow back when the queue drains).  The deepest
+    # rung whose threshold <= the current queue depth wins.  Degraded
+    # predictions stay bit-identical to sequential prediction at the same
+    # (n, m); the measured quality/latency trade per rung comes from the
+    # Pareto bench (BENCH_pareto.json).
+    adaptive_budgets: bool = False
+    budget_ladder: tuple = ()
     # Incremental data plane: apply rating deltas through
     # RatingGraph.apply_deltas (O(deltas), copy-on-write) instead of a full
     # rebuild, with fine-grained per-entity cache invalidation.  False
@@ -149,6 +172,30 @@ class ServiceConfig:
             raise ValueError("short_window_seconds must be <= window_seconds")
         if self.export_interval_seconds <= 0:
             raise ValueError("export_interval_seconds must be positive")
+        if self.frontier_cache_entries < 1:
+            raise ValueError("frontier_cache_entries must be >= 1")
+        self.budget_ladder = tuple(
+            (int(depth), int(n), int(m)) for depth, n, m in self.budget_ladder)
+        if self.adaptive_budgets:
+            if not self.budget_ladder:
+                raise ValueError(
+                    "adaptive_budgets needs a budget_ladder of "
+                    "(queue_depth, context_users, context_items) rungs")
+            if self.budget_ladder[0][0] != 0:
+                raise ValueError("the first ladder rung must have queue "
+                                 "depth threshold 0 (the idle budgets)")
+            for (d0, n0, m0), (d1, n1, m1) in zip(self.budget_ladder,
+                                                  self.budget_ladder[1:]):
+                if d1 <= d0:
+                    raise ValueError(
+                        "ladder queue-depth thresholds must be strictly "
+                        "increasing")
+                if n1 > n0 or m1 > m0:
+                    raise ValueError(
+                        "ladder budgets must be non-increasing with depth "
+                        "(deeper queue -> smaller contexts)")
+            if any(n < 2 or m < 2 for _, n, m in self.budget_ladder):
+                raise ValueError("ladder context budgets must be >= 2")
         if self.share_contexts:
             self.pack_contexts = True
 
@@ -196,6 +243,10 @@ class PredictionService:
         self.cache = (ContextCache(self.config.cache_entries,
                                    self.config.cache_ttl_seconds)
                       if self.config.cache_enabled else None)
+        self.frontier_cache = (
+            FrontierCache(self.config.frontier_cache_entries,
+                          self.config.cache_ttl_seconds)
+            if self.config.frontier_cache_enabled else None)
         if graph_store is not None:
             if rating_log is not None:
                 raise ValueError(
@@ -244,6 +295,16 @@ class PredictionService:
         self._window_cache_hits = self._windowed_counter("window.cache_hits_total")
         self._window_cache_misses = self._windowed_counter(
             "window.cache_misses_total")
+        # Assembly-plane windows: per-batch assembly time plus the adaptive
+        # budget ladder's decisions (see docs/adaptive_context.md).
+        self._window_assemble_seconds = self._windowed_histogram(
+            "assemble.window.seconds")
+        self._window_budget_users = self._windowed_histogram(
+            "assemble.window.budget_users")
+        self._window_budget_items = self._windowed_histogram(
+            "assemble.window.budget_items")
+        self._window_degraded = self._windowed_counter(
+            "assemble.window.degraded_total")
         self.tracer = (obs.Tracer(capacity=cfg.trace_buffer,
                                   sink_path=cfg.trace_sink,
                                   clock=self._clock)
@@ -276,12 +337,40 @@ class PredictionService:
         ``context_users`` / ``context_items`` override the service's context
         budgets for this request (latency/quality knob per caller); requests
         with nearby budgets still stack into one padded forward via shape
-        buckets.
+        buckets.  With ``adaptive_budgets`` on, requests *without* explicit
+        overrides get their budgets from the configured ladder instead,
+        keyed by the queue depth at admission (explicit overrides always
+        win — the caller asked for a specific quality point).
 
         Never blocks: raises :class:`QueueFullError` when the bounded queue
         is full (load shedding), :class:`ServiceClosedError` after
         :meth:`close`, and :class:`RequestError` for requests that can
         never succeed.
+        """
+        return self.submit_request(user, item_ids, support_items,
+                                   context_users=context_users,
+                                   context_items=context_items).future
+
+    def _ladder_budgets(self, depth: int) -> tuple[int, tuple[int, int]]:
+        """The deepest ladder rung whose threshold <= ``depth``, as
+        ``(rung_index, (context_users, context_items))``."""
+        ladder = self.config.budget_ladder
+        rung = 0
+        for index, (threshold, _, _) in enumerate(ladder):
+            if depth >= threshold:
+                rung = index
+        _, n, m = ladder[rung]
+        return rung, (n, m)
+
+    def submit_request(self, user: int, item_ids, support_items=None, *,
+                       context_users: int | None = None,
+                       context_items: int | None = None) -> PredictRequest:
+        """:meth:`submit`, returning the enqueued :class:`PredictRequest`.
+
+        The request carries the *effective* ``context_users`` /
+        ``context_items`` (after the adaptive ladder, when it applied) and
+        the future — which is what lets a caller replay the exact degraded
+        budgets through a sequential reference and verify bit-identity.
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
@@ -308,6 +397,12 @@ class PredictionService:
             support_items = graph.items_of_user(user)
         support_items = np.asarray(support_items, dtype=np.int64).ravel()
 
+        rung = None
+        if (self.config.adaptive_budgets and context_users is None
+                and context_items is None):
+            rung, (context_users, context_items) = self._ladder_budgets(
+                self._batcher.depth)
+
         request = PredictRequest(
             user=user, item_ids=item_ids, support_items=support_items,
             context_users=None if context_users is None else int(context_users),
@@ -326,7 +421,14 @@ class PredictionService:
         self._counter("requests_total").inc()
         self._window_requests.inc()
         self._gauge("queue_depth").set(self._batcher.depth)
-        return request.future
+        if rung is not None:
+            self._gauge("assemble.budget_rung").set(rung)
+            self._window_budget_users.observe(context_users)
+            self._window_budget_items.observe(context_items)
+            if rung > 0:
+                self._counter("assemble.degraded_total").inc()
+                self._window_degraded.inc()
+        return request
 
     def predict(self, user: int, item_ids, support_items=None,
                 timeout: float | None = 30.0, *,
@@ -396,6 +498,14 @@ class PredictionService:
                     result.changed_users, result.changed_items)
                 self._counter("invalidation_evicted_total").inc(evicted)
                 self._counter("invalidation_spared_total").inc(spared)
+        if self.frontier_cache is not None:
+            if result.full_invalidation:
+                self.frontier_cache.invalidate()
+            else:
+                evicted, _ = self.frontier_cache.invalidate_entities(
+                    result.changed_users, result.changed_items)
+                self._counter("frontier.invalidation_evicted_total").inc(
+                    evicted)
         if result.full_invalidation:
             # Pool growth may have introduced entities the store has never
             # sized rows for; retire it wholesale.
@@ -491,6 +601,14 @@ class PredictionService:
             "cache_hit_rate": (
                 self._windowed_rate(self._window_cache_hits, lookups, short),
                 self._windowed_rate(self._window_cache_hits, lookups, None)),
+            # Fraction of admitted requests the budget ladder degraded —
+            # the graceful-degradation twin of shed_rate (not covered by
+            # the default rules; attach one via slo_rules to alert on it).
+            "degraded_rate": (
+                self._windowed_rate(self._window_degraded,
+                                    (self._window_requests,), short),
+                self._windowed_rate(self._window_degraded,
+                                    (self._window_requests,), None)),
         }
 
     def health(self) -> dict:
@@ -534,6 +652,9 @@ class PredictionService:
             }
         if self.cache is not None:
             out["cache"] = {**self.cache.stats.snapshot(), "entries": len(self.cache)}
+        if self.frontier_cache is not None:
+            out["frontier_cache"] = {**self.frontier_cache.stats.snapshot(),
+                                     "entries": len(self.frontier_cache)}
         store = self._embed_store
         if store is not None:
             out["embed_store"] = store.stats()
@@ -564,6 +685,13 @@ class PredictionService:
                     f" {snap['entries_evicted']} evicted across"
                     f" {snap['partial_invalidations']} sweeps"
                     f"   precision {precision * 100:.1f}%")
+        if self.frontier_cache is not None:
+            snap = self.frontier_cache.stats.snapshot()
+            lines.append(
+                f"frontier cache: {len(self.frontier_cache)} entries"
+                f"   hit rate {snap['hit_rate'] * 100:.1f}%"
+                f"   ({snap['hits']} hits / {snap['misses']} misses,"
+                f" {snap['evictions']} evicted)")
         updates = self._store.stats()
         lines.append(
             f"graph updates: {updates['applied_total']} applied /"
@@ -649,6 +777,7 @@ class PredictionService:
 
             # Batch-level stages are shared by every request in the batch.
             stage_seconds["assemble"] = assembled_at - assemble_start
+            self._window_assemble_seconds.observe(stage_seconds["assemble"])
             stage_seconds["forward"] = max(
                 forwarded_at - assembled_at - stage_seconds["pack"], 0.0)
             for (requests, _), scores in zip(plans, scores_by_plan):
@@ -761,6 +890,20 @@ class PredictionService:
         for sample_index in range(cfg.num_context_samples):
             def rng_factory(start, _sample=sample_index):
                 return task_chunk_rng(cfg.seed, request.user, _sample, start)
+            frontier = None
+            if self.frontier_cache is not None:
+                def key_factory(start, _sample=sample_index):
+                    return frontier_cache_key(
+                        graph_state.epoch, self.sampler.name, request.user,
+                        request.item_ids, request.support_items,
+                        context_users, context_items, cfg.seed, _sample,
+                        start)
+                frontier = FrontierBinding(
+                    self.frontier_cache, key_factory,
+                    generation=graph_state.generation,
+                    guard=self._store.changed_since,
+                    on_hit=self._counter("frontier.hits_total").inc,
+                    on_miss=self._counter("frontier.misses_total").inc)
             samples.append(assemble_user_chunks(
                 graph, self.sampler, request.user,
                 request.item_ids, request.support_items,
@@ -770,6 +913,7 @@ class PredictionService:
                 candidate_users=graph_state.candidate_users,
                 candidate_items=graph_state.candidate_items,
                 rng_factory=rng_factory,
+                frontier=frontier,
             ))
         if self.cache is not None:
             touched_users = np.unique(np.concatenate(

@@ -245,15 +245,28 @@ def load_workload(path: str | Path) -> list[WorkloadRequest]:
 
 def replay_workload(service, requests: list[WorkloadRequest],
                     timeout: float = 60.0,
-                    retry_interval: float = 0.001) -> list[np.ndarray]:
+                    retry_interval: float = 0.001,
+                    rate: float | None = None) -> list[np.ndarray]:
     """Submit a workload and gather every score vector, in request order.
 
     Shed requests (:class:`QueueFullError`) are retried after a short sleep
     — the replay is a closed loop, so backpressure slows submission instead
     of losing work.
+
+    ``rate`` optionally paces submission at that many requests per second
+    (open-loop arrival schedule: each request has a fixed target instant,
+    so a slow service sees the queue build up instead of slowing the
+    submitter down).  ``None`` submits as fast as the queue accepts — the
+    overload regime the adaptive budget ladder is benchmarked under.
     """
     futures = []
-    for request in requests:
+    started = time.perf_counter()
+    for index, request in enumerate(requests):
+        if rate is not None:
+            due = started + index / rate
+            delay = due - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
         supports = (np.asarray(request.support_items, dtype=np.int64)
                     if request.support_items is not None else None)
         while True:

@@ -218,3 +218,75 @@ class TestSampleTrainingContext:
         assert np.array_equal(a.users, b.users)
         assert np.array_equal(a.ratings, b.ratings)
         assert np.array_equal(a.query, b.query)
+
+
+class TestDegradedContexts:
+    """Budgets beyond what the graph can supply: degrade, don't hang."""
+
+    @pytest.fixture
+    def dense_2x2(self):
+        """Two users, two items, every cell rated — nothing left to grow."""
+        triples = [[u, i, 3.0] for u in range(2) for i in range(2)]
+        return RatingGraph(np.asarray(triples, dtype=float),
+                           num_users=2, num_items=2)
+
+    def test_degrades_to_achievable_shape_with_named_warning(self, dense_2x2):
+        with pytest.warns(RuntimeWarning,
+                          match=r"degraded to the achievable \(2, 2\) shape"):
+            context = sample_training_context(
+                dense_2x2, NeighborhoodSampler(),
+                dense_2x2.triples(), np.random.default_rng(0),
+                context_users=8, context_items=8, reveal_fraction=0.25,
+                candidate_users=np.arange(2), candidate_items=np.arange(2),
+            )
+        # The context was built at the achievable shape and still has
+        # something to supervise on.
+        assert len(context.users) == 2 and len(context.items) == 2
+        assert context.num_query() > 0
+
+    def test_warns_once_per_draw_not_per_retry(self, dense_2x2):
+        # reveal 0.5 on 4 cells keeps retries plausible; however many
+        # attempts the draw takes, the degraded-shape warning fires once.
+        with pytest.warns(RuntimeWarning) as record:
+            sample_training_context(
+                dense_2x2, NeighborhoodSampler(),
+                dense_2x2.triples(), np.random.default_rng(3),
+                context_users=8, context_items=8, reveal_fraction=0.5,
+                candidate_users=np.arange(2), candidate_items=np.arange(2),
+            )
+        degraded = [w for w in record
+                    if "degraded to the achievable" in str(w.message)]
+        assert len(degraded) == 1
+
+    def test_deterministic_zero_query_fails_fast(self, dense_2x2):
+        # Both axes degraded + fixed reveal fraction: every retry rebuilds
+        # the same observed cells, so the first zero-query draw is final —
+        # "attempt 1", not the full retry budget.
+        with pytest.warns(RuntimeWarning, match="degraded"):
+            with pytest.raises(RuntimeError) as excinfo:
+                sample_training_context(
+                    dense_2x2, NeighborhoodSampler(),
+                    dense_2x2.triples(), np.random.default_rng(0),
+                    context_users=8, context_items=8, reveal_fraction=0.99,
+                    candidate_users=np.arange(2),
+                    candidate_items=np.arange(2),
+                )
+        message = str(excinfo.value)
+        assert "zero maskable query cells" in message
+        assert "degraded context shape (2, 2)" in message
+        assert "attempt 1 of" in message
+
+    def test_random_reveal_band_keeps_retrying(self, dense_2x2):
+        # With reveal_fraction_high set, each retry redraws the fraction —
+        # the zero is not deterministic, so the full retry budget applies.
+        with pytest.warns(RuntimeWarning, match="degraded"):
+            with pytest.raises(RuntimeError, match="after 2 attempts"):
+                sample_training_context(
+                    dense_2x2, NeighborhoodSampler(),
+                    dense_2x2.triples(), np.random.default_rng(0),
+                    context_users=8, context_items=8,
+                    reveal_fraction=0.97, reveal_fraction_high=0.99,
+                    candidate_users=np.arange(2),
+                    candidate_items=np.arange(2),
+                    max_retries=2,
+                )

@@ -4,7 +4,13 @@ entity-tagged fine-grained invalidation path (tags, sweeps, put guard)."""
 import numpy as np
 import pytest
 
-from repro.serve import ContextCache, context_cache_key
+from repro.serve import (
+    ContextCache,
+    FrontierBinding,
+    FrontierCache,
+    context_cache_key,
+    frontier_cache_key,
+)
 
 
 class FakeClock:
@@ -163,3 +169,119 @@ class TestEntityInvalidation:
                          generation=7, guard=guard)
         assert cache.get(("fresh",)) == 1
         assert seen["args"] == ((1,), (2,), 7)
+
+
+class TestReverseIndex:
+    """The per-entity reverse index that makes sweeps O(touched)."""
+
+    def test_reput_retags_old_entities_no_longer_evict(self):
+        cache = ContextCache(max_entries=8)
+        cache.put(("k",), 1, users=[1], items=[])
+        # Same key re-put under a different tag: the old index entry must
+        # be unlinked, or a sweep on user 1 would still evict it.
+        cache.put(("k",), 2, users=[2], items=[])
+        evicted, spared = cache.invalidate_entities(users=[1], items=[])
+        assert (evicted, spared) == (0, 1)
+        assert cache.get(("k",)) == 2
+        evicted, spared = cache.invalidate_entities(users=[2], items=[])
+        assert (evicted, spared) == (1, 0)
+        assert ("k",) not in cache
+
+    def test_reput_from_tagged_to_untagged_falls_in_every_sweep(self):
+        cache = ContextCache(max_entries=8)
+        cache.put(("k",), 1, users=[1], items=[])
+        cache.put(("k",), 2)
+        evicted, _ = cache.invalidate_entities(users=[99], items=[])
+        assert evicted == 1 and ("k",) not in cache
+
+    def test_index_is_empty_after_all_paths_remove_a_key(self):
+        clock = FakeClock()
+        cache = ContextCache(max_entries=2, ttl_seconds=5.0, clock=clock)
+        cache.put(("ttl",), 1, users=[1], items=[10])
+        clock.now += 6.0
+        assert cache.get(("ttl",)) is None  # TTL expiry unlinks
+        cache.put(("a",), 1, users=[2], items=[])
+        cache.put(("b",), 2, users=[3], items=[])
+        cache.put(("c",), 3, users=[4], items=[])  # LRU eviction unlinks
+        cache.invalidate_entities(users=[3, 4], items=[])  # sweep unlinks
+        cache.invalidate()  # full clear
+        assert not cache._user_index and not cache._item_index
+        assert not cache._untagged and not cache._tags
+
+    def test_sweep_touches_only_changed_entities_key_sets(self):
+        cache = ContextCache(max_entries=64)
+        for key in range(32):
+            cache.put((key,), key, users=[key], items=[1000 + key])
+        evicted, spared = cache.invalidate_entities(users=[5], items=[1007])
+        assert (evicted, spared) == (2, 30)
+        assert (5,) not in cache and (7,) not in cache
+
+
+class TestFrontierCacheKey:
+    def test_equal_inputs_equal_keys(self):
+        a = frontier_cache_key(1, "neighborhood", 3, [4, 5], [6], 8, 8, 0, 1, 2)
+        b = frontier_cache_key(1, "neighborhood", 3, (4, 5), (6,), 8, 8, 0, 1, 2)
+        assert a == b and hash(a) == hash(b)
+
+    @pytest.mark.parametrize("field, value", [
+        ("graph_epoch", 2), ("sampler_name", "random"), ("user", 9),
+        ("query_items", (4,)), ("support_items", (6, 7)),
+        ("context_users", 9), ("context_items", 9), ("seed", 1),
+        ("sample_index", 3), ("chunk_start", 5),
+    ])
+    def test_every_field_discriminates(self, field, value):
+        base = dict(graph_epoch=1, sampler_name="neighborhood", user=3,
+                    query_items=(4, 5), support_items=(6,), context_users=8,
+                    context_items=8, seed=0, sample_index=1, chunk_start=2)
+        changed = dict(base, **{field: value})
+        assert frontier_cache_key(**base) != frontier_cache_key(**changed)
+
+    def test_reveal_fraction_is_not_a_key_input(self):
+        # Frontiers precede the reveal draw; the cached rng state replays
+        # it, so the key deliberately has no reveal_fraction parameter.
+        import inspect
+        assert "reveal_fraction" not in inspect.signature(
+            frontier_cache_key).parameters
+
+
+class TestFrontierBinding:
+    @staticmethod
+    def _binding(cache, **kwargs):
+        return FrontierBinding(cache, lambda start: ("chunk", start), **kwargs)
+
+    def test_store_then_load_roundtrip_with_hooks(self):
+        cache = FrontierCache(max_entries=8)
+        events = []
+        binding = self._binding(cache, on_hit=lambda: events.append("hit"),
+                                on_miss=lambda: events.append("miss"))
+        users = np.array([1, 2])
+        items = np.array([3])
+        assert binding.load(0) is None
+        binding.store(0, users, items, {"state": 42})
+        got_users, got_items, rng_state = binding.load(0)
+        assert np.array_equal(got_users, users)
+        assert np.array_equal(got_items, items)
+        assert rng_state == {"state": 42}
+        assert events == ["miss", "hit"]
+        assert binding.load(5) is None  # other chunks unaffected
+
+    def test_store_tags_sampled_entities(self):
+        cache = FrontierCache(max_entries=8)
+        binding = self._binding(cache)
+        binding.store(0, np.array([1, 2]), np.array([30]), "state")
+        evicted, _ = cache.invalidate_entities(users=[], items=[30])
+        assert evicted == 1 and binding.load(0) is None
+
+    def test_guard_drops_stale_frontier(self):
+        cache = FrontierCache(max_entries=8)
+        seen = {}
+
+        def guard(users, items, generation):
+            seen["generation"] = generation
+            return True  # entities changed since the pinned generation
+
+        binding = self._binding(cache, generation=4, guard=guard)
+        binding.store(0, np.array([1]), np.array([2]), "state")
+        assert seen["generation"] == 4
+        assert binding.load(0) is None
+        assert cache.stats.stale_puts == 1

@@ -425,3 +425,178 @@ class TestEmbedStoreServing:
                                      task.support_items)
             assert "embed_store" not in service.stats()
         assert np.array_equal(scores, sequential_scores[0])
+
+
+class TestAdaptiveBudgets:
+    LADDER = ((0, 12, 12), (2, 8, 8), (4, 4, 4))
+
+    @pytest.mark.parametrize("ladder, match", [
+        ((), "needs a budget_ladder"),
+        (((1, 12, 12),), "threshold 0"),
+        (((0, 12, 12), (2, 8, 8), (2, 6, 6)), "strictly increasing"),
+        (((0, 8, 8), (2, 12, 12)), "non-increasing"),
+        (((0, 8, 8), (2, 8, 1)), ">= 2"),
+    ])
+    def test_ladder_validation(self, ladder, match):
+        with pytest.raises(ValueError, match=match):
+            ServiceConfig(adaptive_budgets=True, budget_ladder=ladder)
+
+    def test_ladder_without_adaptive_flag_is_inert(self, serve_model,
+                                                   ml_split, serve_tasks,
+                                                   sequential_scores):
+        # A configured ladder only applies when adaptive_budgets is on.
+        with make_service(serve_model, ml_split, serve_tasks,
+                          budget_ladder=self.LADDER) as service:
+            request = service.submit_request(
+                serve_tasks[0].user, serve_tasks[0].query_items,
+                serve_tasks[0].support_items)
+            assert request.context_users is None
+            assert np.array_equal(request.future.result(60),
+                                  sequential_scores[0])
+
+    def test_rung_selection_depth_mapping(self, serve_model, ml_split,
+                                          serve_tasks):
+        with make_service(serve_model, ml_split, serve_tasks,
+                          adaptive_budgets=True,
+                          budget_ladder=self.LADDER) as service:
+            assert service._ladder_budgets(0) == (0, (12, 12))
+            assert service._ladder_budgets(1) == (0, (12, 12))
+            assert service._ladder_budgets(2) == (1, (8, 8))
+            assert service._ladder_budgets(3) == (1, (8, 8))
+            assert service._ladder_budgets(4) == (2, (4, 4))
+            assert service._ladder_budgets(100) == (2, (4, 4))
+
+    def test_deep_queue_degrades_bit_identically(self, serve_model, ml_split,
+                                                 serve_tasks, monkeypatch):
+        """Requests admitted while the queue is deep get smaller budgets,
+        carry them on the returned request, and their scores equal the
+        sequential predictor run at exactly those (n, m)."""
+        service = make_service(serve_model, ml_split, serve_tasks,
+                               num_workers=1, max_batch_size=1,
+                               queue_size=16, cache_enabled=False,
+                               adaptive_budgets=True,
+                               budget_ladder=self.LADDER)
+        gate = threading.Event()
+        original = service._process_batch
+
+        def gated(batch):
+            gate.wait(30)
+            original(batch)
+
+        monkeypatch.setattr(service, "_process_batch", gated)
+        requests = [service.submit_request(t.user, t.query_items,
+                                           t.support_items)
+                    for t in serve_tasks]
+        gate.set()
+        budgets = [(r.context_users, r.context_items) for r in requests]
+        # The ladder applied to every request, and the growing queue pushed
+        # later admissions onto smaller rungs.
+        assert all(n is not None and m is not None for n, m in budgets)
+        assert len(set(budgets)) >= 2
+        assert min(budgets) < (self.LADDER[0][1], self.LADDER[0][2])
+        scores = [r.future.result(60) for r in requests]
+        snapshot = service.metrics.snapshot()
+        service.close()
+        assert snapshot["serve.assemble.degraded_total"]["value"] >= 1
+        assert "serve.assemble.budget_rung" in snapshot
+        for task, (n, m), got in zip(serve_tasks, budgets, scores):
+            reference = HIREPredictor(serve_model, ml_split, serve_tasks,
+                                      seed=0, per_task_rng=True,
+                                      context_users=n, context_items=m)
+            assert np.array_equal(reference.predict_task(task), got)
+
+    def test_explicit_override_bypasses_ladder(self, serve_model, ml_split,
+                                               serve_tasks, monkeypatch):
+        service = make_service(serve_model, ml_split, serve_tasks,
+                               num_workers=1, max_batch_size=1,
+                               queue_size=16, adaptive_budgets=True,
+                               budget_ladder=self.LADDER)
+        gate = threading.Event()
+        original = service._process_batch
+
+        def gated(batch):
+            gate.wait(30)
+            original(batch)
+
+        monkeypatch.setattr(service, "_process_batch", gated)
+        # Deepen the queue past every threshold, then ask for an explicit
+        # quality point: the caller's budgets must survive untouched.
+        fillers = [service.submit_request(t.user, t.query_items,
+                                          t.support_items)
+                   for t in serve_tasks[:5]]
+        request = service.submit_request(
+            serve_tasks[5].user, serve_tasks[5].query_items,
+            serve_tasks[5].support_items, context_users=20, context_items=20)
+        gate.set()
+        assert (request.context_users, request.context_items) == (20, 20)
+        for pending in fillers + [request]:
+            pending.future.result(60)
+        service.close()
+
+
+class TestFrontierCacheService:
+    def test_repeat_traffic_hits_frontiers_with_context_cache_off(
+            self, serve_model, ml_split, serve_tasks, sequential_scores):
+        with make_service(serve_model, ml_split, serve_tasks,
+                          cache_enabled=False) as service:
+            first = [service.predict(t.user, t.query_items, t.support_items)
+                     for t in serve_tasks]
+            second = [service.predict(t.user, t.query_items, t.support_items)
+                      for t in serve_tasks]
+            snapshot = service.metrics.snapshot()
+            frontier = service.stats()["frontier_cache"]
+        # Round two re-sampled nothing: every chunk's frontier was warm.
+        assert frontier["hits"] >= len(serve_tasks)
+        assert snapshot["serve.frontier.hits_total"]["value"] == frontier["hits"]
+        assert snapshot["serve.frontier.misses_total"]["value"] == frontier["misses"]
+        for expected, a, b in zip(sequential_scores, first, second):
+            assert np.array_equal(expected, a)
+            assert np.array_equal(expected, b)
+
+    def test_update_ratings_evicts_touched_frontiers_only(
+            self, serve_model, ml_split, serve_tasks):
+        task, other = serve_tasks[0], serve_tasks[1]
+        with make_service(serve_model, ml_split, serve_tasks,
+                          cache_enabled=False) as service:
+            service.predict(task.user, task.query_items, task.support_items)
+            service.predict(other.user, other.query_items,
+                            other.support_items)
+            populated = len(service.frontier_cache)
+            assert populated > 0
+            # Re-rate one of the target user's support items (an existing
+            # pair, so the pools don't grow and the sweep is fine-grained).
+            item = int(task.support_items[0])
+            applied = service.update_ratings(
+                np.array([[task.user, item, 1.0]]))
+            if not applied:  # it already was 1.0 — any other value works
+                applied = service.update_ratings(
+                    np.array([[task.user, item, 2.0]]))
+            assert applied == 1
+            evicted = service.metrics.snapshot()[
+                "serve.frontier.invalidation_evicted_total"]["value"]
+            assert evicted >= 1
+            # Frontiers that never read the touched entities survive.
+            assert len(service.frontier_cache) < populated
+
+    def test_stats_and_report_cover_the_frontier_cache(
+            self, serve_model, ml_split, serve_tasks):
+        with make_service(serve_model, ml_split, serve_tasks) as service:
+            task = serve_tasks[0]
+            service.predict(task.user, task.query_items, task.support_items)
+            stats = service.stats()
+            report = service.report()
+        assert "frontier_cache" in stats
+        assert stats["frontier_cache"]["entries"] >= 1
+        assert "frontier cache" in report
+
+    def test_disabled_frontier_cache_is_exact(self, serve_model, ml_split,
+                                              serve_tasks, sequential_scores):
+        with make_service(serve_model, ml_split, serve_tasks,
+                          cache_enabled=False,
+                          frontier_cache_enabled=False) as service:
+            assert service.frontier_cache is None
+            got = [service.predict(t.user, t.query_items, t.support_items)
+                   for t in serve_tasks]
+            assert "frontier_cache" not in service.stats()
+        for expected, scores in zip(sequential_scores, got):
+            assert np.array_equal(expected, scores)

@@ -57,3 +57,19 @@ class TestReplay:
         for request, vector in zip(requests, scores):
             assert vector.shape == (len(request.item_ids),)
             assert np.isfinite(vector).all()
+
+    def test_rate_paces_submission_open_loop(self, serve_model, ml_split,
+                                             serve_tasks):
+        """``rate`` spaces arrivals on a fixed schedule: replaying n
+        requests at r req/s cannot finish before (n - 1) / r seconds."""
+        import time
+
+        requests = synthesize_workload(serve_tasks, 6, seed=0)
+        config = ServiceConfig(max_batch_size=8, num_workers=1)
+        with PredictionService.from_split(serve_model, ml_split, serve_tasks,
+                                          config=config) as service:
+            started = time.perf_counter()
+            scores = replay_workload(service, requests, rate=50.0)
+            elapsed = time.perf_counter() - started
+        assert len(scores) == len(requests)
+        assert elapsed >= (len(requests) - 1) / 50.0

@@ -187,6 +187,8 @@ def test_metric_extraction_found_the_core_metrics():
     assert "online.promotions_total" in names
     assert "serve.shard.routed_total" in names
     assert "serve.invalidation_evicted_total" in names
+    assert "serve.frontier.hits_total" in names
+    assert "serve.assemble.degraded_total" in names
 
 
 # Config surfaces: every tunable field of the serving/router configs must

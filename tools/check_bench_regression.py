@@ -46,9 +46,15 @@ HEADLINE = {
         "packing.pack_gain",
         "sharding.balance",
         "sharding.invalidation_precision",
+        # Context-assembly fast path: CSR-vectorized BFS over the loop
+        # reference, and the frontier cache's steady-state hit rate on
+        # repeat traffic (deterministic under the seeded workload).
+        "assembly.vectorized_speedup",
+        "assembly.frontier.hot_hit_rate",
     ),
     "BENCH_infer.json": ("speedup_single", "speedup_batched"),
     "BENCH_online.json": ("recovery.rmse_recovery_ratio",),
+    "BENCH_pareto.json": ("latency_dynamic_range",),
     "BENCH_pipeline.json": ("best_speedup",),
     "BENCH_substrate.json": ("speedup_forward", "speedup_train_step"),
 }
